@@ -1,0 +1,101 @@
+// Domain-count scaling (paper §I / §III-A): SealPK's 1024 native keys vs.
+// Intel MPK's 16, and the cost of scaling past the physical limit with a
+// libmpk-style software virtualisation layer (the paper's §VI comparison:
+// virtualisation works but pays PTE-rewrite storms on eviction).
+//
+// Part 1: allocate-to-failure on real machines of both flavours.
+// Part 2: modelled cost per domain *use* (permission update) as the live
+//         domain count grows, for MPK+libmpk (15 physical keys) vs.
+//         SealPK+libmpk (1023 physical keys) under a uniform-random
+//         working-set sweep.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "mpk/virt.h"
+#include "runtime/guest.h"
+#include "sim/machine.h"
+
+using namespace sealpk;
+using namespace sealpk::isa;
+
+namespace {
+
+u64 alloc_to_failure(core::IsaFlavor flavor) {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& f = prog.add_function("main");
+  const Label loop = f.new_label(), done = f.new_label();
+  f.li(s0, 0);
+  f.bind(loop);
+  f.li(a0, 0);
+  f.li(a1, 0);
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.blez(a0, done);
+  f.addi(s0, s0, 1);
+  f.j(loop);
+  f.bind(done);
+  f.mv(a0, s0);
+  rt::syscall(f, os::sys::kReport);
+  f.li(a0, 0);
+  f.ret();
+
+  sim::MachineConfig cfg;
+  cfg.hart.flavor = flavor;
+  sim::Machine machine(cfg);
+  machine.load(prog.link());
+  machine.run();
+  return machine.kernel().reports().at(0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Part 1: pkey_alloc until exhaustion (real guest run)\n");
+  std::printf("  SealPK flavour:    %llu usable keys (paper: 1024 incl. "
+              "the default key)\n",
+              static_cast<unsigned long long>(
+                  alloc_to_failure(core::IsaFlavor::kSealPk)));
+  std::printf("  Intel-MPK flavour: %llu usable keys (paper: 16 incl. the "
+              "default key)\n\n",
+              static_cast<unsigned long long>(
+                  alloc_to_failure(core::IsaFlavor::kIntelMpkCompat)));
+
+  std::printf(
+      "Part 2: avg modelled cycles per domain permission update under a\n"
+      "uniform working set of D domains (4 pages each, 20k uses),\n"
+      "libmpk-style virtualisation over each flavour's physical keys\n\n");
+  std::printf("%10s %22s %22s %12s\n", "domains", "MPK+virt (cyc/use)",
+              "SealPK+virt (cyc/use)", "MPK evict%");
+  const core::TimingModel timing;
+  for (const u64 domains : {8u, 15u, 16u, 32u, 64u, 256u, 1023u, 1024u,
+                            2048u, 4096u}) {
+    mpk::KeyVirtualizer mpk_virt(15, timing);
+    mpk::KeyVirtualizer sealpk_virt(1023, timing);
+    for (u64 d = 0; d < domains; ++d) {
+      mpk_virt.create_domain(4);
+      sealpk_virt.create_domain(4);
+    }
+    Rng rng(domains * 7919 + 1);
+    constexpr u64 kUses = 20'000;
+    for (u64 i = 0; i < kUses; ++i) {
+      const u64 d = rng.below(domains);
+      mpk_virt.use(d);
+      sealpk_virt.use(d);
+    }
+    const double mpk_avg =
+        static_cast<double>(mpk_virt.stats().cycles) / kUses;
+    const double sealpk_avg =
+        static_cast<double>(sealpk_virt.stats().cycles) / kUses;
+    const double evict_pct =
+        100.0 * static_cast<double>(mpk_virt.stats().evictions) / kUses;
+    std::printf("%10llu %22.1f %22.1f %11.1f%%\n",
+                static_cast<unsigned long long>(domains), mpk_avg,
+                sealpk_avg, evict_pct);
+  }
+  std::printf(
+      "\nShape: Intel MPK + virtualisation falls off a cliff past 15 live\n"
+      "domains (every miss re-keys two domains' pages); SealPK stays at\n"
+      "native cost until 1023 and only then pays the same virtualisation\n"
+      "tax — the paper's 64x headroom claim.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// pkey use-after-free lifecycle (paper §II-A vs §III-B.1): the same
+// alloc -> assign -> free -> realloc sequence on both flavours, reporting
+// (a) the semantic outcome — does the recycled key alias the orphan pages?
+// — and (b) the cycle cost of each lifecycle step, showing that lazy
+// de-allocation costs nothing extra on the fast path.
+#include <cstdio>
+
+#include "runtime/guest.h"
+#include "sim/machine.h"
+
+using namespace sealpk;
+using namespace sealpk::isa;
+
+namespace {
+
+struct LifecycleResult {
+  u64 first_key = 0;
+  u64 second_key = 0;
+  u64 orphan_page_key = 0;
+  bool aliased = false;
+  u64 alloc_cycles = 0, free_cycles = 0, realloc_cycles = 0;
+};
+
+// Reads the cycle CSR around each syscall to attribute costs in-guest.
+LifecycleResult run_flavour(core::IsaFlavor flavor) {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& f = prog.add_function("main");
+  auto stamp = [&](u8 dest) {
+    f.emit(Inst{.op = Op::kCsrrs, .rd = dest, .rs1 = 0, .csr = 0xC00});
+  };
+  // victim = mmap(page)
+  f.li(a0, 0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kMmap);
+  f.mv(s1, a0);
+  rt::syscall(f, os::sys::kReport);  // [0] victim address
+  // key1 = pkey_alloc()
+  stamp(s2);
+  f.li(a0, 0);
+  f.li(a1, 0);
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.mv(s3, a0);
+  stamp(s4);
+  f.sub(s4, s4, s2);
+  f.mv(a0, s3);
+  rt::syscall(f, os::sys::kReport);  // [1] first key
+  f.mv(a0, s4);
+  rt::syscall(f, os::sys::kReport);  // [2] alloc cycles
+  // pkey_mprotect(victim, key1)
+  f.mv(a0, s1);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  f.mv(a3, s3);
+  rt::syscall(f, os::sys::kPkeyMprotect);
+  // pkey_free(key1)
+  stamp(s2);
+  f.mv(a0, s3);
+  rt::syscall(f, os::sys::kPkeyFree);
+  stamp(s4);
+  f.sub(s4, s4, s2);
+  f.mv(a0, s4);
+  rt::syscall(f, os::sys::kReport);  // [3] free cycles
+  // key2 = pkey_alloc()
+  stamp(s2);
+  f.li(a0, 0);
+  f.li(a1, 0);
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.mv(s5, a0);
+  stamp(s4);
+  f.sub(s4, s4, s2);
+  f.mv(a0, s5);
+  rt::syscall(f, os::sys::kReport);  // [4] second key
+  f.mv(a0, s4);
+  rt::syscall(f, os::sys::kReport);  // [5] realloc cycles
+  f.li(a0, 0);
+  f.ret();
+
+  sim::MachineConfig cfg;
+  cfg.hart.flavor = flavor;
+  sim::Machine machine(cfg);
+  const int pid = machine.load(prog.link());
+  machine.run();
+  const auto& r = machine.kernel().reports();
+  LifecycleResult result;
+  result.first_key = r.at(1);
+  result.alloc_cycles = r.at(2);
+  result.free_cycles = r.at(3);
+  result.second_key = r.at(4);
+  result.realloc_cycles = r.at(5);
+  result.orphan_page_key =
+      machine.kernel().process(pid).aspace->page_pkey(r.at(0)).value_or(0);
+  result.aliased = result.second_key == result.orphan_page_key;
+  return result;
+}
+
+void print_result(const char* name, const LifecycleResult& r,
+                  const char* verdict) {
+  std::printf("%-18s first=%llu  free: %llu cyc  realloc->%llu  "
+              "orphan page still keyed %llu  => %s\n",
+              name, static_cast<unsigned long long>(r.first_key),
+              static_cast<unsigned long long>(r.free_cycles),
+              static_cast<unsigned long long>(r.second_key),
+              static_cast<unsigned long long>(r.orphan_page_key), verdict);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("pkey use-after-free lifecycle: alloc -> pkey_mprotect -> "
+              "free -> alloc\n\n");
+  const auto mpk = run_flavour(core::IsaFlavor::kIntelMpkCompat);
+  const auto sealpk = run_flavour(core::IsaFlavor::kSealPk);
+  print_result("Intel MPK", mpk,
+               mpk.aliased ? "USE-AFTER-FREE (key aliased!)" : "ok?");
+  print_result("SealPK (lazy)", sealpk,
+               sealpk.aliased ? "ALIASED (bug!)" : "quarantined, no alias");
+  std::printf("\nCosts (simulated cycles): alloc %llu vs %llu, free %llu "
+              "vs %llu, realloc %llu vs %llu (MPK vs SealPK)\n",
+              static_cast<unsigned long long>(mpk.alloc_cycles),
+              static_cast<unsigned long long>(sealpk.alloc_cycles),
+              static_cast<unsigned long long>(mpk.free_cycles),
+              static_cast<unsigned long long>(sealpk.free_cycles),
+              static_cast<unsigned long long>(mpk.realloc_cycles),
+              static_cast<unsigned long long>(sealpk.realloc_cycles));
+  std::printf("Lazy de-allocation closes the hole at identical fast-path "
+              "cost: the quarantine work is O(1) bitmap updates "
+              "(paper §III-B.1).\n");
+  return mpk.aliased && !sealpk.aliased ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+// The paper's §V-B case study as a demo: an isolated shadow stack defeats
+// a return-oriented-programming attack, and the SealPK version costs a
+// fraction of the mprotect version.
+//
+// The guest program has a vulnerable function that overwrites its saved
+// return address with a gadget's address (the classic stack smash). We run
+// it four ways: uninstrumented (the attack lands), with an unprotected
+// shadow stack (caught), with the SealPK-RD+WR isolated shadow stack
+// (caught, and the shadow stack itself is tamper-proof), and we measure
+// the overhead of SealPK vs. mprotect isolation on a recursive workload.
+#include <cstdio>
+
+#include "passes/shadow_stack.h"
+#include "runtime/guest.h"
+#include "sim/machine.h"
+
+using namespace sealpk;
+using namespace sealpk::isa;
+
+namespace {
+
+Program make_vulnerable_program() {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& f = prog.add_function("main");
+  f.addi(sp, sp, -16);
+  f.sd(ra, 0, sp);
+  f.call("handle_request");
+  f.ld(ra, 0, sp);
+  f.addi(sp, sp, 16);
+  f.li(a0, 0);  // normal exit
+  f.ret();
+
+  // A request handler with a "buffer overflow": the attacker-controlled
+  // write clobbers the saved return address on the stack.
+  Function& v = prog.add_function("handle_request");
+  v.addi(sp, sp, -32);
+  v.sd(ra, 24, sp);
+  v.la(t0, "gadget");  // attacker payload: &gadget
+  v.sd(t0, 24, sp);    // the overflowing write
+  v.ld(ra, 24, sp);
+  v.addi(sp, sp, 32);
+  v.ret();
+
+  Function& g = prog.add_function("gadget");
+  g.instrumentable = false;
+  g.li(a0, 666);  // "attacker owns the process"
+  rt::emit_exit(g);
+  return prog;
+}
+
+i64 run_attack(passes::ShadowStackKind kind) {
+  Program prog = make_vulnerable_program();
+  passes::ShadowStackOptions opts;
+  opts.kind = kind;
+  passes::apply_shadow_stack(prog, opts);
+  sim::Machine machine{sim::MachineConfig{}};
+  const int pid = machine.load(prog.link());
+  machine.run();
+  return machine.exit_code(pid);
+}
+
+// Recursive workload for the overhead comparison.
+Program make_fib(i64 n) {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& m = prog.add_function("main");
+  m.addi(sp, sp, -16);
+  m.sd(ra, 0, sp);
+  m.li(a0, n);
+  m.call("fib");
+  m.ld(ra, 0, sp);
+  m.addi(sp, sp, 16);
+  m.li(a0, 0);
+  m.ret();
+  Function& f = prog.add_function("fib");
+  const Label base = f.new_label();
+  f.li(t0, 2);
+  f.blt(a0, t0, base);
+  f.addi(sp, sp, -32);
+  f.sd(ra, 0, sp);
+  f.sd(s0, 8, sp);
+  f.sd(s1, 16, sp);
+  f.mv(s0, a0);
+  f.addi(a0, s0, -1);
+  f.call("fib");
+  f.mv(s1, a0);
+  f.addi(a0, s0, -2);
+  f.call("fib");
+  f.add(a0, a0, s1);
+  f.ld(ra, 0, sp);
+  f.ld(s0, 8, sp);
+  f.ld(s1, 16, sp);
+  f.addi(sp, sp, 32);
+  f.bind(base);
+  f.ret();
+  return prog;
+}
+
+u64 fib_cycles(passes::ShadowStackKind kind) {
+  Program prog = make_fib(18);
+  passes::ShadowStackOptions opts;
+  opts.kind = kind;
+  passes::apply_shadow_stack(prog, opts);
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  return machine.run().cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Isolated shadow stack vs. a ROP attack (paper §V-B)\n\n");
+  const i64 bare = run_attack(passes::ShadowStackKind::kNone);
+  const i64 func = run_attack(passes::ShadowStackKind::kFunc);
+  const i64 sealpk = run_attack(passes::ShadowStackKind::kSealPkRdWr);
+  auto verdict = [](i64 code) {
+    return code == 666  ? "ATTACK SUCCEEDED (gadget ran)"
+           : code == 139 ? "attack caught (shadow-stack mismatch abort)"
+                         : "unexpected";
+  };
+  std::printf("  no shadow stack:              %s\n", verdict(bare));
+  std::printf("  unprotected shadow stack:     %s\n", verdict(func));
+  std::printf("  SealPK isolated shadow stack: %s\n\n", verdict(sealpk));
+
+  const u64 base = fib_cycles(passes::ShadowStackKind::kNone);
+  const u64 rdwr = fib_cycles(passes::ShadowStackKind::kSealPkRdWr);
+  const u64 mprot = fib_cycles(passes::ShadowStackKind::kMprotect);
+  std::printf("Overhead on fib(18) (a pathological all-calls "
+              "microbenchmark;\nrealistic workloads sit at 2-100%% — see "
+              "bench_fig5_shadowstack):\n");
+  std::printf("  SealPK-RD+WR : %6.2f%%\n",
+              100.0 * (static_cast<double>(rdwr) - base) / base);
+  std::printf("  mprotect     : %6.2f%%  (%.0fx more expensive)\n",
+              100.0 * (static_cast<double>(mprot) - base) / base,
+              static_cast<double>(mprot - base) /
+                  static_cast<double>(rdwr - base));
+  return (bare == 666 && func == 139 && sealpk == 139) ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+// Write-only domains (paper §III-A): "our design enables a write-only
+// page ... specifically useful for log entries, where one thread is
+// responsible for writing the log and another thread processes the
+// written log."
+//
+// A producer thread appends to a log it can only WRITE (it provably cannot
+// read back its own entries), while the consumer thread — with its own
+// per-thread PKR view of the same key — reads them. Impossible with bare
+// RISC-V PTE permissions (W-without-R is reserved) and with Intel MPK's
+// (AD, WD) encoding.
+#include <cstdio>
+
+#include "runtime/guest.h"
+#include "sim/machine.h"
+
+using namespace sealpk;
+using namespace sealpk::isa;
+
+namespace {
+
+constexpr i64 kEntries = 16;
+
+Program build() {
+  Program prog;
+  rt::add_crt0(prog);
+  rt::add_pkey_lib(prog);
+  prog.add_zero("log_ptr", 8);
+  prog.add_zero("produced", 8);
+
+  Function& f = prog.add_function("main");
+  f.addi(sp, sp, -16);
+  f.sd(ra, 0, sp);
+  // log = mmap(page, RW); keyed write-only for this (producer) thread.
+  f.li(a0, 0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kMmap);
+  f.mv(s0, a0);
+  f.la(t0, "log_ptr");
+  f.sd(a0, 0, t0);
+  f.li(a0, 0);
+  f.li(a1, static_cast<i64>(os::pkeyperm::kWriteOnly));
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.mv(s1, a0);
+  f.mv(a0, s0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  f.mv(a3, s1);
+  rt::syscall(f, os::sys::kPkeyMprotect);
+  // Spawn the consumer; it inherits this PKR (write-only view) and flips
+  // ITS OWN view to read-only — per-thread PKR (§III-B.2).
+  f.li(a0, 0);
+  f.li(a1, 16384);
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kMmap);
+  f.li(t0, 16384);
+  f.add(a1, a0, t0);
+  f.la(a0, "consumer");
+  f.mv(a2, s1);  // pass the pkey
+  rt::syscall(f, os::sys::kClone);
+  // Produce entries: value of entry i is i * 0x101.
+  const Label produce = f.new_label(), wait = f.new_label(),
+              done = f.new_label();
+  f.li(s2, 0);
+  f.bind(produce);
+  f.li(t0, kEntries);
+  f.bgeu(s2, t0, wait);
+  f.li(t1, 0x101);
+  f.mul(t1, t1, s2);
+  f.slli(t2, s2, 3);
+  f.add(t2, s0, t2);
+  f.sd(t1, 0, t2);  // append: allowed, the domain is write-only
+  f.addi(s2, s2, 1);
+  f.la(t0, "produced");
+  f.sd(s2, 0, t0);
+  rt::syscall(f, os::sys::kSchedYield);
+  f.j(produce);
+  f.bind(wait);
+  // Prove the producer CANNOT read its own log: __pkey_get shows the
+  // write-only view; an actual read would kill the process (the consumer
+  // demonstrates reads instead).
+  f.mv(a0, s1);
+  f.call("__pkey_get");
+  rt::syscall(f, os::sys::kReport);  // [first] producer's view (expect 2)
+  // Wait for the consumer's checksum (it reports it), then exit.
+  f.bind(done);
+  rt::syscall(f, os::sys::kSchedYield);
+  f.la(t0, "produced");
+  f.ld(t1, 0, t0);
+  f.li(t2, kEntries + 1);  // consumer bumps it past kEntries when done
+  f.bne(t1, t2, done);
+  f.ld(ra, 0, sp);
+  f.addi(sp, sp, 16);
+  f.li(a0, 0);
+  f.ret();
+
+  Function& c = prog.add_function("consumer");
+  c.instrumentable = false;
+  c.mv(s1, a0);  // the pkey arrives in a0
+  // Flip THIS thread's view of the domain to read-only.
+  c.mv(a0, s1);
+  c.li(a1, static_cast<i64>(os::pkeyperm::kReadOnly));
+  c.call("__pkey_set");
+  c.mv(a0, s1);
+  c.call("__pkey_get");
+  rt::syscall(c, os::sys::kReport);  // consumer's view (expect 1)
+  // Wait for all entries, then checksum them via reads.
+  const Label poll = c.new_label(), sum = c.new_label(),
+              sum_done = c.new_label(), spin = c.new_label();
+  c.bind(poll);
+  rt::syscall(c, os::sys::kSchedYield);
+  c.la(t0, "produced");
+  c.ld(t1, 0, t0);
+  c.li(t2, kEntries);
+  c.bne(t1, t2, poll);
+  c.la(t3, "log_ptr");
+  c.ld(t3, 0, t3);
+  c.li(t4, 0);  // index
+  c.li(t5, 0);  // checksum
+  c.bind(sum);
+  c.li(t2, kEntries);
+  c.bgeu(t4, t2, sum_done);
+  c.slli(t6, t4, 3);
+  c.add(t6, t3, t6);
+  c.ld(t6, 0, t6);  // read: allowed in THIS thread's view
+  c.add(t5, t5, t6);
+  c.addi(t4, t4, 1);
+  c.j(sum);
+  c.bind(sum_done);
+  c.mv(a0, t5);
+  rt::syscall(c, os::sys::kReport);  // the checksum of what it read
+  c.la(t0, "produced");
+  c.li(t1, kEntries + 1);
+  c.sd(t1, 0, t0);  // signal main to exit
+  c.bind(spin);
+  rt::syscall(c, os::sys::kSchedYield);
+  c.j(spin);
+  return prog;
+}
+
+}  // namespace
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+  const int pid = machine.load(build().link());
+  machine.run();
+  const auto& r = machine.kernel().reports();
+  std::printf("Write-only log with a producer/consumer thread pair\n\n");
+  if (r.size() != 3 || machine.exit_code(pid) != 0) {
+    std::printf("unexpected run (reports=%zu, exit=%lld)\n", r.size(),
+                static_cast<long long>(machine.exit_code(pid)));
+    return 1;
+  }
+  u64 expected = 0;
+  for (i64 i = 0; i < kEntries; ++i) {
+    expected += static_cast<u64>(i) * 0x101;
+  }
+  // Report order: the consumer reports its view first, then its checksum
+  // once all entries landed, and the producer reports its view last.
+  std::printf("consumer's domain view: %llu (1 = read-only)\n",
+              static_cast<unsigned long long>(r[0]));
+  std::printf("consumer checksum:      %llu (expected %llu)\n",
+              static_cast<unsigned long long>(r[1]),
+              static_cast<unsigned long long>(expected));
+  std::printf("producer's domain view: %llu (2 = write-only)\n",
+              static_cast<unsigned long long>(r[2]));
+  const bool ok = r[0] == os::pkeyperm::kReadOnly &&
+                  r[1] == expected && r[2] == os::pkeyperm::kWriteOnly;
+  std::printf(ok ? "\nOne page, one key, two thread-local permission "
+                   "views: the write-only log works.\n"
+                 : "\nMISMATCH!\n");
+  return ok ? 0 : 1;
+}

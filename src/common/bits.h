@@ -1,0 +1,60 @@
+// Bit-manipulation helpers shared by the ISA, MMU and hardware-unit models.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace sealpk {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// Extracts bits [hi:lo] (inclusive, hi >= lo) of `value`, right-aligned.
+constexpr u64 bits(u64 value, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  const u64 mask = width >= 64 ? ~u64{0} : ((u64{1} << width) - 1);
+  return (value >> lo) & mask;
+}
+
+// Extracts the single bit `pos` of `value`.
+constexpr u64 bit(u64 value, unsigned pos) { return (value >> pos) & 1; }
+
+// Returns `value` with bits [hi:lo] replaced by the low bits of `field`.
+constexpr u64 deposit(u64 value, unsigned hi, unsigned lo, u64 field) {
+  const unsigned width = hi - lo + 1;
+  const u64 mask = width >= 64 ? ~u64{0} : ((u64{1} << width) - 1);
+  return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+// Sign-extends the low `width` bits of `value` to 64 bits.
+constexpr i64 sext(u64 value, unsigned width) {
+  const unsigned shift = 64 - width;
+  return static_cast<i64>(value << shift) >> shift;
+}
+
+// Zero-extends the low `width` bits of `value`.
+constexpr u64 zext(u64 value, unsigned width) {
+  return width >= 64 ? value : value & ((u64{1} << width) - 1);
+}
+
+// True if `value` fits in a `width`-bit two's-complement immediate.
+constexpr bool fits_signed(i64 value, unsigned width) {
+  const i64 lo = -(i64{1} << (width - 1));
+  const i64 hi = (i64{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr u64 align_down(u64 v, u64 align) { return v & ~(align - 1); }
+constexpr u64 align_up(u64 v, u64 align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace sealpk

@@ -1,0 +1,43 @@
+// Precondition / invariant checking. SEALPK_CHECK is always on (these models
+// are correctness-critical and the cost is negligible next to simulation).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sealpk {
+
+// Thrown on violated preconditions of the host-level API (programmer error
+// in the caller, e.g. an out-of-range register index handed to the
+// assembler). Simulated-architecture events (page faults, seal violations)
+// are *not* exceptions; they are modelled as traps.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace sealpk
+
+#define SEALPK_CHECK(expr)                                          \
+  do {                                                              \
+    if (!(expr)) ::sealpk::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SEALPK_CHECK_MSG(expr, msg)                                \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      std::ostringstream sealpk_check_os_;                         \
+      sealpk_check_os_ << msg;                                     \
+      ::sealpk::check_failed(#expr, __FILE__, __LINE__,            \
+                             sealpk_check_os_.str());              \
+    }                                                              \
+  } while (0)

@@ -1,0 +1,10 @@
+// Anchor translation unit for the repro_common static library.
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sealpk {
+static_assert(bits(0xF0, 7, 4) == 0xF);
+static_assert(sext(0x80, 8) == -128);
+static_assert(deposit(0, 9, 2, 0xFF) == 0x3FC);
+}  // namespace sealpk

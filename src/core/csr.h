@@ -1,0 +1,100 @@
+// Supervisor-level CSR file (the subset the SealPK machine model needs),
+// plus the custom SealPK CSRs.
+#pragma once
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace sealpk::core {
+
+namespace csr {
+// Standard S-mode CSRs.
+constexpr u16 kSstatus = 0x100;
+constexpr u16 kStvec = 0x105;
+constexpr u16 kSscratch = 0x140;
+constexpr u16 kSepc = 0x141;
+constexpr u16 kScause = 0x142;
+constexpr u16 kStval = 0x143;
+constexpr u16 kSatp = 0x180;
+// User counters.
+constexpr u16 kCycle = 0xC00;
+constexpr u16 kTime = 0xC01;
+constexpr u16 kInstret = 0xC02;
+// Custom SealPK CSRs (S-mode read/write range 0x5C0-0x5FF).
+// spkinfo: bit 63 = "last data page fault was a pkey denial", bits 9:0 =
+// the faulting pkey. Lets the kernel augment SIGSEGV with the pkey
+// (paper §III-B.2).
+constexpr u16 kSpkInfo = 0x5C0;
+// Staged permissible-range latches written by seal.start / seal.end in
+// U-mode (or spk.range in S-mode), consumed by spk.seal.
+constexpr u16 kSealStart = 0x5C1;
+constexpr u16 kSealEnd = 0x5C2;
+
+// sstatus fields.
+constexpr u64 kSstatusSpp = u64{1} << 8;
+constexpr u64 kSstatusSum = u64{1} << 18;
+
+// satp fields.
+constexpr u64 kSatpModeSv39 = u64{8} << 60;
+constexpr u64 kSatpModeSv48 = u64{9} << 60;
+constexpr u64 satp_ppn(u64 satp) { return bits(satp, 43, 0); }
+constexpr u64 satp_mode(u64 satp) { return bits(satp, 63, 60); }
+}  // namespace csr
+
+class CsrFile {
+ public:
+  u64 sstatus = 0;
+  u64 stvec = 0;
+  u64 sscratch = 0;
+  u64 sepc = 0;
+  u64 scause = 0;
+  u64 stval = 0;
+  u64 satp = 0;
+  u64 spkinfo = 0;
+  u64 seal_start = 0;
+  u64 seal_end = 0;
+
+  // Returns false for an unimplemented CSR (caller raises illegal-inst).
+  bool read(u16 addr, u64 cycle, u64 instret, u64* out) const {
+    switch (addr) {
+      case csr::kSstatus: *out = sstatus; return true;
+      case csr::kStvec: *out = stvec; return true;
+      case csr::kSscratch: *out = sscratch; return true;
+      case csr::kSepc: *out = sepc; return true;
+      case csr::kScause: *out = scause; return true;
+      case csr::kStval: *out = stval; return true;
+      case csr::kSatp: *out = satp; return true;
+      case csr::kSpkInfo: *out = spkinfo; return true;
+      case csr::kSealStart: *out = seal_start; return true;
+      case csr::kSealEnd: *out = seal_end; return true;
+      case csr::kCycle:
+      case csr::kTime: *out = cycle; return true;
+      case csr::kInstret: *out = instret; return true;
+      default: return false;
+    }
+  }
+
+  bool write(u16 addr, u64 value) {
+    switch (addr) {
+      case csr::kSstatus: sstatus = value; return true;
+      case csr::kStvec: stvec = value; return true;
+      case csr::kSscratch: sscratch = value; return true;
+      case csr::kSepc: sepc = value; return true;
+      case csr::kScause: scause = value; return true;
+      case csr::kStval: stval = value; return true;
+      case csr::kSatp: satp = value; return true;
+      case csr::kSpkInfo: spkinfo = value; return true;
+      case csr::kSealStart: seal_start = value; return true;
+      case csr::kSealEnd: seal_end = value; return true;
+      default: return false;  // counters are read-only
+    }
+  }
+
+  // True if `addr` is accessible from U-mode (read-only counters only).
+  static bool user_readable(u16 addr) {
+    return addr == csr::kCycle || addr == csr::kTime ||
+           addr == csr::kInstret;
+  }
+};
+
+}  // namespace sealpk::core

@@ -1,0 +1,155 @@
+// The simulated hart: an RV64IM in-order core (Rocket-class) with Sv39
+// translation, split TLBs, U/S privilege, trap machinery, and the SealPK
+// units (PKR + SealReg/PK-CAM) attached via a RoCC-style custom-instruction
+// path. A second ISA flavour models an Intel-MPK-like design (4-bit PTE
+// keys + the PKRU register) on the same pipeline for the paper's
+// comparisons.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+
+#include "core/csr.h"
+#include "core/timing.h"
+#include "core/trap.h"
+#include "hw/pkr.h"
+#include "hw/pkru.h"
+#include "hw/seal_unit.h"
+#include "isa/inst.h"
+#include "mem/phys_mem.h"
+#include "mem/tlb.h"
+#include "mem/walker.h"
+
+namespace sealpk::core {
+
+enum class IsaFlavor : u8 {
+  kSealPk,          // 10-bit PTE pkeys, PKR, sealing units
+  kIntelMpkCompat,  // 4-bit PTE pkeys, PKRU, WRPKRU/RDPKRU, no sealing
+};
+
+enum class Priv : u8 { kUser = 0, kSupervisor = 1 };
+
+struct HartConfig {
+  IsaFlavor flavor = IsaFlavor::kSealPk;
+  size_t dtlb_entries = 32;
+  size_t itlb_entries = 32;
+  TimingModel timing;
+};
+
+enum class StepKind : u8 { kOk, kTrap };
+
+struct StepResult {
+  StepKind kind = StepKind::kOk;
+  TrapCause cause = TrapCause::kIllegalInst;  // valid when kind == kTrap
+};
+
+struct HartStats {
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 calls = 0;  // jal/jalr writing ra — the shadow-stack event rate
+  u64 traps = 0;
+  u64 pkey_denials = 0;  // data accesses denied by the pkey (not the PTE)
+  u64 wrpkr_count = 0;
+  u64 rdpkr_count = 0;
+  u64 wrpkru_count = 0;
+};
+
+class Hart {
+ public:
+  explicit Hart(mem::PhysMem& mem, const HartConfig& config = {});
+
+  // --- architectural state -------------------------------------------------
+  u64 reg(unsigned idx) const;
+  void set_reg(unsigned idx, u64 value);
+  u64 pc() const { return pc_; }
+  void set_pc(u64 pc) { pc_ = pc; }
+  Priv priv() const { return priv_; }
+  void set_priv(Priv priv) { priv_ = priv; }
+
+  CsrFile& csrs() { return csrs_; }
+  const CsrFile& csrs() const { return csrs_; }
+  hw::Pkr& pkr() { return pkr_; }
+  hw::SealUnit& seal_unit() { return seal_unit_; }
+  hw::Pkru& pkru() { return pkru_; }
+  mem::Tlb& dtlb() { return dtlb_; }
+  mem::Tlb& itlb() { return itlb_; }
+  mem::PhysMem& mem() { return mem_; }
+  const HartConfig& config() const { return config_; }
+  const TimingModel& timing() const { return config_.timing; }
+
+  // --- execution -------------------------------------------------------------
+  // Executes one instruction; on an exception the hart has already
+  // redirected to stvec in S-mode with scause/sepc/stval set.
+  StepResult step();
+
+  // Runs until a trap is taken or `max_steps` instructions retire.
+  // Returns the trap if one occurred.
+  std::optional<StepResult> run(u64 max_steps);
+
+  // The OS model charges its software-path costs here.
+  void add_cycles(u64 cycles) { cycles_ += cycles; }
+  u64 cycles() const { return cycles_; }
+  u64 instret() const { return instret_; }
+  const HartStats& stats() const { return stats_; }
+
+  // Flushes both TLBs (the kernel's sfence.vma after PTE updates).
+  void flush_tlbs();
+
+  // Optional per-instruction trace hook: invoked after a successful fetch +
+  // decode, before execution, with the current privilege, PC and the
+  // decoded instruction. Zero cost when unset. Used by the trace tooling
+  // and by tests that assert on executed instruction streams.
+  using TraceHook = std::function<void(Priv priv, u64 pc, const isa::Inst&)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  // Translation without architectural side effects (no TLB, no A/D update,
+  // no fault) — the kernel's copy_{to,from}_user path.
+  std::optional<u64> translate_debug(u64 vaddr, mem::Access access) const;
+
+ private:
+  struct MemOutcome {
+    bool ok = false;
+    u64 paddr = 0;
+    TrapCause cause = TrapCause::kLoadPageFault;
+    u64 tval = 0;
+  };
+
+  // 0 = no translation (S-mode or bare); 3 = Sv39; 4 = Sv48.
+  unsigned paging_levels() const;
+  unsigned pkey_bits() const;
+  void raise(TrapCause cause, u64 tval);
+  MemOutcome translate_fetch(u64 vaddr);
+  MemOutcome translate_data(u64 vaddr, mem::Access access);
+  bool data_access_allowed(const mem::TlbEntry& entry, mem::Access access,
+                           bool* pkey_denied);
+
+  bool fetch(u32* word);
+  bool mem_load(u64 vaddr, unsigned size, bool sign_extend, u64* value);
+  bool mem_store(u64 vaddr, unsigned size, u64 value);
+  bool exec(const isa::Inst& inst);         // returns false if trapped
+  bool exec_custom(const isa::Inst& inst);  // custom-0 extension
+  bool exec_system(const isa::Inst& inst);
+  bool exec_csr(const isa::Inst& inst);
+
+  mem::PhysMem& mem_;
+  HartConfig config_;
+  std::array<u64, 32> regs_{};
+  u64 pc_ = 0;
+  Priv priv_ = Priv::kSupervisor;
+  CsrFile csrs_;
+  hw::Pkr pkr_;
+  hw::SealUnit seal_unit_;
+  hw::Pkru pkru_;
+  mem::Tlb dtlb_;
+  mem::Tlb itlb_;
+  u64 cycles_ = 0;
+  u64 instret_ = 0;
+  HartStats stats_;
+  TraceHook trace_hook_;
+  bool trapped_ = false;      // set by raise() during the current step
+  TrapCause trap_cause_ = TrapCause::kIllegalInst;
+  u64 next_pc_ = 0;
+};
+
+}  // namespace sealpk::core

@@ -1,0 +1,31 @@
+// Architectural trap causes: the standard RISC-V exception codes plus the
+// two SealPK custom causes (>= 24, the range the privileged spec designates
+// for custom use).
+#pragma once
+
+#include "common/bits.h"
+
+namespace sealpk::core {
+
+enum class TrapCause : u64 {
+  kInstAddrMisaligned = 0,
+  kInstAccessFault = 1,
+  kIllegalInst = 2,
+  kBreakpoint = 3,
+  kLoadAddrMisaligned = 4,
+  kLoadAccessFault = 5,
+  kStoreAddrMisaligned = 6,
+  kStoreAccessFault = 7,
+  kEcallFromU = 8,
+  kEcallFromS = 9,
+  kInstPageFault = 12,
+  kLoadPageFault = 13,
+  kStorePageFault = 15,
+  // SealPK custom causes.
+  kSealViolation = 24,  // WRPKR on a sealed pkey with PC outside the range
+  kPkCamMiss = 25,      // WRPKR on a sealed pkey whose range is not cached
+};
+
+const char* trap_cause_name(TrapCause cause);
+
+}  // namespace sealpk::core

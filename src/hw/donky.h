@@ -1,0 +1,88 @@
+// Donky-style key register model (paper §VI, related work).
+//
+// Donky (Schrammel et al., USENIX Security'20) stores the permissions of
+// only FOUR pkeys at a time in a 64-bit CSR managed by a user-space
+// library; an access whose key is not loaded traps to the library, which
+// reloads the CSR. The paper's §VI argument against this design: "Donky
+// requires extra cycles for the software library ... to load the missing
+// pkey and its permission into the register. In our design, we access PKR
+// in the same cycle as page-table permission checks."
+//
+// This unit-level model quantifies that argument in bench_ablation: the
+// per-access cost of the 4-slot CSR vs. SealPK's 1024-entry PKR as the
+// live-domain working set grows.
+#pragma once
+
+#include <array>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace sealpk::hw {
+
+constexpr unsigned kDonkySlots = 4;
+
+struct DonkyStats {
+  u64 lookups = 0;
+  u64 hits = 0;
+  u64 reloads = 0;
+};
+
+class DonkyKeyCsr {
+ public:
+  // Returns true and fills *perm on a hit; false means the software
+  // library must reload() before the access can be checked.
+  bool lookup(u32 pkey, u8* perm) {
+    ++stats_.lookups;
+    for (unsigned i = 0; i < kDonkySlots; ++i) {
+      if (slots_[i].valid && slots_[i].pkey == pkey) {
+        ++stats_.hits;
+        touch(i);
+        *perm = slots_[i].perm;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // The user-space handler's CSR update: replaces the LRU slot.
+  void reload(u32 pkey, u8 perm) {
+    SEALPK_CHECK(perm < 4);
+    ++stats_.reloads;
+    unsigned victim = 0;
+    u64 oldest = ~u64{0};
+    for (unsigned i = 0; i < kDonkySlots; ++i) {
+      if (!slots_[i].valid) {
+        victim = i;
+        break;
+      }
+      if (slots_[i].last_use < oldest) {
+        oldest = slots_[i].last_use;
+        victim = i;
+      }
+    }
+    slots_[victim] = {pkey, perm, true, ++clock_};
+  }
+
+  const DonkyStats& stats() const { return stats_; }
+  void reset() {
+    for (auto& s : slots_) s.valid = false;
+    stats_ = {};
+  }
+
+ private:
+  struct Slot {
+    u32 pkey = 0;
+    u8 perm = 0;
+    bool valid = false;
+    u64 last_use = 0;
+  };
+
+  void touch(unsigned idx) { slots_[idx].last_use = ++clock_; }
+
+  std::array<Slot, kDonkySlots> slots_{};
+  u64 clock_ = 0;
+  DonkyStats stats_;
+};
+
+}  // namespace sealpk::hw

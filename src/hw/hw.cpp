@@ -1,0 +1,10 @@
+// Anchor translation unit for the repro_hw static library.
+#include "hw/pkr.h"
+#include "hw/pkru.h"
+#include "hw/seal_unit.h"
+
+namespace sealpk::hw {
+static_assert(kNumPkeys == kPkrRows * kKeysPerRow);
+static_assert(pkr_row_of(0x3C1) == 0x1E);  // Figure 2's pkey 1111000001
+static_assert(pkr_slot_of(0x3C1) == 0x01);
+}  // namespace sealpk::hw

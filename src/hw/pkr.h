@@ -1,0 +1,106 @@
+// PKR — the protection-key rights memory (paper §III-A).
+//
+// A 2 Kb on-chip SRAM of 32 rows x 64 bits; each row holds the 2-bit
+// permissions of 32 pkeys, so 1024 keys total. A pkey's upper 5 bits index
+// the row, its lower 5 bits select the 2-bit field. Each field is
+// (Read-Disable, Write-Disable); 00 grants everything the PTE grants and,
+// because the two disables are independent, (RD=1, WD=0) yields a
+// *write-only* domain — impossible with bare RISC-V PTE permissions.
+#pragma once
+
+#include <array>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace sealpk::hw {
+
+constexpr unsigned kNumPkeys = 1024;
+constexpr unsigned kPkrRows = 32;
+constexpr unsigned kKeysPerRow = 32;
+
+// 2-bit pkey permission field values. Bit 1 = Read-Disable, bit 0 =
+// Write-Disable (matching Figure 2's (RD, WD) ordering).
+enum PkeyPerm : u8 {
+  kPermRw = 0b00,        // no restriction beyond the PTE
+  kPermReadOnly = 0b01,  // WD: write disabled
+  kPermWriteOnly = 0b10, // RD: read disabled
+  kPermNone = 0b11,      // no access
+};
+
+constexpr u32 pkr_row_of(u32 pkey) { return (pkey >> 5) & 0x1F; }
+constexpr u32 pkr_slot_of(u32 pkey) { return pkey & 0x1F; }
+
+struct PkrStats {
+  u64 row_reads = 0;
+  u64 row_writes = 0;
+  u64 perm_lookups = 0;
+};
+
+class Pkr {
+ public:
+  using Snapshot = std::array<u64, kPkrRows>;
+
+  // Architectural port: RDPKR reads one 64-bit row.
+  u64 read_row(u32 row) {
+    SEALPK_CHECK(row < kPkrRows);
+    ++stats_.row_reads;
+    return rows_[row];
+  }
+
+  // Architectural port: WRPKR overwrites one 64-bit row.
+  void write_row(u32 row, u64 value) {
+    SEALPK_CHECK(row < kPkrRows);
+    ++stats_.row_writes;
+    rows_[row] = value;
+  }
+
+  u64 peek_row(u32 row) const {
+    SEALPK_CHECK(row < kPkrRows);
+    return rows_[row];
+  }
+
+  // Control-logic port: the 2-bit permission of one pkey, read during the
+  // effective-permission check on every data access.
+  u8 perm_of(u32 pkey) {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    ++stats_.perm_lookups;
+    return static_cast<u8>(
+        bits(rows_[pkr_row_of(pkey)], 2 * pkr_slot_of(pkey) + 1,
+             2 * pkr_slot_of(pkey)));
+  }
+
+  u8 peek_perm(u32 pkey) const {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    return static_cast<u8>(
+        bits(rows_[pkr_row_of(pkey)], 2 * pkr_slot_of(pkey) + 1,
+             2 * pkr_slot_of(pkey)));
+  }
+
+  // Kernel-path helper: set a single key's 2-bit field (used by pkey_alloc
+  // / pkey_free, which run in supervisor mode and own the whole structure).
+  void set_perm(u32 pkey, u8 perm) {
+    SEALPK_CHECK(pkey < kNumPkeys && perm < 4);
+    const u32 row = pkr_row_of(pkey);
+    rows_[row] = deposit(rows_[row], 2 * pkr_slot_of(pkey) + 1,
+                         2 * pkr_slot_of(pkey), perm);
+  }
+
+  bool read_disabled(u32 pkey) { return (perm_of(pkey) & 0b10) != 0; }
+  bool write_disabled(u32 pkey) { return (perm_of(pkey) & 0b01) != 0; }
+
+  // Context-switch support (§III-B.2): the kernel saves/restores all 32
+  // rows per thread.
+  Snapshot save() const { return rows_; }
+  void restore(const Snapshot& snapshot) { rows_ = snapshot; }
+  void reset() { rows_.fill(0); }
+
+  const PkrStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  Snapshot rows_{};
+  PkrStats stats_;
+};
+
+}  // namespace sealpk::hw

@@ -1,0 +1,169 @@
+// SealReg + PK-CAM — the permission-sealing hardware (paper §IV, Fig. 4).
+//
+// SealReg tracks which pkeys have sealed permissions (a 1024-bit one-time
+// fuse map). PK-CAM is a 16-entry content-addressable cache of
+// pkey -> [addr_start, addr_end] permissible ranges. Before executing a
+// WRPKR that names a sealed pkey, the pipeline consults PK-CAM:
+//   - hit and PC inside the range  -> the write proceeds;
+//   - hit and PC outside the range -> hardware exception;
+//   - miss                         -> trap to the OS to refill the CAM.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <optional>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "hw/pkr.h"
+
+namespace sealpk::hw {
+
+constexpr unsigned kPkCamEntries = 16;
+
+struct CamEntry {
+  u16 pkey = 0;
+  u64 addr_start = 0;
+  u64 addr_end = 0;  // inclusive, per Figure 4's hit condition
+};
+
+struct SealUnitStats {
+  u64 checks = 0;
+  u64 cam_hits = 0;
+  u64 cam_misses = 0;
+  u64 violations = 0;
+  u64 refills = 0;
+};
+
+enum class SealCheck : u8 {
+  kAllowed,    // pkey unsealed, or sealed with PC in range
+  kViolation,  // sealed, CAM hit, PC outside the permissible range
+  kMiss,       // sealed but range not cached: OS refill required
+};
+
+class SealUnit {
+ public:
+  bool sealed(u32 pkey) const {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    return seal_reg_[pkey];
+  }
+
+  // Supervisor commit path (spk.seal). One-time fuse: re-sealing an
+  // already-sealed key is a hardware no-op the kernel screens earlier.
+  void set_sealed(u32 pkey) {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    seal_reg_[pkey] = true;
+  }
+
+  // Evaluates Figure 4's hit condition for a WRPKR at `pc` naming `pkey`.
+  SealCheck check_wrpkr(u32 pkey, u64 pc) {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    ++stats_.checks;
+    if (!seal_reg_[pkey]) return SealCheck::kAllowed;
+    for (const auto& slot : cam_) {
+      if (slot.valid && slot.entry.pkey == pkey) {
+        ++stats_.cam_hits;
+        if (pc >= slot.entry.addr_start && pc <= slot.entry.addr_end) {
+          return SealCheck::kAllowed;
+        }
+        ++stats_.violations;
+        return SealCheck::kViolation;
+      }
+    }
+    ++stats_.cam_misses;
+    return SealCheck::kMiss;
+  }
+
+  // OS refill path (the paper handles the CAM-miss interrupt in the kernel).
+  // FIFO replacement across the 16 entries.
+  void refill(u32 pkey, u64 addr_start, u64 addr_end) {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    SEALPK_CHECK(addr_start <= addr_end);
+    ++stats_.refills;
+    for (auto& slot : cam_) {
+      if (slot.valid && slot.entry.pkey == pkey) {
+        slot.entry = {static_cast<u16>(pkey), addr_start, addr_end};
+        return;
+      }
+    }
+    cam_[fifo_next_] = {
+        {static_cast<u16>(pkey), addr_start, addr_end}, true};
+    fifo_next_ = (fifo_next_ + 1) % kPkCamEntries;
+  }
+
+  // Kernel drain path: when a freed pkey's last page disappears, its seal
+  // dissolves so a future owner of the key starts unsealed (§IV).
+  void clear_key(u32 pkey) {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    seal_reg_[pkey] = false;
+    for (auto& slot : cam_) {
+      if (slot.valid && slot.entry.pkey == pkey) slot.valid = false;
+    }
+  }
+
+  std::optional<CamEntry> cam_lookup(u32 pkey) const {
+    for (const auto& slot : cam_) {
+      if (slot.valid && slot.entry.pkey == pkey) return slot.entry;
+    }
+    return std::nullopt;
+  }
+
+  size_t cam_valid_count() const {
+    size_t n = 0;
+    for (const auto& slot : cam_)
+      if (slot.valid) ++n;
+    return n;
+  }
+
+  // Context-switch support: SealReg and PK-CAM are per-process state the
+  // kernel swaps (§IV "we modify the Linux kernel to maintain the SealReg
+  // information as well as permissible range of each pkey during context
+  // switches").
+  struct Snapshot {
+    std::bitset<kNumPkeys> seal_reg;
+    std::array<CamEntry, kPkCamEntries> cam_entries;
+    std::array<bool, kPkCamEntries> cam_valid;
+    unsigned fifo_next = 0;
+  };
+
+  Snapshot save() const {
+    Snapshot s;
+    s.seal_reg = seal_reg_;
+    for (unsigned i = 0; i < kPkCamEntries; ++i) {
+      s.cam_entries[i] = cam_[i].entry;
+      s.cam_valid[i] = cam_[i].valid;
+    }
+    s.fifo_next = fifo_next_;
+    return s;
+  }
+
+  void restore(const Snapshot& s) {
+    seal_reg_ = s.seal_reg;
+    for (unsigned i = 0; i < kPkCamEntries; ++i) {
+      cam_[i].entry = s.cam_entries[i];
+      cam_[i].valid = s.cam_valid[i];
+    }
+    fifo_next_ = s.fifo_next;
+  }
+
+  void reset() {
+    seal_reg_.reset();
+    for (auto& slot : cam_) slot.valid = false;
+    fifo_next_ = 0;
+  }
+
+  const SealUnitStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Slot {
+    CamEntry entry;
+    bool valid = false;
+  };
+  std::bitset<kNumPkeys> seal_reg_;
+  std::array<Slot, kPkCamEntries> cam_{};
+  unsigned fifo_next_ = 0;
+  SealUnitStats stats_;
+};
+
+}  // namespace sealpk::hw

@@ -1,0 +1,69 @@
+// FPGA resource-utilisation model reproducing Table I.
+//
+// We cannot place-and-route a Rocket core here, so the baseline column
+// reuses the paper's measured utilisation of the unmodified Rocket on the
+// Zedboard's XC7Z020 and the SealPK delta is estimated *structurally* from
+// the units this library actually implements (PKR, SealReg, PK-CAM, DTLB
+// pkey field, effective-permission logic, RoCC decode), using standard
+// Xilinx 7-series mappings (6-input LUTs, 64-bit SLICEM LUTRAM). Each term
+// is documented next to its formula; EXPERIMENTS.md compares against the
+// paper's measured deltas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sealpk::hwcost {
+
+// Zedboard: Zynq XC7Z020.
+struct FpgaDevice {
+  u32 luts = 53200;
+  u32 ffs = 106400;
+};
+
+struct ResourceCount {
+  u32 luts_logic = 0;
+  u32 luts_mem = 0;
+  u32 ffs = 0;
+
+  u32 total_luts() const { return luts_logic + luts_mem; }
+
+  ResourceCount operator+(const ResourceCount& other) const {
+    return {luts_logic + other.luts_logic, luts_mem + other.luts_mem,
+            ffs + other.ffs};
+  }
+};
+
+// Structural parameters of the SealPK hardware (defaults = the paper's
+// design point; the ablation bench sweeps them).
+struct SealPkHwConfig {
+  u32 pkr_rows = 32;
+  u32 keys_per_row = 32;
+  u32 cam_entries = 16;
+  u32 va_bits = 39;
+  u32 pkey_bits = 10;
+  u32 dtlb_entries = 32;
+  bool ff_based_seal_reg = true;  // 1024-bit fuse map in flip-flops
+  bool include_rocc = true;       // paper footnote 8: RoCC support included
+};
+
+// The unmodified Rocket core (16 KiB L1I/L1D) on the XC7Z020 — Table I's
+// baseline column, taken from the paper since we cannot synthesise.
+ResourceCount baseline_rocket();
+
+// Estimated cost of one SealPK component (for the per-component breakdown).
+struct ComponentCost {
+  std::string name;
+  ResourceCount cost;
+};
+
+// Structural estimate of everything SealPK adds to the core.
+std::vector<ComponentCost> sealpk_components(const SealPkHwConfig& config);
+ResourceCount sealpk_overhead(const SealPkHwConfig& config);
+
+// Formats a utilisation percentage the way Table I does.
+double utilization_pct(u32 used, u32 available);
+
+}  // namespace sealpk::hwcost

@@ -1,0 +1,68 @@
+#include <sstream>
+
+#include "isa/inst.h"
+
+namespace sealpk::isa {
+
+namespace {
+constexpr const char* kRegNames[32] = {
+    "zero", "ra", "sp", "gp", "tp",  "t0",  "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5",  "a6",  "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+}
+
+const char* reg_name(u8 reg) { return reg < 32 ? kRegNames[reg] : "?"; }
+
+std::string disassemble(const Inst& inst) {
+  if (inst.op == Op::kIllegal) return "illegal";
+  const OpInfo& oi = op_info(inst.op);
+  std::ostringstream os;
+  os << oi.name;
+  const char* rd = reg_name(inst.rd);
+  const char* rs1 = reg_name(inst.rs1);
+  const char* rs2 = reg_name(inst.rs2);
+  switch (oi.format) {
+    case Format::kR:
+      if (inst.op == Op::kSfenceVma) break;
+      os << ' ' << rd << ", " << rs1 << ", " << rs2;
+      break;
+    case Format::kI:
+      if (inst.op == Op::kLb || inst.op == Op::kLh || inst.op == Op::kLw ||
+          inst.op == Op::kLd || inst.op == Op::kLbu || inst.op == Op::kLhu ||
+          inst.op == Op::kLwu || inst.op == Op::kJalr) {
+        os << ' ' << rd << ", " << inst.imm << '(' << rs1 << ')';
+      } else {
+        os << ' ' << rd << ", " << rs1 << ", " << inst.imm;
+      }
+      break;
+    case Format::kS:
+      os << ' ' << rs2 << ", " << inst.imm << '(' << rs1 << ')';
+      break;
+    case Format::kB:
+      os << ' ' << rs1 << ", " << rs2 << ", " << inst.imm;
+      break;
+    case Format::kU:
+      os << ' ' << rd << ", 0x" << std::hex << (bits(inst.imm, 31, 12));
+      break;
+    case Format::kJ:
+      os << ' ' << rd << ", " << inst.imm;
+      break;
+    case Format::kShift64:
+    case Format::kShift32:
+      os << ' ' << rd << ", " << rs1 << ", " << inst.imm;
+      break;
+    case Format::kCsr:
+      os << ' ' << rd << ", 0x" << std::hex << inst.csr << std::dec << ", "
+         << rs1;
+      break;
+    case Format::kCsrI:
+      os << ' ' << rd << ", 0x" << std::hex << inst.csr << std::dec << ", "
+         << inst.imm;
+      break;
+    case Format::kSys:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sealpk::isa

@@ -1,0 +1,106 @@
+#include "common/check.h"
+#include "isa/inst.h"
+
+namespace sealpk::isa {
+
+namespace {
+
+u32 enc_r(const OpInfo& oi, u8 rd, u8 rs1, u8 rs2) {
+  return oi.opcode | (u32{rd} << 7) | (u32{oi.funct3} << 12) |
+         (u32{rs1} << 15) | (u32{rs2} << 20) | (u32{oi.funct7} << 25);
+}
+
+u32 enc_i(const OpInfo& oi, u8 rd, u8 rs1, i64 imm) {
+  SEALPK_CHECK_MSG(fits_signed(imm, 12), oi.name << " imm " << imm);
+  return oi.opcode | (u32{rd} << 7) | (u32{oi.funct3} << 12) |
+         (u32{rs1} << 15) | (static_cast<u32>(imm & 0xFFF) << 20);
+}
+
+u32 enc_s(const OpInfo& oi, u8 rs1, u8 rs2, i64 imm) {
+  SEALPK_CHECK_MSG(fits_signed(imm, 12), oi.name << " imm " << imm);
+  const u32 uimm = static_cast<u32>(imm & 0xFFF);
+  return oi.opcode | (bits(uimm, 4, 0) << 7) | (u32{oi.funct3} << 12) |
+         (u32{rs1} << 15) | (u32{rs2} << 20) | (bits(uimm, 11, 5) << 25);
+}
+
+u32 enc_b(const OpInfo& oi, u8 rs1, u8 rs2, i64 imm) {
+  SEALPK_CHECK_MSG(fits_signed(imm, 13) && (imm & 1) == 0,
+                   oi.name << " offset " << imm);
+  const u32 uimm = static_cast<u32>(imm & 0x1FFF);
+  return oi.opcode | (bit(uimm, 11) << 7) | (bits(uimm, 4, 1) << 8) |
+         (u32{oi.funct3} << 12) | (u32{rs1} << 15) | (u32{rs2} << 20) |
+         (bits(uimm, 10, 5) << 25) | (bit(uimm, 12) << 31);
+}
+
+u32 enc_u(const OpInfo& oi, u8 rd, i64 imm) {
+  SEALPK_CHECK_MSG((imm & 0xFFF) == 0 && fits_signed(imm, 32),
+                   oi.name << " imm " << imm);
+  return oi.opcode | (u32{rd} << 7) | static_cast<u32>(imm & 0xFFFFF000);
+}
+
+u32 enc_j(const OpInfo& oi, u8 rd, i64 imm) {
+  SEALPK_CHECK_MSG(fits_signed(imm, 21) && (imm & 1) == 0,
+                   oi.name << " offset " << imm);
+  const u32 uimm = static_cast<u32>(imm & 0x1FFFFF);
+  return oi.opcode | (u32{rd} << 7) | (bits(uimm, 19, 12) << 12) |
+         (bit(uimm, 11) << 20) | (bits(uimm, 10, 1) << 21) |
+         (bit(uimm, 20) << 31);
+}
+
+}  // namespace
+
+u32 encode(const Inst& inst) {
+  SEALPK_CHECK(inst.op != Op::kIllegal);
+  SEALPK_CHECK(inst.rd < 32 && inst.rs1 < 32 && inst.rs2 < 32);
+  const OpInfo& oi = op_info(inst.op);
+  switch (oi.format) {
+    case Format::kR:
+      return enc_r(oi, inst.rd, inst.rs1, inst.rs2);
+    case Format::kI:
+      return enc_i(oi, inst.rd, inst.rs1, inst.imm);
+    case Format::kS:
+      return enc_s(oi, inst.rs1, inst.rs2, inst.imm);
+    case Format::kB:
+      return enc_b(oi, inst.rs1, inst.rs2, inst.imm);
+    case Format::kU:
+      return enc_u(oi, inst.rd, inst.imm);
+    case Format::kJ:
+      return enc_j(oi, inst.rd, inst.imm);
+    case Format::kShift64:
+      SEALPK_CHECK(inst.imm >= 0 && inst.imm < 64);
+      return enc_r(oi, inst.rd, inst.rs1, 0) |
+             (static_cast<u32>(inst.imm) << 20);
+    case Format::kShift32:
+      SEALPK_CHECK(inst.imm >= 0 && inst.imm < 32);
+      return enc_r(oi, inst.rd, inst.rs1, 0) |
+             (static_cast<u32>(inst.imm) << 20);
+    case Format::kCsr:
+      return oi.opcode | (u32{inst.rd} << 7) | (u32{oi.funct3} << 12) |
+             (u32{inst.rs1} << 15) | (u32{inst.csr} << 20);
+    case Format::kCsrI:
+      SEALPK_CHECK(inst.imm >= 0 && inst.imm < 32);
+      return oi.opcode | (u32{inst.rd} << 7) | (u32{oi.funct3} << 12) |
+             (static_cast<u32>(inst.imm) << 15) | (u32{inst.csr} << 20);
+    case Format::kSys:
+      switch (inst.op) {
+        case Op::kFence:
+          return 0x0F | (0x0FF00000u);  // fence iorw, iorw
+        case Op::kFenceI:
+          return 0x0F | (1u << 12);
+        case Op::kEcall:
+          return 0x73;
+        case Op::kEbreak:
+          return 0x73 | (1u << 20);
+        case Op::kSret:
+          return 0x73 | (0x102u << 20);
+        case Op::kWfi:
+          return 0x73 | (0x105u << 20);
+        default:
+          SEALPK_CHECK_MSG(false, "unencodable system op");
+      }
+  }
+  SEALPK_CHECK_MSG(false, "unreachable format");
+  return 0;  // not reached
+}
+
+}  // namespace sealpk::isa

@@ -1,0 +1,24 @@
+#include "isa/op.h"
+
+#include "common/check.h"
+
+namespace sealpk::isa {
+
+namespace {
+constexpr OpInfo kOpTable[] = {
+#define SEALPK_OP_INFO(op, name, fmt, opc, f3, f7) \
+  {name, Format::fmt, opc, f3, f7},
+    SEALPK_OP_LIST(SEALPK_OP_INFO)
+#undef SEALPK_OP_INFO
+        {"illegal", Format::kSys, 0, 0, 0},
+};
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) == kNumOps);
+}  // namespace
+
+const OpInfo& op_info(Op op) {
+  const auto idx = static_cast<unsigned>(op);
+  SEALPK_CHECK(idx < kNumOps);
+  return kOpTable[idx];
+}
+
+}  // namespace sealpk::isa

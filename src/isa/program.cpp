@@ -1,0 +1,317 @@
+#include "isa/program.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace sealpk::isa {
+
+namespace {
+constexpr u64 kPageSize = 4096;
+
+u64 item_size(const Item& item) {
+  switch (item.kind) {
+    case Item::Kind::kBind:
+      return 0;
+    case Item::Kind::kLa:
+      return 8;
+    default:
+      return 4;
+  }
+}
+}  // namespace
+
+Function& Function::bind(Label l) {
+  SEALPK_CHECK_MSG(l < next_label_, "unknown label in " << name_);
+  Item item;
+  item.kind = Item::Kind::kBind;
+  item.label = l;
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+Function& Function::emit(const Inst& inst) {
+  Item item;
+  item.kind = Item::Kind::kInst;
+  item.inst = inst;
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+Function& Function::r(Op op, u8 rd, u8 rs1, u8 rs2) {
+  return emit(Inst{.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+Function& Function::i(Op op, u8 rd, u8 rs1, i64 imm) {
+  return emit(Inst{.op = op, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+
+Function& Function::store(Op op, u8 rs2, i64 off, u8 base) {
+  return emit(Inst{.op = op, .rs1 = base, .rs2 = rs2, .imm = off});
+}
+
+Function& Function::branch(Op op, u8 rs1, u8 rs2, Label l) {
+  Item item;
+  item.kind = Item::Kind::kBranch;
+  item.inst = Inst{.op = op, .rs1 = rs1, .rs2 = rs2};
+  item.label = l;
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+Function& Function::li(u8 rd, i64 imm) {
+  if (fits_signed(imm, 12)) return addi(rd, 0, imm);
+  if (fits_signed(imm, 32)) {
+    const i64 hi = sext((static_cast<u64>(imm) + 0x800) & 0xFFFFF000u, 32);
+    const i64 lo = sext(static_cast<u64>(imm), 12);
+    i(Op::kLui, rd, 0, hi);
+    if (lo != 0) addiw(rd, rd, lo);
+    return *this;
+  }
+  // 64-bit constant: materialise the upper chunk recursively, then shift in
+  // the low 12 bits (LLVM's RISCVMatInt strategy).
+  const i64 lo12 = sext(static_cast<u64>(imm), 12);
+  i64 hi52 = (imm - lo12) >> 12;
+  const unsigned tz = std::countr_zero(static_cast<u64>(hi52));
+  const unsigned shift = 12 + tz;
+  hi52 >>= tz;
+  li(rd, hi52);
+  slli(rd, rd, shift);
+  if (lo12 != 0) addi(rd, rd, lo12);
+  return *this;
+}
+
+Function& Function::la(u8 rd, std::string sym) {
+  Item item;
+  item.kind = Item::Kind::kLa;
+  item.inst = Inst{.rd = rd};
+  item.sym = std::move(sym);
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+Function& Function::j(Label l) { return jal_to(l, 0); }
+
+Function& Function::jal_to(Label l, u8 rd) {
+  Item item;
+  item.kind = Item::Kind::kJump;
+  item.inst = Inst{.op = Op::kJal, .rd = rd};
+  item.label = l;
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+Function& Function::call(std::string fn) {
+  Item item;
+  item.kind = Item::Kind::kCall;
+  item.sym = std::move(fn);
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+Function& Function::ret() {
+  Item item;
+  item.kind = Item::Kind::kRet;
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+Function& Program::add_function(std::string name) {
+  SEALPK_CHECK_MSG(find_function(name) == nullptr,
+                   "duplicate function " << name);
+  functions_.emplace_back(std::move(name));
+  return functions_.back();
+}
+
+Function* Program::find_function(std::string_view name) {
+  for (auto& f : functions_)
+    if (f.name() == name) return &f;
+  return nullptr;
+}
+
+const Function* Program::find_function(std::string_view name) const {
+  for (const auto& f : functions_)
+    if (f.name() == name) return &f;
+  return nullptr;
+}
+
+DataBlob& Program::add_data(std::string name, std::vector<u8> bytes,
+                            u64 align) {
+  SEALPK_CHECK_MSG(find_data(name) == nullptr, "duplicate data " << name);
+  SEALPK_CHECK(is_pow2(align));
+  data_.push_back(DataBlob{.name = std::move(name),
+                           .bytes = std::move(bytes),
+                           .align = align});
+  return data_.back();
+}
+
+DataBlob& Program::add_zero(std::string name, u64 size, u64 align) {
+  auto& blob = add_data(std::move(name), {}, align);
+  blob.zero_size = size;
+  return blob;
+}
+
+DataBlob& Program::add_rodata(std::string name, std::vector<u8> bytes,
+                              u64 align) {
+  auto& blob = add_data(std::move(name), std::move(bytes), align);
+  blob.writable = false;
+  return blob;
+}
+
+DataBlob* Program::find_data(std::string_view name) {
+  for (auto& d : data_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+Image Program::link(const LinkOptions& opts) const {
+  SEALPK_CHECK_MSG(!functions_.empty(), "empty program");
+  Image image;
+  image.text_base = opts.text_base;
+
+  // Pass 1: lay out functions and intra-function labels.
+  std::unordered_map<std::string, u64> symbols;
+  std::vector<std::unordered_map<Label, u64>> label_addrs(functions_.size());
+  u64 cursor = opts.text_base;
+  size_t fidx = 0;
+  for (const auto& f : functions_) {
+    SEALPK_CHECK_MSG(!symbols.contains(f.name()), "duplicate " << f.name());
+    symbols[f.name()] = cursor;
+    const u64 start = cursor;
+    for (const auto& item : f.items()) {
+      if (item.kind == Item::Kind::kBind) {
+        SEALPK_CHECK_MSG(!label_addrs[fidx].contains(item.label),
+                         "label bound twice in " << f.name());
+        label_addrs[fidx][item.label] = cursor;
+      }
+      cursor += item_size(item);
+    }
+    image.func_ranges[f.name()] = {start, cursor};
+    ++fidx;
+  }
+  image.text_end = cursor;
+
+  // Data layout: read-only blobs on the page after text, writable blobs on
+  // the page after those (so the loader can give them distinct PTE
+  // permissions).
+  u64 ro_cursor = align_up(cursor, kPageSize);
+  const u64 ro_base = ro_cursor;
+  for (const auto& d : data_) {
+    if (d.writable) continue;
+    ro_cursor = align_up(ro_cursor, d.align);
+    SEALPK_CHECK_MSG(!symbols.contains(d.name), "duplicate " << d.name);
+    symbols[d.name] = ro_cursor;
+    ro_cursor += d.size();
+  }
+  u64 rw_cursor = align_up(ro_cursor, kPageSize);
+  const u64 rw_base = rw_cursor;
+  image.data_base = ro_base;
+  for (const auto& d : data_) {
+    if (!d.writable) continue;
+    rw_cursor = align_up(rw_cursor, d.align);
+    SEALPK_CHECK_MSG(!symbols.contains(d.name), "duplicate " << d.name);
+    symbols[d.name] = rw_cursor;
+    rw_cursor += d.size();
+  }
+  image.data_end = rw_cursor;
+
+  // Pass 2: emit text.
+  Segment text;
+  text.addr = opts.text_base;
+  text.exec = true;
+  text.bytes.reserve(image.text_end - opts.text_base);
+  auto emit32 = [&text](u32 word) {
+    text.bytes.push_back(static_cast<u8>(word));
+    text.bytes.push_back(static_cast<u8>(word >> 8));
+    text.bytes.push_back(static_cast<u8>(word >> 16));
+    text.bytes.push_back(static_cast<u8>(word >> 24));
+  };
+  auto resolve = [&symbols](const std::string& sym,
+                            const std::string& fn) -> u64 {
+    auto it = symbols.find(sym);
+    SEALPK_CHECK_MSG(it != symbols.end(),
+                     "undefined symbol '" << sym << "' referenced in " << fn);
+    return it->second;
+  };
+
+  cursor = opts.text_base;
+  fidx = 0;
+  for (const auto& f : functions_) {
+    for (const auto& item : f.items()) {
+      switch (item.kind) {
+        case Item::Kind::kBind:
+          break;
+        case Item::Kind::kInst:
+          emit32(encode(item.inst));
+          break;
+        case Item::Kind::kBranch:
+        case Item::Kind::kJump: {
+          auto it = label_addrs[fidx].find(item.label);
+          SEALPK_CHECK_MSG(it != label_addrs[fidx].end(),
+                           "unbound label in " << f.name());
+          Inst inst = item.inst;
+          inst.imm = static_cast<i64>(it->second) - static_cast<i64>(cursor);
+          emit32(encode(inst));
+          break;
+        }
+        case Item::Kind::kCall: {
+          const u64 target = resolve(item.sym, f.name());
+          SEALPK_CHECK_MSG(image.func_ranges.contains(item.sym),
+                           "call target '" << item.sym
+                                           << "' is not a function");
+          Inst inst{.op = Op::kJal, .rd = ra};
+          inst.imm = static_cast<i64>(target) - static_cast<i64>(cursor);
+          emit32(encode(inst));
+          break;
+        }
+        case Item::Kind::kLa: {
+          const u64 target = resolve(item.sym, f.name());
+          const i64 delta =
+              static_cast<i64>(target) - static_cast<i64>(cursor);
+          const i64 hi = ((delta + 0x800) >> 12) << 12;
+          const i64 lo = delta - hi;
+          SEALPK_CHECK(fits_signed(hi, 32) && fits_signed(lo, 12));
+          emit32(encode(Inst{.op = Op::kAuipc, .rd = item.inst.rd, .imm = hi}));
+          emit32(encode(Inst{.op = Op::kAddi,
+                             .rd = item.inst.rd,
+                             .rs1 = item.inst.rd,
+                             .imm = lo}));
+          break;
+        }
+        case Item::Kind::kRet:
+          emit32(encode(Inst{.op = Op::kJalr, .rd = 0, .rs1 = ra, .imm = 0}));
+          break;
+      }
+      cursor += item_size(item);
+    }
+    ++fidx;
+  }
+  image.segments.push_back(std::move(text));
+
+  // Emit data segments.
+  auto emit_data = [&](bool writable, u64 base, u64 end) {
+    if (end <= base) return;
+    Segment seg;
+    seg.addr = base;
+    seg.write = writable;
+    seg.bytes.assign(end - base, 0);
+    for (const auto& d : data_) {
+      if (d.writable != writable) continue;
+      const u64 off = symbols.at(d.name) - base;
+      std::copy(d.bytes.begin(), d.bytes.end(), seg.bytes.begin() + off);
+    }
+    image.segments.push_back(std::move(seg));
+  };
+  emit_data(/*writable=*/false, ro_base, ro_cursor);
+  emit_data(/*writable=*/true, rw_base, rw_cursor);
+
+  // Entry point.
+  auto entry_it = symbols.find(opts.entry_symbol);
+  image.entry =
+      entry_it != symbols.end() ? entry_it->second : opts.text_base;
+  image.symbols.insert(symbols.begin(), symbols.end());
+  return image;
+}
+
+}  // namespace sealpk::isa

@@ -1,0 +1,214 @@
+// Program builder ("assembler") and linker.
+//
+// Guest programs — workloads, the runtime, the attack demos — are written
+// against this API. A Program is a set of named Functions (lists of Items)
+// plus named data blobs; link() lays them out, resolves labels/symbols and
+// produces a loadable Image. Items keep symbolic structure (labels, calls,
+// ret markers) so instrumentation passes can rewrite prologues/epilogues
+// before linking, exactly like the paper's LLVM passes rewrite IR.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace sealpk::isa {
+
+using Label = u32;
+
+struct Item {
+  enum class Kind : u8 {
+    kInst,    // concrete instruction, no symbolic operand
+    kBind,    // binds `label` at this point (emits nothing)
+    kBranch,  // conditional branch (inst.op/rs1/rs2) to `label`
+    kJump,    // jal inst.rd, `label`
+    kCall,    // jal ra, function `sym`
+    kLa,      // load address of `sym` into inst.rd (auipc+addi, 8 bytes)
+    kRet,     // function return (jalr zero, ra, 0); marker for passes
+  };
+  Kind kind = Kind::kInst;
+  Inst inst;
+  Label label = 0;
+  std::string sym;
+};
+
+class Function {
+ public:
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::vector<Item>& items() { return items_; }
+  const std::vector<Item>& items() const { return items_; }
+
+  // Functions opt out of shadow-stack instrumentation (runtime helpers and
+  // the instrumentation's own push/pop helpers must not instrument
+  // themselves).
+  bool instrumentable = true;
+
+  // --- labels -----------------------------------------------------------
+  Label new_label() { return next_label_++; }
+  Function& bind(Label l);
+
+  // --- generic emitters -------------------------------------------------
+  Function& emit(const Inst& inst);
+  Function& r(Op op, u8 rd, u8 rs1, u8 rs2);
+  Function& i(Op op, u8 rd, u8 rs1, i64 imm);
+  Function& store(Op op, u8 rs2, i64 off, u8 base);
+  Function& branch(Op op, u8 rs1, u8 rs2, Label l);
+
+  // --- common RV64 mnemonics (thin sugar over the generic emitters) ------
+  Function& add(u8 rd, u8 rs1, u8 rs2) { return r(Op::kAdd, rd, rs1, rs2); }
+  Function& sub(u8 rd, u8 rs1, u8 rs2) { return r(Op::kSub, rd, rs1, rs2); }
+  Function& addw(u8 rd, u8 rs1, u8 rs2) { return r(Op::kAddw, rd, rs1, rs2); }
+  Function& subw(u8 rd, u8 rs1, u8 rs2) { return r(Op::kSubw, rd, rs1, rs2); }
+  Function& mul(u8 rd, u8 rs1, u8 rs2) { return r(Op::kMul, rd, rs1, rs2); }
+  Function& mulhu(u8 rd, u8 rs1, u8 rs2) { return r(Op::kMulhu, rd, rs1, rs2); }
+  Function& div(u8 rd, u8 rs1, u8 rs2) { return r(Op::kDiv, rd, rs1, rs2); }
+  Function& divu(u8 rd, u8 rs1, u8 rs2) { return r(Op::kDivu, rd, rs1, rs2); }
+  Function& rem(u8 rd, u8 rs1, u8 rs2) { return r(Op::kRem, rd, rs1, rs2); }
+  Function& remu(u8 rd, u8 rs1, u8 rs2) { return r(Op::kRemu, rd, rs1, rs2); }
+  Function& and_(u8 rd, u8 rs1, u8 rs2) { return r(Op::kAnd, rd, rs1, rs2); }
+  Function& or_(u8 rd, u8 rs1, u8 rs2) { return r(Op::kOr, rd, rs1, rs2); }
+  Function& xor_(u8 rd, u8 rs1, u8 rs2) { return r(Op::kXor, rd, rs1, rs2); }
+  Function& sll(u8 rd, u8 rs1, u8 rs2) { return r(Op::kSll, rd, rs1, rs2); }
+  Function& srl(u8 rd, u8 rs1, u8 rs2) { return r(Op::kSrl, rd, rs1, rs2); }
+  Function& sra(u8 rd, u8 rs1, u8 rs2) { return r(Op::kSra, rd, rs1, rs2); }
+  Function& sltu(u8 rd, u8 rs1, u8 rs2) { return r(Op::kSltu, rd, rs1, rs2); }
+  Function& slt(u8 rd, u8 rs1, u8 rs2) { return r(Op::kSlt, rd, rs1, rs2); }
+
+  Function& addi(u8 rd, u8 rs1, i64 imm) { return i(Op::kAddi, rd, rs1, imm); }
+  Function& addiw(u8 rd, u8 rs1, i64 v) { return i(Op::kAddiw, rd, rs1, v); }
+  Function& andi(u8 rd, u8 rs1, i64 imm) { return i(Op::kAndi, rd, rs1, imm); }
+  Function& ori(u8 rd, u8 rs1, i64 imm) { return i(Op::kOri, rd, rs1, imm); }
+  Function& xori(u8 rd, u8 rs1, i64 imm) { return i(Op::kXori, rd, rs1, imm); }
+  Function& slti(u8 rd, u8 rs1, i64 imm) { return i(Op::kSlti, rd, rs1, imm); }
+  Function& sltiu(u8 rd, u8 rs1, i64 v) { return i(Op::kSltiu, rd, rs1, v); }
+  Function& slli(u8 rd, u8 rs1, i64 sh) { return i(Op::kSlli, rd, rs1, sh); }
+  Function& srli(u8 rd, u8 rs1, i64 sh) { return i(Op::kSrli, rd, rs1, sh); }
+  Function& srai(u8 rd, u8 rs1, i64 sh) { return i(Op::kSrai, rd, rs1, sh); }
+  Function& slliw(u8 rd, u8 rs1, i64 sh) { return i(Op::kSlliw, rd, rs1, sh); }
+  Function& srliw(u8 rd, u8 rs1, i64 sh) { return i(Op::kSrliw, rd, rs1, sh); }
+  Function& sraiw(u8 rd, u8 rs1, i64 sh) { return i(Op::kSraiw, rd, rs1, sh); }
+
+  Function& lb(u8 rd, i64 off, u8 base) { return i(Op::kLb, rd, base, off); }
+  Function& lbu(u8 rd, i64 off, u8 base) { return i(Op::kLbu, rd, base, off); }
+  Function& lh(u8 rd, i64 off, u8 base) { return i(Op::kLh, rd, base, off); }
+  Function& lhu(u8 rd, i64 off, u8 base) { return i(Op::kLhu, rd, base, off); }
+  Function& lw(u8 rd, i64 off, u8 base) { return i(Op::kLw, rd, base, off); }
+  Function& lwu(u8 rd, i64 off, u8 base) { return i(Op::kLwu, rd, base, off); }
+  Function& ld(u8 rd, i64 off, u8 base) { return i(Op::kLd, rd, base, off); }
+  Function& sb(u8 rs, i64 off, u8 base) { return store(Op::kSb, rs, off, base); }
+  Function& sh(u8 rs, i64 off, u8 base) { return store(Op::kSh, rs, off, base); }
+  Function& sw(u8 rs, i64 off, u8 base) { return store(Op::kSw, rs, off, base); }
+  Function& sd(u8 rs, i64 off, u8 base) { return store(Op::kSd, rs, off, base); }
+
+  Function& beq(u8 a, u8 b, Label l) { return branch(Op::kBeq, a, b, l); }
+  Function& bne(u8 a, u8 b, Label l) { return branch(Op::kBne, a, b, l); }
+  Function& blt(u8 a, u8 b, Label l) { return branch(Op::kBlt, a, b, l); }
+  Function& bge(u8 a, u8 b, Label l) { return branch(Op::kBge, a, b, l); }
+  Function& bltu(u8 a, u8 b, Label l) { return branch(Op::kBltu, a, b, l); }
+  Function& bgeu(u8 a, u8 b, Label l) { return branch(Op::kBgeu, a, b, l); }
+  Function& beqz(u8 a, Label l) { return beq(a, 0, l); }
+  Function& bnez(u8 a, Label l) { return bne(a, 0, l); }
+  Function& blez(u8 a, Label l) { return branch(Op::kBge, 0, a, l); }
+  Function& bgtz(u8 a, Label l) { return branch(Op::kBlt, 0, a, l); }
+
+  // --- pseudo-instructions -----------------------------------------------
+  Function& nop() { return addi(0, 0, 0); }
+  Function& mv(u8 rd, u8 rs) { return addi(rd, rs, 0); }
+  Function& neg(u8 rd, u8 rs) { return sub(rd, 0, rs); }
+  Function& not_(u8 rd, u8 rs) { return xori(rd, rs, -1); }
+  Function& seqz(u8 rd, u8 rs) { return sltiu(rd, rs, 1); }
+  Function& snez(u8 rd, u8 rs) { return sltu(rd, 0, rs); }
+  Function& li(u8 rd, i64 imm);            // expands to 1..6 instructions
+  Function& la(u8 rd, std::string sym);    // auipc+addi pair at link time
+  Function& j(Label l);                    // jal zero, l
+  Function& jal_to(Label l, u8 rd = ra);   // intra-function jal
+  Function& call(std::string fn);          // jal ra, fn
+  Function& jr(u8 rs) { return i(Op::kJalr, 0, rs, 0); }
+  Function& jalr_reg(u8 rd, u8 rs, i64 off = 0) {
+    return i(Op::kJalr, rd, rs, off);
+  }
+  Function& ret();
+  Function& ecall() { return emit(Inst{.op = Op::kEcall}); }
+  Function& ebreak() { return emit(Inst{.op = Op::kEbreak}); }
+
+  // --- SealPK / MPK custom instructions -----------------------------------
+  Function& rdpkr(u8 rd, u8 rs1) { return r(Op::kRdpkr, rd, rs1, 0); }
+  Function& wrpkr(u8 rs1, u8 rs2) { return r(Op::kWrpkr, 0, rs1, rs2); }
+  Function& seal_start(u8 rs1) { return r(Op::kSealStart, 0, rs1, 0); }
+  Function& seal_end(u8 rs1) { return r(Op::kSealEnd, 0, rs1, 0); }
+  Function& wrpkru(u8 rs1) { return r(Op::kWrpkru, 0, rs1, 0); }
+  Function& rdpkru(u8 rd) { return r(Op::kRdpkru, rd, 0, 0); }
+
+ private:
+  std::string name_;
+  std::vector<Item> items_;
+  Label next_label_ = 0;
+};
+
+struct DataBlob {
+  std::string name;
+  std::vector<u8> bytes;  // initialised contents (may be empty)
+  u64 zero_size = 0;      // additional zero-filled tail
+  u64 align = 8;
+  bool writable = true;
+
+  u64 size() const { return bytes.size() + zero_size; }
+};
+
+struct Segment {
+  u64 addr = 0;
+  std::vector<u8> bytes;
+  bool read = true;
+  bool write = false;
+  bool exec = false;
+};
+
+// A linked, loadable program image.
+struct Image {
+  u64 entry = 0;
+  std::vector<Segment> segments;
+  std::map<std::string, u64> symbols;  // functions and data blobs
+  // Function address ranges [first, second) — used e.g. to derive the
+  // permissible WRPKR range for permission sealing.
+  std::map<std::string, std::pair<u64, u64>> func_ranges;
+  u64 text_base = 0, text_end = 0;
+  u64 data_base = 0, data_end = 0;
+};
+
+struct LinkOptions {
+  u64 text_base = 0x10000;
+  std::string entry_symbol = "_start";
+};
+
+class Program {
+ public:
+  Function& add_function(std::string name);
+  Function* find_function(std::string_view name);
+  const Function* find_function(std::string_view name) const;
+
+  DataBlob& add_data(std::string name, std::vector<u8> bytes, u64 align = 8);
+  DataBlob& add_zero(std::string name, u64 size, u64 align = 8);
+  DataBlob& add_rodata(std::string name, std::vector<u8> bytes,
+                       u64 align = 8);
+  DataBlob* find_data(std::string_view name);
+
+  std::deque<Function>& functions() { return functions_; }
+  const std::deque<Function>& functions() const { return functions_; }
+  std::deque<DataBlob>& data() { return data_; }
+
+  // Resolves all labels and symbols; throws CheckError on dangling
+  // references, duplicate symbols or out-of-range offsets.
+  Image link(const LinkOptions& opts = {}) const;
+
+ private:
+  std::deque<Function> functions_;
+  std::deque<DataBlob> data_;
+};
+
+}  // namespace sealpk::isa

@@ -1,0 +1,97 @@
+// Sparse simulated physical memory (the FPGA board's DRAM).
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace sealpk::mem {
+
+constexpr u64 kPageSize = 4096;
+constexpr unsigned kPageShift = 12;
+
+// Physical memory, page-granular and lazily materialised. Reads of
+// never-written pages return zero, like freshly initialised DRAM in the
+// simulator. All accesses are bounds-checked against the configured size
+// (the Zedboard used in the paper has 256 MiB).
+class PhysMem {
+ public:
+  explicit PhysMem(u64 size_bytes = 256 * 1024 * 1024) : size_(size_bytes) {
+    SEALPK_CHECK(size_bytes % kPageSize == 0);
+  }
+
+  u64 size() const { return size_; }
+
+  u8 read_u8(u64 addr) const { return page_at(addr)[addr % kPageSize]; }
+
+  void write_u8(u64 addr, u8 value) {
+    mutable_page(addr)[addr % kPageSize] = value;
+  }
+
+  u16 read_u16(u64 addr) const { return read_le<u16>(addr); }
+  u32 read_u32(u64 addr) const { return read_le<u32>(addr); }
+  u64 read_u64(u64 addr) const { return read_le<u64>(addr); }
+  void write_u16(u64 addr, u16 v) { write_le(addr, v); }
+  void write_u32(u64 addr, u32 v) { write_le(addr, v); }
+  void write_u64(u64 addr, u64 v) { write_le(addr, v); }
+
+  void read_bytes(u64 addr, u8* out, u64 len) const {
+    for (u64 i = 0; i < len; ++i) out[i] = read_u8(addr + i);
+  }
+
+  void write_bytes(u64 addr, const u8* in, u64 len) {
+    for (u64 i = 0; i < len; ++i) write_u8(addr + i, in[i]);
+  }
+
+  void fill(u64 addr, u8 value, u64 len) {
+    for (u64 i = 0; i < len; ++i) write_u8(addr + i, value);
+  }
+
+  bool contains(u64 addr, u64 len = 1) const {
+    return addr < size_ && len <= size_ - addr;
+  }
+
+ private:
+  using Page = std::array<u8, kPageSize>;
+  static const Page kZeroPage;
+
+  const Page& page_at(u64 addr) const {
+    SEALPK_CHECK_MSG(contains(addr), "phys read out of range 0x" << std::hex
+                                                                 << addr);
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? kZeroPage : *it->second;
+  }
+
+  Page& mutable_page(u64 addr) {
+    SEALPK_CHECK_MSG(contains(addr), "phys write out of range 0x" << std::hex
+                                                                  << addr);
+    auto& slot = pages_[addr >> kPageShift];
+    if (!slot) slot = std::make_unique<Page>(Page{});
+    return *slot;
+  }
+
+  template <typename T>
+  T read_le(u64 addr) const {
+    // Accesses in the simulated machine may be misaligned across pages;
+    // assemble byte-wise (the hart enforces its own alignment policy).
+    T v{};
+    for (unsigned i = 0; i < sizeof(T); ++i)
+      v |= static_cast<T>(static_cast<T>(read_u8(addr + i)) << (8 * i));
+    return v;
+  }
+
+  template <typename T>
+  void write_le(u64 addr, T v) {
+    for (unsigned i = 0; i < sizeof(T); ++i)
+      write_u8(addr + i, static_cast<u8>(v >> (8 * i)));
+  }
+
+  u64 size_;
+  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace sealpk::mem

@@ -1,0 +1,115 @@
+// Sv39 page-table-entry codec, including the pkey field.
+//
+// The paper's key encoding decision (§III-A): the 10 reserved bits [63:54]
+// of an Sv39 PTE hold a SealPK protection key (1024 domains). The Intel-MPK
+// comparison flavour instead stores a 4-bit key in bits [57:54], mirroring
+// x86's use of 4 ignored PTE bits (16 domains).
+#pragma once
+
+#include "common/bits.h"
+
+namespace sealpk::mem {
+
+namespace pte {
+
+constexpr u64 kV = u64{1} << 0;
+constexpr u64 kR = u64{1} << 1;
+constexpr u64 kW = u64{1} << 2;
+constexpr u64 kX = u64{1} << 3;
+constexpr u64 kU = u64{1} << 4;
+constexpr u64 kG = u64{1} << 5;
+constexpr u64 kA = u64{1} << 6;
+constexpr u64 kD = u64{1} << 7;
+
+constexpr unsigned kPkeyShift = 54;
+constexpr unsigned kSealPkPkeyBits = 10;  // bits [63:54]
+constexpr unsigned kMpkPkeyBits = 4;      // bits [57:54]
+
+constexpr u64 ppn_of(u64 pte) { return bits(pte, 53, 10); }
+
+constexpr u64 make(u64 ppn, u64 flags, u32 pkey = 0,
+                   unsigned pkey_bits = kSealPkPkeyBits) {
+  return deposit((ppn << 10) | flags, kPkeyShift + pkey_bits - 1, kPkeyShift,
+                 pkey);
+}
+
+constexpr u32 pkey_of(u64 pte, unsigned pkey_bits = kSealPkPkeyBits) {
+  return static_cast<u32>(bits(pte, kPkeyShift + pkey_bits - 1, kPkeyShift));
+}
+
+constexpr u64 with_pkey(u64 pte, u32 pkey,
+                        unsigned pkey_bits = kSealPkPkeyBits) {
+  return deposit(pte, kPkeyShift + pkey_bits - 1, kPkeyShift, pkey);
+}
+
+constexpr u64 with_flags(u64 pte, u64 flags) {
+  return (pte & ~u64{0xFF}) | (flags & 0xFF) | kV;
+}
+
+constexpr bool is_leaf(u64 pte) { return (pte & (kR | kW | kX)) != 0; }
+constexpr bool valid(u64 pte) { return (pte & kV) != 0; }
+
+// W-without-R is reserved in the RISC-V privileged spec (§4.3.1) — the very
+// limitation SealPK's pkey encoding works around to offer write-only
+// domains (paper §III-A).
+constexpr bool reserved_perm_combo(u64 pte) {
+  return (pte & kW) != 0 && (pte & kR) == 0;
+}
+
+}  // namespace pte
+
+// Virtual-address helpers. Sv39 (3 levels) is the paper's platform; Sv48
+// (4 levels) is supported per the paper's footnote 1 — the Sv48 PTE has
+// the same 10 reserved bits, so SealPK carries over unchanged.
+namespace sv39 {
+
+constexpr unsigned kLevels = 3;
+constexpr unsigned kVaBits = 39;
+
+constexpr u64 vpn_slice(u64 vaddr, unsigned level) {
+  return bits(vaddr, 12 + 9 * level + 8, 12 + 9 * level);
+}
+
+constexpr u64 vpn_of(u64 vaddr) { return bits(vaddr, 38, 12); }
+constexpr u64 page_offset(u64 vaddr) { return bits(vaddr, 11, 0); }
+
+// Sv39 requires bits [63:39] to equal bit 38 (canonical form).
+constexpr bool canonical(u64 vaddr) {
+  const u64 upper = bits(vaddr, 63, 38);
+  return upper == 0 || upper == bits(~u64{0}, 63, 38);
+}
+
+}  // namespace sv39
+
+namespace sv48 {
+
+constexpr unsigned kLevels = 4;
+constexpr unsigned kVaBits = 48;
+
+constexpr u64 vpn_of(u64 vaddr) { return bits(vaddr, 47, 12); }
+
+constexpr bool canonical(u64 vaddr) {
+  const u64 upper = bits(vaddr, 63, 47);
+  return upper == 0 || upper == bits(~u64{0}, 63, 47);
+}
+
+}  // namespace sv48
+
+// Mode-parametric helpers (levels = 3 for Sv39, 4 for Sv48).
+namespace svxx {
+
+constexpr u64 vpn_slice(u64 vaddr, unsigned level) {
+  return bits(vaddr, 12 + 9 * level + 8, 12 + 9 * level);
+}
+
+constexpr u64 vpn_of(u64 vaddr, unsigned levels) {
+  return bits(vaddr, 12 + 9 * levels - 1, 12);
+}
+
+constexpr bool canonical(u64 vaddr, unsigned levels) {
+  return levels == 4 ? sv48::canonical(vaddr) : sv39::canonical(vaddr);
+}
+
+}  // namespace svxx
+
+}  // namespace sealpk::mem

@@ -1,0 +1,115 @@
+// Fully-associative TLB model with the SealPK per-entry pkey field.
+//
+// Figure 2 of the paper: each DTLB line gains a 10-bit pkey entry copied
+// from the PTE on refill, so the effective-permission check reads the pkey
+// permission (from PKR) in the same cycle as the page permission. The ITLB
+// is unmodified — pkey checks apply to data accesses only — so instruction
+// harts instantiate this class with pkey always zero.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace sealpk::mem {
+
+struct TlbEntry {
+  u64 vpn = 0;
+  u64 ppn = 0;
+  bool r = false, w = false, x = false, user = false;
+  bool dirty = false;  // PTE D bit at refill time
+  u16 pkey = 0;        // SealPK: 10 bits; MPK flavour: 4 bits
+};
+
+struct TlbStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 flushes = 0;
+  u64 evictions = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(size_t num_entries = 32) : entries_(num_entries) {
+    SEALPK_CHECK(num_entries > 0);
+  }
+
+  size_t capacity() const { return entries_.size(); }
+
+  // Looks up `vpn`; counts a hit or miss.
+  std::optional<TlbEntry> lookup(u64 vpn) {
+    for (const auto& slot : entries_) {
+      if (slot.valid && slot.entry.vpn == vpn) {
+        ++stats_.hits;
+        return slot.entry;
+      }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  // Peek without touching statistics (used by tests and debug dumps).
+  std::optional<TlbEntry> peek(u64 vpn) const {
+    for (const auto& slot : entries_) {
+      if (slot.valid && slot.entry.vpn == vpn) return slot.entry;
+    }
+    return std::nullopt;
+  }
+
+  // Inserts after a miss; replaces an existing mapping for the same VPN,
+  // otherwise evicts round-robin (Rocket's TLB uses a pseudo-random/rr
+  // policy; round-robin keeps the model deterministic).
+  void insert(const TlbEntry& entry) {
+    for (auto& slot : entries_) {
+      if (slot.valid && slot.entry.vpn == entry.vpn) {
+        slot.entry = entry;
+        return;
+      }
+    }
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].valid) {
+        entries_[i] = {entry, true};
+        return;
+      }
+    }
+    ++stats_.evictions;
+    entries_[next_victim_] = {entry, true};
+    next_victim_ = (next_victim_ + 1) % entries_.size();
+  }
+
+  // sfence.vma with rs1 = x0: global flush.
+  void flush() {
+    for (auto& slot : entries_) slot.valid = false;
+    ++stats_.flushes;
+  }
+
+  // sfence.vma with rs1 != x0: single-VPN invalidation.
+  void flush_vpn(u64 vpn) {
+    for (auto& slot : entries_) {
+      if (slot.valid && slot.entry.vpn == vpn) slot.valid = false;
+    }
+  }
+
+  size_t valid_count() const {
+    size_t n = 0;
+    for (const auto& slot : entries_)
+      if (slot.valid) ++n;
+    return n;
+  }
+
+  const TlbStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Slot {
+    TlbEntry entry;
+    bool valid = false;
+  };
+  std::vector<Slot> entries_;
+  size_t next_victim_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace sealpk::mem

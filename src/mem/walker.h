@@ -1,0 +1,31 @@
+// Sv39 hardware page-table walker model.
+#pragma once
+
+#include "mem/phys_mem.h"
+#include "mem/pte.h"
+
+namespace sealpk::mem {
+
+enum class Access : u8 { kFetch, kLoad, kStore };
+
+struct WalkResult {
+  bool ok = false;
+  u64 pte = 0;       // the leaf PTE (with A/D updated), if ok
+  u64 pte_addr = 0;  // physical address of the leaf PTE
+  u64 ppn = 0;       // 4 KiB-granular physical page number for the VA
+  unsigned level = 0;      // leaf level (0 = 4 KiB, 1 = 2 MiB, 2 = 1 GiB)
+  unsigned accesses = 0;   // memory accesses performed (timing model input)
+};
+
+// Walks the Sv39/Sv48 tree (`levels` = 3 or 4) rooted at physical page
+// `root_ppn` for `vaddr`. Returns ok=false on any malformed/non-present
+// entry; the caller raises the architectural page fault for `access`.
+// Superpage leaves are resolved to a 4 KiB-granular PPN so the TLB can
+// stay single-granularity. Like the Rocket PTW in its Linux
+// configuration, the walker updates A (and D on stores) in memory.
+WalkResult walk(const PhysMem& mem, u64 root_ppn, u64 vaddr, Access access,
+                unsigned levels = sv39::kLevels);
+WalkResult walk(PhysMem& mem, u64 root_ppn, u64 vaddr, Access access,
+                bool update_ad, unsigned levels = sv39::kLevels);
+
+}  // namespace sealpk::mem

@@ -1,0 +1,7 @@
+// Anchor translation unit for repro_mpk.
+#include "mpk/key_manager.h"
+#include "mpk/virt.h"
+
+namespace sealpk::mpk {
+static_assert(hw::kMpkNumPkeys == 16);
+}  // namespace sealpk::mpk

@@ -1,0 +1,97 @@
+// Per-process virtual address space: VMA bookkeeping plus real Sv39 page
+// tables materialised in guest physical memory (so the hart's hardware
+// walker exercises the same structures the Linux port would).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/bits.h"
+#include "mem/phys_mem.h"
+#include "mem/pte.h"
+#include "os/frame_alloc.h"
+
+namespace sealpk::os {
+
+struct Vma {
+  u64 start = 0;  // page aligned, inclusive
+  u64 end = 0;    // page aligned, exclusive
+  u64 prot = 0;   // prot:: bits
+  u32 pkey = 0;
+
+  u64 pages() const { return (end - start) >> mem::kPageShift; }
+};
+
+// Callback used to keep the key manager's per-pkey page counters in sync:
+// invoked once per (pkey, page-count) delta.
+using PkeyPageDelta = std::function<void(u32 pkey, i64 pages)>;
+
+class AddressSpace {
+ public:
+  // levels: 3 = Sv39 (the paper's platform), 4 = Sv48 (footnote 1).
+  AddressSpace(mem::PhysMem& mem, FrameAllocator& frames,
+               unsigned pkey_bits, unsigned levels = mem::sv39::kLevels);
+
+  u64 root_ppn() const { return root_ppn_; }
+  u64 satp() const;
+  unsigned pkey_bits() const { return pkey_bits_; }
+  unsigned levels() const { return levels_; }
+
+  // Maps [addr, addr+len) anonymous zeroed memory. addr == 0 picks an
+  // address from the mmap region. Returns the mapped address, or a
+  // negative errno. `pages_touched` (optional) reports PTE writes for the
+  // cycle model.
+  i64 map(u64 addr, u64 len, u64 prot, u32 pkey = 0,
+          const PkeyPageDelta& delta = nullptr);
+
+  // Unmaps [addr, addr+len). Partial VMA coverage splits VMAs like Linux.
+  i64 unmap(u64 addr, u64 len, const PkeyPageDelta& delta = nullptr);
+
+  // mprotect: updates PTE permission bits, preserving each page's pkey.
+  // Returns number of pages updated or negative errno. `sealed_domain`
+  // (optional) lets the caller veto changes to pages of sealed domains.
+  i64 protect(u64 addr, u64 len, u64 prot,
+              const std::function<bool(u32 pkey)>& domain_sealed = nullptr);
+
+  // pkey_mprotect: updates permissions *and* assigns `pkey`.
+  // `domain_sealed` vetoes re-keying pages whose current domain is sealed;
+  // `pages_sealed` vetoes adding pages to the target domain; `delta`
+  // maintains page counters. Returns pages updated or negative errno.
+  i64 protect_pkey(u64 addr, u64 len, u64 prot, u32 pkey,
+                   const std::function<bool(u32 pkey)>& domain_sealed,
+                   const std::function<bool(u32 pkey)>& pages_sealed,
+                   const PkeyPageDelta& delta);
+
+  const Vma* find_vma(u64 addr) const;
+  const std::map<u64, Vma>& vmas() const { return vmas_; }
+
+  // Reads the pkey field straight out of the leaf PTE (test/debug aid).
+  std::optional<u32> page_pkey(u64 vaddr) const;
+  std::optional<u64> leaf_pte(u64 vaddr) const;
+
+  // Kernel copy helpers (loader, write(2), fault reporting).
+  bool copy_out(u64 vaddr, const u8* src, u64 len);
+  bool copy_in(u64 vaddr, u8* dst, u64 len) const;
+
+  u64 pages_mapped() const { return pages_mapped_; }
+
+ private:
+  u64 pte_slot_addr(u64 vaddr, bool create);  // phys addr of leaf PTE slot
+  u64 lookup_pte_slot(u64 vaddr) const;       // 0 if tables absent
+  void write_leaf(u64 vaddr, u64 pte);
+  // Splits any VMA straddling `addr` so that `addr` becomes a boundary.
+  void split_at(u64 addr);
+  bool range_fully_mapped(u64 addr, u64 len) const;
+
+  mem::PhysMem& mem_;
+  FrameAllocator& frames_;
+  unsigned pkey_bits_;
+  unsigned levels_;
+  u64 root_ppn_;
+  std::map<u64, Vma> vmas_;  // keyed by start
+  u64 mmap_next_;
+  u64 pages_mapped_ = 0;
+};
+
+}  // namespace sealpk::os

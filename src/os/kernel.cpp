@@ -1,0 +1,583 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+
+#include "mpk/key_manager.h"
+
+namespace sealpk::os {
+
+namespace {
+// Bottom of DRAM reserved for the resident kernel footprint; frames above
+// it are handed to processes and page tables.
+constexpr u64 kKernelReserve = 2 * 1024 * 1024;
+// Magic supervisor entry address (stvec). No guest code lives there: the
+// host run loop takes over whenever the hart lands in S-mode.
+constexpr u64 kStvec = 0x1000;
+constexpr u64 kStackTop = 0x3F'FFFF'F000;
+constexpr u64 kMaxWriteLen = 1 << 20;
+}  // namespace
+
+Kernel::Kernel(core::Hart& hart, KernelConfig config)
+    : hart_(hart),
+      config_(config),
+      frames_(kKernelReserve, hart.mem().size() - kKernelReserve) {
+  hart_.csrs().stvec = kStvec;
+  hart_.set_priv(core::Priv::kSupervisor);
+}
+
+PkeyPageDelta Kernel::page_delta_hook() {
+  KeyManager* keys = &current_keys();
+  return [keys](u32 pkey, i64 pages) { keys->page_delta(pkey, pages); };
+}
+
+int Kernel::load_process(const isa::Image& image) {
+  const int pid = next_pid_++;
+  auto proc = std::make_unique<Process>();
+  proc->pid = pid;
+  const unsigned pkey_bits =
+      hart_.config().flavor == core::IsaFlavor::kSealPk
+          ? mem::pte::kSealPkPkeyBits
+          : mem::pte::kMpkPkeyBits;
+  proc->aspace = std::make_unique<AddressSpace>(
+      hart_.mem(), frames_, pkey_bits,
+      config_.sv48 ? mem::sv48::kLevels : mem::sv39::kLevels);
+  if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
+    auto keys = std::make_unique<SealPkKeyManager>();
+    keys->set_drained_hook([this, pid](u32 pkey) {
+      // The key fully drained: dissolve its hardware seal state so a future
+      // owner starts fresh.
+      auto it = processes_.find(pid);
+      if (it == processes_.end()) return;
+      if (current_tid_ >= 0 && thread(current_tid_).pid == pid) {
+        hart_.seal_unit().clear_key(pkey);
+      }
+      set_hw_pkey_perm(pkey, 0);
+    });
+    proc->keys = std::move(keys);
+  } else {
+    proc->keys = std::make_unique<mpk::MpkKeyManager>();
+  }
+
+  // Map the image segments with their natural permissions.
+  for (const auto& seg : image.segments) {
+    const u64 start = align_down(seg.addr, mem::kPageSize);
+    const u64 end = align_up(seg.addr + seg.bytes.size(), mem::kPageSize);
+    u64 prot = prot::kRead;
+    if (seg.write) prot |= prot::kWrite;
+    if (seg.exec) prot |= prot::kExec;
+    const i64 rc = proc->aspace->map(
+        start, end - start, prot, /*pkey=*/0,
+        [&proc](u32 pkey, i64 pages) { proc->keys->page_delta(pkey, pages); });
+    SEALPK_CHECK_MSG(rc >= 0, "image segment map failed");
+    SEALPK_CHECK(proc->aspace->copy_out(seg.addr, seg.bytes.data(),
+                                        seg.bytes.size()));
+  }
+
+  // Main-thread stack at the top of the user VA range.
+  const u64 stack_len = config_.stack_pages * mem::kPageSize;
+  const i64 rc = proc->aspace->map(
+      kStackTop - stack_len, stack_len, prot::kRead | prot::kWrite, 0,
+      [&proc](u32 pkey, i64 pages) { proc->keys->page_delta(pkey, pages); });
+  SEALPK_CHECK(rc >= 0);
+
+  auto main_thread = std::make_unique<Thread>();
+  const int tid = next_tid_++;
+  main_thread->tid = tid;
+  main_thread->pid = pid;
+  main_thread->ctx.pc = image.entry;
+  main_thread->ctx.regs[isa::sp] = kStackTop - 64;
+  proc->thread_tids.push_back(tid);
+  proc->seal_hw = hw::SealUnit::Snapshot{};
+
+  processes_.emplace(pid, std::move(proc));
+  threads_.emplace(tid, std::move(main_thread));
+
+  if (current_tid_ < 0) {
+    restore_context(thread(tid), /*prev_pid=*/-1);
+    return_to_user(thread(tid).ctx.pc);
+  } else {
+    run_queue_.push_back(tid);
+  }
+  return pid;
+}
+
+int Kernel::spawn_thread(int pid, u64 entry, u64 stack_top, u64 arg) {
+  Process& proc = process(pid);
+  SEALPK_CHECK(!proc.exited);
+  auto th = std::make_unique<Thread>();
+  const int tid = next_tid_++;
+  th->tid = tid;
+  th->pid = pid;
+  th->ctx.pc = entry;
+  th->ctx.regs[isa::sp] = stack_top;
+  th->ctx.regs[isa::a0] = arg;
+  // The child inherits the spawner's PKR contents (like fork/clone
+  // inheriting PKRU on x86).
+  if (current_tid_ >= 0 && thread(current_tid_).pid == pid) {
+    th->ctx.pkr = hart_.pkr().save();
+    th->ctx.pkru = hart_.pkru().value();
+  }
+  proc.thread_tids.push_back(tid);
+  threads_.emplace(tid, std::move(th));
+  run_queue_.push_back(tid);
+  return tid;
+}
+
+Process& Kernel::process(int pid) {
+  auto it = processes_.find(pid);
+  SEALPK_CHECK_MSG(it != processes_.end(), "unknown pid " << pid);
+  return *it->second;
+}
+
+const Process& Kernel::process(int pid) const {
+  auto it = processes_.find(pid);
+  SEALPK_CHECK_MSG(it != processes_.end(), "unknown pid " << pid);
+  return *it->second;
+}
+
+Thread& Kernel::thread(int tid) {
+  auto it = threads_.find(tid);
+  SEALPK_CHECK_MSG(it != threads_.end(), "unknown tid " << tid);
+  return *it->second;
+}
+
+bool Kernel::all_exited() const {
+  for (const auto& [pid, proc] : processes_) {
+    if (!proc->exited) return false;
+  }
+  return !processes_.empty();
+}
+
+size_t Kernel::runnable_threads() const {
+  return run_queue_.size() + (current_tid_ >= 0 ? 1 : 0);
+}
+
+void Kernel::set_hw_pkey_perm(u32 pkey, u8 perm) {
+  if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
+    hart_.pkr().set_perm(pkey, perm);
+  } else {
+    hart_.pkru().set_perm(pkey, (perm & 0b01) != 0, (perm & 0b10) != 0);
+  }
+}
+
+void Kernel::save_current_context() {
+  Thread& cur = thread(current_tid_);
+  for (unsigned i = 0; i < 32; ++i) cur.ctx.regs[i] = hart_.reg(i);
+  cur.ctx.pkr = hart_.pkr().save();
+  cur.ctx.pkru = hart_.pkru().value();
+  cur.ctx.seal_start = hart_.csrs().seal_start;
+  cur.ctx.seal_end = hart_.csrs().seal_end;
+}
+
+void Kernel::restore_context(Thread& next, int prev_pid) {
+  const auto& t = hart_.timing();
+  hart_.add_cycles(t.context_switch_cycles);
+  ++stats_.context_switches;
+
+  if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
+    if (config_.save_pkr_on_switch) {
+      // 32 rows saved + 32 restored (paper §III-B.2: < 1 % overhead).
+      hart_.add_cycles(2 * hw::kPkrRows * t.pkr_row_swap_cycles);
+      hart_.pkr().restore(next.ctx.pkr);
+    }
+  } else {
+    hart_.add_cycles(2 * t.pkr_row_swap_cycles);  // single PKRU register
+    hart_.pkru().set(next.ctx.pkru);
+  }
+  for (unsigned i = 0; i < 32; ++i) hart_.set_reg(i, next.ctx.regs[i]);
+  hart_.csrs().seal_start = next.ctx.seal_start;
+  hart_.csrs().seal_end = next.ctx.seal_end;
+
+  if (next.pid != prev_pid) {
+    if (prev_pid >= 0) {
+      process(prev_pid).seal_hw = hart_.seal_unit().save();
+    }
+    Process& proc = process(next.pid);
+    hart_.seal_unit().restore(proc.seal_hw);
+    hart_.csrs().satp = proc.aspace->satp();
+    hart_.flush_tlbs();
+    hart_.add_cycles(t.tlb_flush_cycles);
+  }
+  current_tid_ = next.tid;
+}
+
+// Round-robin handoff from the current thread (which resumes at
+// `resume_pc` when rescheduled) to the head of the run queue.
+void Kernel::yield_to_next(u64 resume_pc) {
+  Thread& cur = thread(current_tid_);
+  const int prev_pid = cur.pid;
+  save_current_context();
+  cur.ctx.pc = resume_pc;
+  run_queue_.push_back(current_tid_);
+  const int next_tid = run_queue_.front();
+  run_queue_.erase(run_queue_.begin());
+  restore_context(thread(next_tid), prev_pid);
+  return_to_user(thread(next_tid).ctx.pc);
+}
+
+void Kernel::return_to_user(u64 pc) {
+  hart_.add_cycles(hart_.timing().trap_return_cycles);
+  hart_.set_pc(pc);
+  hart_.set_priv(core::Priv::kUser);
+}
+
+void Kernel::preempt() {
+  if (run_queue_.empty() || current_tid_ < 0) return;
+  // Timer interrupt: trap entry + schedule + return. The hart is between
+  // instructions in U-mode, so the resume point is simply its current PC.
+  hart_.add_cycles(hart_.timing().trap_enter_cycles);
+  yield_to_next(hart_.pc());
+}
+
+void Kernel::handle_trap() {
+  const auto cause = static_cast<core::TrapCause>(hart_.csrs().scause);
+  switch (cause) {
+    case core::TrapCause::kEcallFromU:
+      do_syscall();
+      return;
+    case core::TrapCause::kLoadPageFault:
+    case core::TrapCause::kStorePageFault:
+    case core::TrapCause::kInstPageFault:
+      handle_page_fault(cause);
+      return;
+    case core::TrapCause::kPkCamMiss:
+      handle_cam_miss();
+      return;
+    case core::TrapCause::kSealViolation:
+      ++stats_.seal_violations;
+      fatal_fault(cause);
+      return;
+    default:
+      fatal_fault(cause);
+      return;
+  }
+}
+
+void Kernel::handle_page_fault(core::TrapCause cause) {
+  ++stats_.page_faults;
+  hart_.add_cycles(hart_.timing().fault_handler_cycles);
+  FaultRecord rec;
+  rec.pid = thread(current_tid_).pid;
+  rec.tid = current_tid_;
+  rec.cause = cause;
+  rec.addr = hart_.csrs().stval;
+  rec.pc = hart_.csrs().sepc;
+  // §III-B.2: the fault report is augmented with the pkey when the denial
+  // came from the protection key rather than the PTE.
+  if (cause != core::TrapCause::kInstPageFault &&
+      (hart_.csrs().spkinfo >> 63) != 0) {
+    rec.pkey_fault = true;
+    rec.pkey = static_cast<u32>(hart_.csrs().spkinfo & 0x3FF);
+  }
+  hart_.csrs().spkinfo = 0;
+  if (deliver_signal(rec)) {
+    faults_.push_back(rec);
+    return;
+  }
+  faults_.push_back(rec);
+  sys_exit(-static_cast<i64>(cause));
+}
+
+void Kernel::fatal_fault(core::TrapCause cause) {
+  hart_.add_cycles(hart_.timing().fault_handler_cycles);
+  FaultRecord rec;
+  rec.pid = thread(current_tid_).pid;
+  rec.tid = current_tid_;
+  rec.cause = cause;
+  rec.addr = hart_.csrs().stval;
+  rec.pc = hart_.csrs().sepc;
+  if (cause == core::TrapCause::kSealViolation) {
+    rec.pkey_fault = true;
+    rec.pkey = static_cast<u32>(hart_.csrs().stval & 0x3FF);
+    // Seal violations are SEGV-class and deliverable like page faults.
+    if (deliver_signal(rec)) {
+      faults_.push_back(rec);
+      return;
+    }
+  }
+  faults_.push_back(rec);
+  sys_exit(-static_cast<i64>(cause));
+}
+
+// Redirects the faulting thread into its process's registered handler.
+// Returns false when there is no handler or the thread double-faulted.
+bool Kernel::deliver_signal(FaultRecord& rec) {
+  Thread& cur = thread(current_tid_);
+  Process& proc = current_process();
+  if (proc.signal_handler == 0 || cur.in_signal) return false;
+  // Park the interrupted context (registers + the faulting PC).
+  for (unsigned i = 0; i < 32; ++i) cur.signal_saved.regs[i] = hart_.reg(i);
+  cur.signal_saved.pc = hart_.csrs().sepc;
+  cur.in_signal = true;
+  rec.delivered = true;
+  // Enter the handler: siginfo in a0-a2, fresh red zone under sp, ra = 0
+  // so a plain `ret` (instead of sigreturn) double-faults and kills.
+  hart_.set_reg(isa::a0, static_cast<u64>(rec.cause));
+  hart_.set_reg(isa::a1, rec.addr);
+  hart_.set_reg(isa::a2,
+                rec.pkey_fault ? ((u64{1} << 63) | rec.pkey) : 0);
+  hart_.set_reg(isa::ra, 0);
+  hart_.set_reg(isa::sp, align_down(hart_.reg(isa::sp) - 256, 16));
+  hart_.add_cycles(hart_.timing().trap_enter_cycles);  // frame setup
+  return_to_user(proc.signal_handler);
+  return true;
+}
+
+void Kernel::sys_sigreturn(u64 skip) {
+  Thread& cur = thread(current_tid_);
+  if (!cur.in_signal) {
+    // sigreturn outside a handler is a guest bug: kill, like Linux would.
+    sys_exit(-static_cast<i64>(core::TrapCause::kIllegalInst));
+    return;
+  }
+  cur.in_signal = false;
+  for (unsigned i = 0; i < 32; ++i) {
+    hart_.set_reg(i, cur.signal_saved.regs[i]);
+  }
+  return_to_user(cur.signal_saved.pc + (skip != 0 ? 4 : 0));
+}
+
+void Kernel::handle_cam_miss() {
+  const u32 pkey = static_cast<u32>(hart_.csrs().stval & 0x3FF);
+  const auto range = current_keys().perm_seal_range(pkey);
+  if (!range.has_value()) {
+    // SealReg says sealed but the kernel has no range on file — treat as a
+    // violation (cannot legitimately happen through the syscall interface).
+    fatal_fault(core::TrapCause::kSealViolation);
+    return;
+  }
+  ++stats_.cam_refills;
+  hart_.add_cycles(hart_.timing().cam_refill_handler_cycles);
+  hart_.seal_unit().refill(pkey, range->start, range->end);
+  // Re-execute the faulting WRPKR.
+  return_to_user(hart_.csrs().sepc);
+}
+
+void Kernel::do_syscall() {
+  ++stats_.syscalls;
+  const u64 nr = hart_.reg(isa::a7);
+  ++stats_.syscall_counts[nr];
+  hart_.add_cycles(hart_.timing().syscall_dispatch_cycles);
+  const u64 a0 = hart_.reg(isa::a0);
+  const u64 a1 = hart_.reg(isa::a1);
+  const u64 a2 = hart_.reg(isa::a2);
+  const u64 a3 = hart_.reg(isa::a3);
+  const u64 resume_pc = hart_.csrs().sepc + 4;
+
+  i64 ret = 0;
+  switch (nr) {
+    case sys::kExit:
+      sys_exit(static_cast<i64>(a0));
+      return;
+    case sys::kSchedYield: {
+      hart_.set_reg(isa::a0, 0);
+      if (!run_queue_.empty()) {
+        yield_to_next(resume_pc);
+      } else {
+        return_to_user(resume_pc);
+      }
+      return;
+    }
+    case sys::kGetTid:
+      ret = current_tid_;
+      break;
+    case sys::kWrite:
+      ret = sys_write(a0, a1, a2);
+      break;
+    case sys::kMmap:
+      ret = sys_mmap(a0, a1, a2);
+      break;
+    case sys::kMunmap:
+      ret = sys_munmap(a0, a1);
+      break;
+    case sys::kMprotect:
+      ret = sys_mprotect(a0, a1, a2);
+      break;
+    case sys::kPkeyMprotect:
+      ret = sys_pkey_mprotect(a0, a1, a2, a3);
+      break;
+    case sys::kPkeyAlloc:
+      ret = sys_pkey_alloc(a0, a1);
+      break;
+    case sys::kPkeyFree:
+      ret = sys_pkey_free(a0);
+      break;
+    case sys::kPkeySeal:
+      ret = sys_pkey_seal(a0, a1, a2);
+      break;
+    case sys::kPkeyPermSeal:
+      ret = sys_pkey_perm_seal(a0);
+      break;
+    case sys::kClone:
+      ret = sys_clone(a0, a1, a2);
+      break;
+    case sys::kReport:
+      reports_.push_back(a0);
+      break;
+    case sys::kSigaction:
+      current_process().signal_handler = a0;
+      break;
+    case sys::kSigreturn:
+      sys_sigreturn(a0);
+      return;
+    default:
+      ret = err::kNoSys;
+      break;
+  }
+  hart_.set_reg(isa::a0, static_cast<u64>(ret));
+  return_to_user(resume_pc);
+}
+
+i64 Kernel::sys_write(u64 fd, u64 buf, u64 len) {
+  if (fd != 1 && fd != 2) return -9;  // EBADF
+  if (len > kMaxWriteLen) return err::kInval;
+  std::vector<u8> bytes(len);
+  if (!current_aspace().copy_in(buf, bytes.data(), len)) return err::kFault;
+  console_.append(reinterpret_cast<const char*>(bytes.data()), len);
+  hart_.add_cycles(len);  // copy_{from}_user cost
+  return static_cast<i64>(len);
+}
+
+// addr == 0 lets the kernel pick from the mmap region; a non-zero addr is
+// honoured exactly (MAP_FIXED-style) or fails with EINVAL on overlap.
+i64 Kernel::sys_mmap(u64 addr, u64 len, u64 prot) {
+  const auto& t = hart_.timing();
+  const i64 rc = current_aspace().map(addr, len, prot, 0, page_delta_hook());
+  if (rc >= 0) {
+    const u64 pages = align_up(len, mem::kPageSize) >> mem::kPageShift;
+    hart_.add_cycles(t.vma_lookup_cycles + pages * t.pte_update_cycles);
+    stats_.pte_pages_updated += pages;
+  }
+  return rc;
+}
+
+i64 Kernel::sys_munmap(u64 addr, u64 len) {
+  const auto& t = hart_.timing();
+  const i64 rc = current_aspace().unmap(addr, len, page_delta_hook());
+  if (rc >= 0) {
+    const u64 pages = align_up(len, mem::kPageSize) >> mem::kPageShift;
+    hart_.add_cycles(t.vma_lookup_cycles + pages * t.pte_update_cycles +
+                     t.tlb_flush_cycles);
+    hart_.flush_tlbs();
+  }
+  return rc;
+}
+
+i64 Kernel::sys_mprotect(u64 addr, u64 len, u64 prot) {
+  const auto& t = hart_.timing();
+  KeyManager& keys = current_keys();
+  const i64 pages = current_aspace().protect(
+      addr, len, prot, [&keys](u32 pkey) { return keys.domain_sealed(pkey); });
+  hart_.add_cycles(t.vma_lookup_cycles);
+  if (pages >= 0) {
+    hart_.add_cycles(static_cast<u64>(pages) * t.pte_update_cycles +
+                     t.tlb_flush_cycles +
+                     current_aspace().pages_mapped() *
+                         t.mprotect_rss_cycles_per_page);
+    stats_.pte_pages_updated += static_cast<u64>(pages);
+    hart_.flush_tlbs();
+    return 0;
+  }
+  return pages;
+}
+
+i64 Kernel::sys_pkey_mprotect(u64 addr, u64 len, u64 prot, u64 pkey) {
+  const auto& t = hart_.timing();
+  KeyManager& keys = current_keys();
+  if (!keys.assignable(static_cast<u32>(pkey))) return err::kInval;
+  const i64 pages = current_aspace().protect_pkey(
+      addr, len, prot, static_cast<u32>(pkey),
+      [&keys](u32 k) { return keys.domain_sealed(k); },
+      [&keys](u32 k) { return keys.pages_sealed(k); }, page_delta_hook());
+  hart_.add_cycles(t.vma_lookup_cycles);
+  if (pages >= 0) {
+    hart_.add_cycles(static_cast<u64>(pages) * t.pte_update_cycles +
+                     t.tlb_flush_cycles);
+    stats_.pte_pages_updated += static_cast<u64>(pages);
+    hart_.flush_tlbs();
+    return 0;
+  }
+  return pages;
+}
+
+i64 Kernel::sys_pkey_alloc(u64 flags, u64 init_perm) {
+  if (flags != 0 || init_perm > 3) return err::kInval;
+  hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
+  const i64 pkey = current_keys().alloc();
+  if (pkey >= 0) {
+    set_hw_pkey_perm(static_cast<u32>(pkey), static_cast<u8>(init_perm));
+  }
+  return pkey;
+}
+
+i64 Kernel::sys_pkey_free(u64 pkey) {
+  hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
+  KeyManager& keys = current_keys();
+  const i64 rc = keys.free_key(static_cast<u32>(pkey));
+  if (rc != 0) return rc;
+  if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
+    // Lazy de-allocation (§III-B.1): clear the key's PKR permission to
+    // (0,0) so the page-table permissions alone govern its orphan pages,
+    // in the current thread and in every sibling's saved PKR.
+    set_hw_pkey_perm(static_cast<u32>(pkey), 0);
+    Process& proc = current_process();
+    for (const int tid : proc.thread_tids) {
+      Thread& th = thread(tid);
+      const u32 row = hw::pkr_row_of(static_cast<u32>(pkey));
+      const u32 slot = hw::pkr_slot_of(static_cast<u32>(pkey));
+      th.ctx.pkr[row] =
+          deposit(th.ctx.pkr[row], 2 * slot + 1, 2 * slot, 0);
+    }
+  }
+  // The Intel-MPK flavour intentionally leaves PKRU and the PTEs untouched,
+  // reproducing Linux's eager-free semantics (the use-after-free bug).
+  return 0;
+}
+
+i64 Kernel::sys_pkey_seal(u64 pkey, u64 seal_domain, u64 seal_page) {
+  hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
+  return current_keys().seal(static_cast<u32>(pkey), seal_domain != 0,
+                             seal_page != 0);
+}
+
+i64 Kernel::sys_pkey_perm_seal(u64 pkey) {
+  const auto& t = hart_.timing();
+  hart_.add_cycles(t.pkey_bookkeeping_cycles);
+  const SealRange range{hart_.csrs().seal_start, hart_.csrs().seal_end};
+  const i64 rc =
+      current_keys().set_perm_seal(static_cast<u32>(pkey), range);
+  if (rc != 0) return rc;
+  // Commit via the supervisor-only custom instruction path (spk.range +
+  // spk.seal) — modelled as direct unit updates with the same cycle cost.
+  hart_.add_cycles(2 * t.rocc_cycles);
+  hart_.seal_unit().set_sealed(static_cast<u32>(pkey));
+  hart_.seal_unit().refill(static_cast<u32>(pkey), range.start, range.end);
+  return 0;
+}
+
+i64 Kernel::sys_clone(u64 entry, u64 stack_top, u64 arg) {
+  if (entry == 0 || stack_top == 0) return err::kInval;
+  return spawn_thread(thread(current_tid_).pid, entry, stack_top, arg);
+}
+
+void Kernel::sys_exit(i64 code) {
+  Thread& cur = thread(current_tid_);
+  Process& proc = process(cur.pid);
+  proc.exited = true;
+  proc.exit_code = code;
+  for (const int tid : proc.thread_tids) thread(tid).exited = true;
+  run_queue_.erase(
+      std::remove_if(run_queue_.begin(), run_queue_.end(),
+                     [this](int tid) { return thread(tid).exited; }),
+      run_queue_.end());
+  const int prev_pid = cur.pid;
+  current_tid_ = -1;
+  if (!run_queue_.empty()) {
+    const int next_tid = run_queue_.front();
+    run_queue_.erase(run_queue_.begin());
+    restore_context(thread(next_tid), prev_pid);
+    return_to_user(thread(next_tid).ctx.pc);
+  }
+}
+
+}  // namespace sealpk::os

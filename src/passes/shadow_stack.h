@@ -1,0 +1,62 @@
+// Shadow-stack instrumentation pass (paper §V-B).
+//
+// Reproduces the paper's LLVM passes as a rewrite over the assembler IR:
+// every instrumentable function's prologue pushes the return address onto a
+// separate shadow stack and every epilogue pops and compares it, aborting
+// on mismatch (a caught ROP attempt). Five variants, matching Figure 5:
+//
+//   kInline     — front-end-style inline push/pop; shadow stack unprotected.
+//   kFunc       — push/pop through helper calls; still unprotected.
+//   kSealPkWr   — kFunc + the shadow stack lives in a SealPK read-only
+//                 domain; the push helper toggles write permission with
+//                 *blind* WRPKR row writes (does not preserve the other
+//                 keys in the row).
+//   kSealPkRdWr — same, but each toggle is an RDPKR / modify / WRPKR
+//                 read-modify-write preserving the rest of the row.
+//   kMprotect   — the comparison point: mprotect(RW) / mprotect(R) syscalls
+//                 around each push.
+//
+// ABI: s10 = shadow-stack pointer (grows upward), s11 = pkey (SealPK
+// variants) or shadow-stack base (mprotect variant). t2..t6 are clobbered
+// at function boundaries (caller-saved there anyway).
+#pragma once
+
+#include "isa/program.h"
+
+namespace sealpk::passes {
+
+enum class ShadowStackKind : u8 {
+  kNone,
+  kInline,
+  kFunc,
+  kSealPkWr,
+  kSealPkRdWr,
+  kMprotect,
+};
+
+const char* shadow_stack_kind_name(ShadowStackKind kind);
+
+struct ShadowStackOptions {
+  ShadowStackKind kind = ShadowStackKind::kNone;
+  u64 ss_pages = 1;  // shadow-stack size (4 KiB pages; 512 entries each)
+  // Apply pkey_seal(pkey, domain, page) after setup, as §V-B describes
+  // ("we leverage the domain and page sealing features to protect the
+  // allocated domain and pages of the shadow stack"). SealPK variants only.
+  bool seal_domain_and_pages = true;
+  // Restrict WRPKR to the push helper's address range via seal.start /
+  // seal.end + pkey_perm_seal. SealPK variants only.
+  bool perm_seal = false;
+  // Guest exit code used when a return-address mismatch is detected.
+  i64 abort_code = 139;
+  // Ablation: skip functions that make no calls. A common compiler-pass
+  // optimisation (a leaf's return address never leaves ra), but it opens a
+  // gap: an attacker who corrupts a *stack-spilled* ra in a leaf goes
+  // undetected. Off by default, matching the paper's all-functions passes.
+  bool skip_leaf_functions = false;
+};
+
+// Rewrites `prog` in place; must run before link(). Adds the __ss_* runtime
+// (init, push/pop helpers, data) and prepends the init call to `_start`.
+void apply_shadow_stack(isa::Program& prog, const ShadowStackOptions& opts);
+
+}  // namespace sealpk::passes

@@ -1,0 +1,126 @@
+#include "runtime/guest.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::rt {
+
+Function& add_crt0(Program& prog, const std::string& main_fn) {
+  Function& f = prog.add_function("_start");
+  f.instrumentable = false;
+  f.call(main_fn);
+  syscall(f, os::sys::kExit);  // exit(main's a0)
+  return f;
+}
+
+void add_pkey_lib(Program& prog) {
+  if (prog.find_function("__pkey_set") != nullptr) return;
+
+  {
+    // __pkey_set(pkey, perm): RDPKR row; splice the 2-bit field; WRPKR.
+    Function& f = prog.add_function("__pkey_set");
+    f.instrumentable = false;
+    f.rdpkr(t0, a0);        // t0 = 64-bit row
+    f.andi(t1, a0, 31);     // slot
+    f.slli(t1, t1, 1);      // bit offset = 2 * slot
+    f.li(t2, 3);
+    f.sll(t2, t2, t1);      // field mask at offset
+    f.not_(t3, t2);
+    f.and_(t0, t0, t3);     // clear the field
+    f.andi(t4, a1, 3);
+    f.sll(t4, t4, t1);
+    f.or_(t0, t0, t4);      // insert the new value
+    f.wrpkr(a0, t0);
+    f.ret();
+  }
+  {
+    // __pkey_set_blind(pkey, perm): build the row from scratch (other keys
+    // in the row become 00) and WRPKR it — no RDPKR.
+    Function& f = prog.add_function("__pkey_set_blind");
+    f.instrumentable = false;
+    f.andi(t1, a0, 31);
+    f.slli(t1, t1, 1);
+    f.andi(t0, a1, 3);
+    f.sll(t0, t0, t1);
+    f.wrpkr(a0, t0);
+    f.ret();
+  }
+  {
+    // __pkey_get(pkey) -> perm
+    Function& f = prog.add_function("__pkey_get");
+    f.instrumentable = false;
+    f.rdpkr(t0, a0);
+    f.andi(t1, a0, 31);
+    f.slli(t1, t1, 1);
+    f.srl(t0, t0, t1);
+    f.andi(a0, t0, 3);
+    f.ret();
+  }
+}
+
+void add_rand_lib(Program& prog) {
+  if (prog.find_function("__rand") != nullptr) return;
+  Function& f = prog.add_function("__rand");
+  f.instrumentable = false;
+  f.ld(t0, 0, a0);  // x = state
+  f.slli(t1, t0, 13);
+  f.xor_(t0, t0, t1);
+  f.srli(t1, t0, 7);
+  f.xor_(t0, t0, t1);
+  f.slli(t1, t0, 17);
+  f.xor_(t0, t0, t1);
+  f.sd(t0, 0, a0);  // state = x
+  f.li(t1, static_cast<i64>(0x2545F4914F6CDD1DULL));
+  f.mul(a0, t0, t1);
+  f.ret();
+}
+
+void add_print_lib(Program& prog) {
+  if (prog.find_function("__print_str") != nullptr) return;
+  prog.add_zero("__print_buf", 32);
+  {
+    Function& f = prog.add_function("__print_str");
+    f.instrumentable = false;
+    f.mv(a2, a1);
+    f.mv(a1, a0);
+    f.li(a0, 1);
+    syscall(f, os::sys::kWrite);
+    f.ret();
+  }
+  {
+    // Unsigned decimal conversion into the scratch buffer, then write(1).
+    Function& f = prog.add_function("__print_u64");
+    f.instrumentable = false;
+    const Label loop = f.new_label();
+    f.la(t0, "__print_buf");
+    f.addi(t1, t0, 21);  // build digits backwards from the buffer end
+    f.li(t3, 10);
+    f.bind(loop);
+    f.remu(t2, a0, t3);
+    f.addi(t2, t2, '0');
+    f.addi(t1, t1, -1);
+    f.sb(t2, 0, t1);
+    f.divu(a0, a0, t3);
+    f.bnez(a0, loop);
+    f.la(t0, "__print_buf");
+    f.addi(t0, t0, 21);
+    f.sub(a2, t0, t1);  // length
+    f.mv(a1, t1);
+    f.li(a0, 1);
+    syscall(f, os::sys::kWrite);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("__print_nl");
+    f.instrumentable = false;
+    f.la(t0, "__print_buf");
+    f.li(t1, 0x0A);
+    f.sb(t1, 31, t0);
+    f.addi(a1, t0, 31);
+    f.li(a2, 1);
+    f.li(a0, 1);
+    syscall(f, os::sys::kWrite);
+    f.ret();
+  }
+}
+
+}  // namespace sealpk::rt

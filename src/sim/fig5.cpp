@@ -1,0 +1,91 @@
+#include "sim/fig5.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sealpk::sim {
+
+VariantResult run_cell(const wl::Workload& workload,
+                       passes::ShadowStackKind kind,
+                       std::optional<u64> scale_opt) {
+  const u64 scale = scale_opt.value_or(workload.bench_scale);
+  isa::Program prog = workload.build(scale);
+  passes::ShadowStackOptions opts;
+  opts.kind = kind;
+  passes::apply_shadow_stack(prog, opts);
+
+  Machine machine{MachineConfig{}};
+  const int pid = machine.load(prog.link());
+  const RunOutcome outcome = machine.run(8'000'000'000ULL);
+  SEALPK_CHECK_MSG(outcome.completed,
+                   workload.name << " did not finish under "
+                                 << passes::shadow_stack_kind_name(kind));
+  SEALPK_CHECK_MSG(machine.exit_code(pid) == 0,
+                   workload.name << " exited "
+                                 << machine.exit_code(pid) << " under "
+                                 << passes::shadow_stack_kind_name(kind));
+  const auto& reports = machine.kernel().reports();
+  SEALPK_CHECK_MSG(reports.size() == 1 &&
+                       reports[0] == workload.golden(scale),
+                   workload.name << " checksum mismatch under "
+                                 << passes::shadow_stack_kind_name(kind));
+  VariantResult result{kind, outcome.cycles, outcome.instructions,
+                       machine.hart().stats().calls,
+                       machine.kernel().process(pid).aspace->pages_mapped()};
+  return result;
+}
+
+std::vector<Fig5Row> run_figure5(std::optional<u64> scale, bool verbose) {
+  std::vector<Fig5Row> rows;
+  for (const auto& workload : wl::all_workloads()) {
+    Fig5Row row;
+    row.workload = &workload;
+    if (verbose) {
+      std::fprintf(stderr, "  %s/%s: baseline",
+                   wl::suite_name(workload.suite), workload.name);
+      std::fflush(stderr);
+    }
+    row.baseline = run_cell(workload, passes::ShadowStackKind::kNone, scale);
+    row.baseline_cycles = row.baseline.cycles;
+    for (const auto kind : kFig5Variants) {
+      if (verbose) {
+        std::fprintf(stderr, " %s", passes::shadow_stack_kind_name(kind));
+        std::fflush(stderr);
+      }
+      row.variants.push_back(run_cell(workload, kind, scale));
+    }
+    if (verbose) std::fprintf(stderr, "\n");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double suite_gmean_overhead(const std::vector<Fig5Row>& rows,
+                            wl::Suite suite, size_t variant_idx) {
+  double log_sum = 0;
+  unsigned count = 0;
+  for (const auto& row : rows) {
+    if (row.workload->suite != suite) continue;
+    const double overhead = row.overhead_pct(variant_idx);
+    // Clamp tiny overheads so a single near-zero bar cannot zero the mean
+    // (the paper's log-scale plot has the same floor).
+    log_sum += std::log(std::max(overhead, 0.01));
+    ++count;
+  }
+  SEALPK_CHECK(count > 0);
+  return std::exp(log_sum / count);
+}
+
+double mprotect_speedup_factor(const std::vector<Fig5Row>& rows) {
+  const wl::Suite suites[] = {wl::Suite::kSpec2000, wl::Suite::kSpec2006,
+                              wl::Suite::kMiBench};
+  double log_sum = 0;
+  for (const auto suite : suites) {
+    const double mprot = suite_gmean_overhead(rows, suite, kMprotectIdx);
+    const double rdwr = suite_gmean_overhead(rows, suite, kSealPkRdWrIdx);
+    log_sum += std::log(mprot / rdwr);
+  }
+  return std::exp(log_sum / 3.0);
+}
+
+}  // namespace sealpk::sim

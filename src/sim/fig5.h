@@ -1,0 +1,70 @@
+// Shared driver for the Figure-5 experiment: runs a benchmark proxy under
+// a shadow-stack variant on a fresh machine and reports simulated cycles.
+// Used by bench_fig5_shadowstack and by the regression tests that pin the
+// figure's shape.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "passes/shadow_stack.h"
+#include "sim/machine.h"
+#include "workloads/workload.h"
+
+namespace sealpk::sim {
+
+struct VariantResult {
+  passes::ShadowStackKind kind;
+  u64 cycles = 0;
+  u64 instructions = 0;
+  u64 calls = 0;          // jal/jalr-with-ra retired
+  u64 pages_mapped = 0;   // resident set at exit
+};
+
+struct Fig5Row {
+  const wl::Workload* workload = nullptr;
+  VariantResult baseline;  // uninstrumented run (kind = kNone)
+  u64 baseline_cycles = 0;
+  // In Figure 5 legend order: Inline, Func, SealPK-WR, SealPK-RD+WR,
+  // mprotect.
+  std::vector<VariantResult> variants;
+
+  double overhead_pct(size_t variant_idx) const {
+    const double base = static_cast<double>(baseline_cycles);
+    const double v = static_cast<double>(variants[variant_idx].cycles);
+    return 100.0 * (v - base) / base;
+  }
+};
+
+inline constexpr passes::ShadowStackKind kFig5Variants[] = {
+    passes::ShadowStackKind::kInline,
+    passes::ShadowStackKind::kFunc,
+    passes::ShadowStackKind::kSealPkWr,
+    passes::ShadowStackKind::kSealPkRdWr,
+    passes::ShadowStackKind::kMprotect,
+};
+inline constexpr size_t kNumFig5Variants = 5;
+inline constexpr size_t kSealPkRdWrIdx = 3;
+inline constexpr size_t kMprotectIdx = 4;
+
+// Runs one (workload, variant) cell; verifies the checksum against the
+// golden model and throws CheckError on mismatch. scale defaults to the
+// workload's bench_scale.
+VariantResult run_cell(const wl::Workload& workload,
+                       passes::ShadowStackKind kind,
+                       std::optional<u64> scale = std::nullopt);
+
+// Runs the full figure (all 17 workloads x baseline + 5 variants).
+std::vector<Fig5Row> run_figure5(std::optional<u64> scale = std::nullopt,
+                                 bool verbose = false);
+
+// Geometric mean of the per-workload overheads of `variant_idx` across the
+// rows of one suite.
+double suite_gmean_overhead(const std::vector<Fig5Row>& rows,
+                            wl::Suite suite, size_t variant_idx);
+
+// The paper's headline: geomean over the three suites of
+// (mprotect overhead / SealPK-RD+WR overhead) — "~88x faster".
+double mprotect_speedup_factor(const std::vector<Fig5Row>& rows);
+
+}  // namespace sealpk::sim

@@ -1,0 +1,30 @@
+#include "sim/machine.h"
+
+namespace sealpk::sim {
+
+RunOutcome Machine::run(u64 max_instructions) {
+  RunOutcome outcome;
+  const u64 start_instret = hart_.instret();
+  const u64 start_cycles = hart_.cycles();
+  u64 since_switch = 0;
+
+  while (!kernel_.all_exited()) {
+    if (hart_.instret() - start_instret >= max_instructions) break;
+    const core::StepResult r = hart_.step();
+    if (r.kind == core::StepKind::kTrap) {
+      kernel_.handle_trap();
+      since_switch = 0;
+    } else if (config_.preempt_quantum != 0 &&
+               ++since_switch >= config_.preempt_quantum) {
+      if (kernel_.runnable_threads() > 1) kernel_.preempt();
+      since_switch = 0;
+    }
+  }
+
+  outcome.completed = kernel_.all_exited();
+  outcome.instructions = hart_.instret() - start_instret;
+  outcome.cycles = hart_.cycles() - start_cycles;
+  return outcome;
+}
+
+}  // namespace sealpk::sim

@@ -1,0 +1,56 @@
+// Machine — the facade wiring DRAM + hart + kernel into the equivalent of
+// the paper's FPGA board (Rocket + SealPK + Linux). This is the main entry
+// point of the public API: load a linked guest image and run it.
+#pragma once
+
+#include "core/hart.h"
+#include "isa/program.h"
+#include "mem/phys_mem.h"
+#include "os/kernel.h"
+
+namespace sealpk::sim {
+
+struct MachineConfig {
+  core::HartConfig hart;
+  os::KernelConfig kernel;
+  u64 mem_bytes = 256 * 1024 * 1024;  // the paper's Zedboard has 256 MiB
+  // Timer-preemption quantum in instructions (0 disables preemption; the
+  // scheduler then only switches on sched_yield / exit).
+  u64 preempt_quantum = 50'000;
+};
+
+struct RunOutcome {
+  bool completed = false;  // every loaded process exited
+  u64 instructions = 0;    // retired during this run() call
+  u64 cycles = 0;          // simulated cycles elapsed during this run()
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {})
+      : config_(config),
+        mem_(config.mem_bytes),
+        hart_(mem_, config.hart),
+        kernel_(hart_, config.kernel) {}
+
+  // Loads a linked image as a new process; returns the pid.
+  int load(const isa::Image& image) { return kernel_.load_process(image); }
+
+  // Runs until every process exits or `max_instructions` retire.
+  RunOutcome run(u64 max_instructions = 4'000'000'000ULL);
+
+  core::Hart& hart() { return hart_; }
+  os::Kernel& kernel() { return kernel_; }
+  mem::PhysMem& mem() { return mem_; }
+  const MachineConfig& config() const { return config_; }
+
+  i64 exit_code(int pid) { return kernel_.process(pid).exit_code; }
+
+ private:
+  MachineConfig config_;
+  mem::PhysMem mem_;
+  core::Hart hart_;
+  os::Kernel kernel_;
+};
+
+}  // namespace sealpk::sim

@@ -1,0 +1,60 @@
+#include "sim/stats.h"
+
+#include <iomanip>
+
+namespace sealpk::sim {
+
+MachineStats collect_stats(Machine& machine) {
+  MachineStats s;
+  auto& hart = machine.hart();
+  s.instructions = hart.instret();
+  s.cycles = hart.cycles();
+  s.loads = hart.stats().loads;
+  s.stores = hart.stats().stores;
+  s.calls = hart.stats().calls;
+  s.traps = hart.stats().traps;
+  s.pkey_denials = hart.stats().pkey_denials;
+  s.rdpkr = hart.stats().rdpkr_count;
+  s.wrpkr = hart.stats().wrpkr_count;
+  s.dtlb = hart.dtlb().stats();
+  s.itlb = hart.itlb().stats();
+  s.pkr = hart.pkr().stats();
+  s.seal = hart.seal_unit().stats();
+  const auto& k = machine.kernel().stats();
+  s.syscalls = k.syscalls;
+  s.context_switches = k.context_switches;
+  s.page_faults = k.page_faults;
+  s.cam_refills = k.cam_refills;
+  s.seal_violations = k.seal_violations;
+  s.pte_pages_updated = k.pte_pages_updated;
+  return s;
+}
+
+void print_stats(const MachineStats& s, std::ostream& os) {
+  os << "machine statistics\n";
+  os << "  instructions      " << s.instructions << "\n";
+  os << "  cycles            " << s.cycles << "  (IPC "
+     << std::fixed << std::setprecision(3) << s.ipc() << ")\n";
+  os << "  loads/stores      " << s.loads << " / " << s.stores << "\n";
+  os << "  calls             " << s.calls << "\n";
+  os << "  traps             " << s.traps << "  (syscalls " << s.syscalls
+     << ", page faults " << s.page_faults << ")\n";
+  os << "  dtlb hit rate     " << std::setprecision(4)
+     << 100.0 * s.dtlb_hit_rate() << "%  (" << s.dtlb.hits << " hits, "
+     << s.dtlb.misses << " misses, " << s.dtlb.flushes << " flushes)\n";
+  os << "  itlb              " << s.itlb.hits << " hits, " << s.itlb.misses
+     << " misses\n";
+  os << "  pkr ports         " << s.pkr.perm_lookups << " perm lookups, "
+     << s.pkr.row_reads << " row reads, " << s.pkr.row_writes
+     << " row writes\n";
+  os << "  rdpkr/wrpkr       " << s.rdpkr << " / " << s.wrpkr << "\n";
+  os << "  seal checks       " << s.seal.checks << "  (cam hits "
+     << s.seal.cam_hits << ", misses " << s.seal.cam_misses
+     << ", refills " << s.cam_refills << ", violations "
+     << s.seal_violations << ")\n";
+  os << "  pkey denials      " << s.pkey_denials << "\n";
+  os << "  context switches  " << s.context_switches << "\n";
+  os << "  pte updates       " << s.pte_pages_updated << " pages\n";
+}
+
+}  // namespace sealpk::sim

@@ -1,0 +1,53 @@
+// Aggregated machine statistics: one call collects hart, TLB, PKR,
+// seal-unit and kernel counters into a plain struct (for programmatic use)
+// or a formatted report (for humans).
+#pragma once
+
+#include <ostream>
+
+#include "sim/machine.h"
+
+namespace sealpk::sim {
+
+struct MachineStats {
+  // hart
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 calls = 0;
+  u64 traps = 0;
+  u64 pkey_denials = 0;
+  u64 rdpkr = 0;
+  u64 wrpkr = 0;
+  // TLBs
+  mem::TlbStats dtlb;
+  mem::TlbStats itlb;
+  // SealPK units
+  hw::PkrStats pkr;
+  hw::SealUnitStats seal;
+  // kernel
+  u64 syscalls = 0;
+  u64 context_switches = 0;
+  u64 page_faults = 0;
+  u64 cam_refills = 0;
+  u64 seal_violations = 0;
+  u64 pte_pages_updated = 0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  double dtlb_hit_rate() const {
+    const u64 total = dtlb.hits + dtlb.misses;
+    return total == 0 ? 1.0
+                      : static_cast<double>(dtlb.hits) /
+                            static_cast<double>(total);
+  }
+};
+
+MachineStats collect_stats(Machine& machine);
+void print_stats(const MachineStats& stats, std::ostream& os);
+
+}  // namespace sealpk::sim

@@ -1,0 +1,29 @@
+#include "sim/trace.h"
+
+#include <iomanip>
+
+namespace sealpk::sim {
+
+namespace {
+void print_entry(std::ostream& os, core::Priv priv, u64 pc,
+                 const isa::Inst& inst) {
+  os << (priv == core::Priv::kUser ? 'U' : 'S') << " 0x" << std::hex
+     << std::setw(10) << std::setfill('0') << pc << std::dec << ": "
+     << isa::disassemble(inst) << '\n';
+}
+}  // namespace
+
+void Tracer::dump(std::ostream& os) const {
+  for (const auto& entry : entries_) {
+    print_entry(os, entry.priv, entry.pc, entry.inst);
+  }
+}
+
+void attach_stream_tracer(core::Hart& hart, std::ostream& os) {
+  hart.set_trace_hook(
+      [&os](core::Priv priv, u64 pc, const isa::Inst& inst) {
+        print_entry(os, priv, pc, inst);
+      });
+}
+
+}  // namespace sealpk::sim

@@ -1,0 +1,54 @@
+// Execution tracing: attach to a Machine's hart and collect or print a
+// disassembled instruction stream — the spike-style `-l` log for debugging
+// guest programs and instrumentation passes.
+#pragma once
+
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "sim/machine.h"
+
+namespace sealpk::sim {
+
+struct TraceEntry {
+  core::Priv priv;
+  u64 pc;
+  isa::Inst inst;
+};
+
+// Ring-buffer tracer: keeps the last `capacity` executed instructions.
+// Attach/detach at will; detaching restores the hart's zero-overhead path.
+class Tracer {
+ public:
+  explicit Tracer(u64 capacity = 64) : capacity_(capacity) {}
+
+  void attach(core::Hart& hart) {
+    hart.set_trace_hook(
+        [this](core::Priv priv, u64 pc, const isa::Inst& inst) {
+          if (entries_.size() == capacity_) entries_.pop_front();
+          entries_.push_back({priv, pc, inst});
+          ++executed_;
+        });
+  }
+
+  static void detach(core::Hart& hart) { hart.set_trace_hook(nullptr); }
+
+  const std::deque<TraceEntry>& entries() const { return entries_; }
+  u64 executed() const { return executed_; }
+  void clear() { entries_.clear(); }
+
+  // Renders the buffer, one "priv pc: disasm" line per instruction.
+  void dump(std::ostream& os) const;
+
+ private:
+  u64 capacity_;
+  u64 executed_ = 0;
+  std::deque<TraceEntry> entries_;
+};
+
+// Streaming tracer: prints every instruction as it executes (verbose; for
+// short repros).
+void attach_stream_tracer(core::Hart& hart, std::ostream& os);
+
+}  // namespace sealpk::sim

@@ -1,0 +1,79 @@
+#include "workloads/build_util.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+Frame::Frame(Function& f, std::initializer_list<u8> regs)
+    : f_(f), regs_(regs) {
+  size_ = static_cast<i64>(align_up(8 * (regs_.size() + 1), 16));
+  f_.addi(sp, sp, -size_);
+  f_.sd(ra, 0, sp);
+  i64 off = 8;
+  for (const u8 reg : regs_) {
+    f_.sd(reg, off, sp);
+    off += 8;
+  }
+}
+
+void Frame::leave() {
+  f_.ld(ra, 0, sp);
+  i64 off = 8;
+  for (const u8 reg : regs_) {
+    f_.ld(reg, off, sp);
+    off += 8;
+  }
+  f_.addi(sp, sp, size_);
+}
+
+void add_fill_rand(Program& prog) {
+  if (prog.find_function("__fill_rand") != nullptr) return;
+  Function& f = prog.add_function("__fill_rand");
+  f.instrumentable = false;
+  const Label loop = f.new_label(), done = f.new_label();
+  f.li(t3, static_cast<i64>(0x2545F4914F6CDD1DULL));
+  f.bind(loop);
+  f.beqz(a1, done);
+  f.slli(t0, a2, 13);
+  f.xor_(a2, a2, t0);
+  f.srli(t0, a2, 7);
+  f.xor_(a2, a2, t0);
+  f.slli(t0, a2, 17);
+  f.xor_(a2, a2, t0);
+  f.mul(t0, a2, t3);
+  f.sd(t0, 0, a0);
+  f.addi(a0, a0, 8);
+  f.addi(a1, a1, -1);
+  f.j(loop);
+  f.bind(done);
+  f.mv(a0, a2);
+  f.ret();
+}
+
+u64 host_fill_rand(std::vector<u64>& out, u64 count, u64 seed) {
+  GuestRand rng(seed);
+  out.resize(count);
+  for (u64 i = 0; i < count; ++i) out[i] = rng.next();
+  return rng.state;
+}
+
+void add_rss_ballast(Program& prog, u64 pages) {
+  prog.add_zero("rss_ballast", pages * 4096, 4096);
+}
+
+isa::Program make_workload_program() {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& main_fn = prog.add_function("main");
+  main_fn.addi(sp, sp, -16);
+  main_fn.sd(ra, 0, sp);
+  main_fn.call("run");
+  emit_report_a0(main_fn);
+  main_fn.ld(ra, 0, sp);
+  main_fn.addi(sp, sp, 16);
+  main_fn.li(a0, 0);
+  main_fn.ret();
+  return prog;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,70 @@
+// Shared guest-building helpers for the benchmark proxies.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "isa/program.h"
+#include "os/syscall_abi.h"
+#include "runtime/guest.h"
+
+namespace sealpk::wl {
+
+// Host mirror of the guest __rand xorshift (runtime/guest.cpp): state is
+// stored pre-multiply, the returned value is state * M. Golden models MUST
+// use this (not common/rng.h's Rng, which seeds differently).
+struct GuestRand {
+  u64 state;
+  explicit GuestRand(u64 seed) : state(seed) {}
+  u64 next() {
+    u64 x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+};
+
+constexpr u64 kWorkloadSeed = 0x5EED0F5EA1ULL;
+
+// Stack-frame helper: the constructor emits the prologue saving ra plus the
+// listed callee-saved registers; leave() emits the matching epilogue (call
+// right before ret()).
+class Frame {
+ public:
+  Frame(isa::Function& f, std::initializer_list<u8> regs);
+  void leave();
+
+ private:
+  isa::Function& f_;
+  std::vector<u8> regs_;
+  i64 size_;
+};
+
+// Adds __fill_rand(a0 = ptr, a1 = count_u64, a2 = seed) — fills memory with
+// the xorshift stream; returns the final (pre-multiply) state. Idempotent.
+void add_fill_rand(isa::Program& prog);
+
+// Host mirror of __fill_rand; returns the final state.
+u64 host_fill_rand(std::vector<u64>& out, u64 count, u64 seed);
+
+// Emits `report(a0)` preserving a0.
+inline void emit_report_a0(isa::Function& f) {
+  rt::syscall(f, os::sys::kReport);
+}
+
+// Standard skeleton: crt0 + a main() that calls "run" (which the caller
+// must add; it returns the checksum in a0), reports the checksum and exits
+// 0. Returns the program.
+isa::Program make_workload_program();
+
+// Adds a mapped-but-cold resident-set blob approximating the full image of
+// the proxied application. The SPEC programs the paper runs have orders-of-
+// magnitude larger resident sets than the algorithmic kernel extracted
+// here; the blob restores that property for the RSS-dependent mprotect
+// cost (TimingModel::mprotect_rss_cycles_per_page) without simulating the
+// rest of the program.
+void add_rss_ballast(isa::Program& prog, u64 pages);
+
+}  // namespace sealpk::wl

@@ -1,0 +1,142 @@
+// MiBench "bitcount" proxy: several bit-counting routines applied to a
+// deterministic value stream, one function call per (value, method) — the
+// original's profile is exactly this: tiny leaf functions called at an
+// extremely high rate.
+#include <bit>
+
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+constexpr u64 kStride = 0x9E3779B97F4A7C15ULL;  // value stream: i * kStride
+u64 iterations(u64 scale) { return 3000 * scale; }
+}  // namespace
+
+isa::Program build_bitcount(u64 scale) {
+  const u64 n = iterations(scale);
+  Program prog = make_workload_program();
+
+  // Nibble lookup table.
+  prog.add_rodata("nibble_table", {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+                                   3, 4});
+
+  {
+    // bc_kernighan(a0) -> popcount: clear lowest set bit until zero.
+    Function& f = prog.add_function("bc_kernighan");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(t0, 0);
+    f.bind(loop);
+    f.beqz(a0, done);
+    f.addi(t1, a0, -1);
+    f.and_(a0, a0, t1);
+    f.addi(t0, t0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, t0);
+    f.ret();
+  }
+  {
+    // bc_shift(a0) -> popcount: test-and-shift all 64 bits.
+    Function& f = prog.add_function("bc_shift");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(t0, 0);
+    f.li(t2, 64);
+    f.bind(loop);
+    f.beqz(t2, done);
+    f.andi(t1, a0, 1);
+    f.add(t0, t0, t1);
+    f.srli(a0, a0, 1);
+    f.addi(t2, t2, -1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, t0);
+    f.ret();
+  }
+  {
+    // bc_nibble(a0) -> popcount via the 16-entry table.
+    Function& f = prog.add_function("bc_nibble");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.la(t3, "nibble_table");
+    f.li(t0, 0);
+    f.li(t2, 16);
+    f.bind(loop);
+    f.beqz(t2, done);
+    f.andi(t1, a0, 15);
+    f.add(t1, t3, t1);
+    f.lbu(t1, 0, t1);
+    f.add(t0, t0, t1);
+    f.srli(a0, a0, 4);
+    f.addi(t2, t2, -1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, t0);
+    f.ret();
+  }
+  {
+    // bc_swar(a0) -> popcount via the parallel SWAR reduction.
+    Function& f = prog.add_function("bc_swar");
+    f.li(t1, static_cast<i64>(0x5555555555555555ULL));
+    f.srli(t0, a0, 1);
+    f.and_(t0, t0, t1);
+    f.sub(a0, a0, t0);  // pairs
+    f.li(t1, static_cast<i64>(0x3333333333333333ULL));
+    f.and_(t0, a0, t1);
+    f.srli(a0, a0, 2);
+    f.and_(a0, a0, t1);
+    f.add(a0, a0, t0);  // nibbles
+    f.srli(t0, a0, 4);
+    f.add(a0, a0, t0);
+    f.li(t1, static_cast<i64>(0x0F0F0F0F0F0F0F0FULL));
+    f.and_(a0, a0, t1);  // bytes
+    f.li(t1, static_cast<i64>(0x0101010101010101ULL));
+    f.mul(a0, a0, t1);
+    f.srli(a0, a0, 56);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3});
+    f.li(s0, 1);                        // i
+    f.li(s1, static_cast<i64>(n));      // limit
+    f.li(s2, 0);                        // checksum
+    const Label loop = f.new_label(), done = f.new_label();
+    f.bind(loop);
+    f.bltu(s1, s0, done);  // i > n ?
+    f.li(s3, static_cast<i64>(kStride));
+    f.mul(s3, s3, s0);  // the value under test
+    f.mv(a0, s3);
+    f.call("bc_kernighan");
+    f.add(s2, s2, a0);
+    f.mv(a0, s3);
+    f.call("bc_shift");
+    f.add(s2, s2, a0);
+    f.mv(a0, s3);
+    f.call("bc_nibble");
+    f.add(s2, s2, a0);
+    f.mv(a0, s3);
+    f.call("bc_swar");
+    f.add(s2, s2, a0);
+    f.addi(s0, s0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, s2);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_bitcount(u64 scale) {
+  const u64 n = iterations(scale);
+  u64 checksum = 0;
+  for (u64 i = 1; i <= n; ++i) {
+    checksum += 4 * static_cast<u64>(std::popcount(i * kStride));
+  }
+  return checksum;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,249 @@
+// MiBench "dijkstra" proxy: single-source shortest paths over a dense
+// random weight matrix, O(N^2) with an extract-min helper called per
+// settled node (the original's dequeue()).
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+u64 node_count(u64 /*scale*/) { return 56; }  // fixed graph: scale adds
+                                               // sources, not granularity
+u64 source_count(u64 scale) { return 3 * scale; }
+constexpr i64 kInf = 1 << 30;
+
+// Weight generation shared between guest and golden: row-major, diagonal 0,
+// w = 1 + (rand & 0xFF).
+std::vector<std::vector<u32>> host_weights(u64 n) {
+  GuestRand rng(kWorkloadSeed);
+  std::vector<std::vector<u32>> w(n, std::vector<u32>(n));
+  for (u64 i = 0; i < n; ++i) {
+    for (u64 j = 0; j < n; ++j) {
+      const u64 v = rng.next();
+      w[i][j] = i == j ? 0 : static_cast<u32>(1 + (v & 0xFF));
+    }
+  }
+  return w;
+}
+}  // namespace
+
+isa::Program build_dijkstra(u64 scale) {
+  const u64 n = node_count(scale);
+  Program prog = make_workload_program();
+  prog.add_zero("weights", n * n * 4);
+  prog.add_zero("dist", n * 8);
+  prog.add_zero("visited", n);
+
+  {
+    // extract_min() -> a0 = unvisited node with minimal dist (or n if none)
+    Function& f = prog.add_function("extract_min");
+    const Label loop = f.new_label(), skip = f.new_label(),
+                done = f.new_label();
+    f.la(t0, "dist");
+    f.la(t1, "visited");
+    f.li(t2, 0);                       // v
+    f.li(t3, static_cast<i64>(n));
+    f.li(a0, static_cast<i64>(n));     // best node
+    f.li(t4, kInf + 1);                // best dist
+    f.bind(loop);
+    f.bgeu(t2, t3, done);
+    f.add(t5, t1, t2);
+    f.lbu(t5, 0, t5);
+    f.bnez(t5, skip);
+    f.slli(t5, t2, 3);
+    f.add(t5, t0, t5);
+    f.ld(t5, 0, t5);
+    f.bgeu(t5, t4, skip);
+    f.mv(t4, t5);
+    f.mv(a0, t2);
+    f.bind(skip);
+    f.addi(t2, t2, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    // dijkstra(a0 = src) -> a0 = sum of distances
+    Function& f = prog.add_function("dijkstra");
+    Frame frame(f, {s0, s1, s2, s3});
+    f.mv(s0, a0);  // src
+    // init dist = INF, visited = 0; dist[src] = 0
+    const Label init = f.new_label(), init_done = f.new_label();
+    f.la(t0, "dist");
+    f.la(t1, "visited");
+    f.li(t2, 0);
+    f.li(t3, static_cast<i64>(n));
+    f.li(t4, kInf);
+    f.bind(init);
+    f.bgeu(t2, t3, init_done);
+    f.slli(t5, t2, 3);
+    f.add(t5, t0, t5);
+    f.sd(t4, 0, t5);
+    f.add(t5, t1, t2);
+    f.sb(zero, 0, t5);
+    f.addi(t2, t2, 1);
+    f.j(init);
+    f.bind(init_done);
+    f.la(t0, "dist");
+    f.slli(t1, s0, 3);
+    f.add(t1, t0, t1);
+    f.sd(zero, 0, t1);
+    // main loop: settle n nodes
+    f.li(s1, 0);  // settled count
+    const Label outer = f.new_label(), outer_done = f.new_label();
+    f.bind(outer);
+    f.li(t0, static_cast<i64>(n));
+    f.bgeu(s1, t0, outer_done);
+    f.call("extract_min");
+    f.li(t0, static_cast<i64>(n));
+    f.bgeu(a0, t0, outer_done);  // exhausted
+    f.mv(s2, a0);                // u
+    f.la(t0, "visited");
+    f.add(t0, t0, s2);
+    f.li(t1, 1);
+    f.sb(t1, 0, t0);
+    // relax all v: dist[v] = min(dist[v], dist[u] + w[u][v])
+    f.la(t0, "dist");
+    f.slli(t1, s2, 3);
+    f.add(t1, t0, t1);
+    f.ld(s3, 0, t1);  // dist[u]
+    const Label relax = f.new_label(), no_update = f.new_label();
+    f.la(t0, "weights");
+    f.li(t1, static_cast<i64>(n * 4));
+    f.mul(t1, s2, t1);
+    f.add(t0, t0, t1);  // row base
+    f.la(t1, "dist");
+    f.li(t2, 0);  // v
+    f.li(t3, static_cast<i64>(n));
+    f.bind(relax);
+    f.bgeu(t2, t3, no_update);
+    f.slli(t4, t2, 2);
+    f.add(t4, t0, t4);
+    f.lwu(t4, 0, t4);       // w[u][v]
+    f.add(t4, s3, t4);      // cand
+    f.slli(t5, t2, 3);
+    f.add(t5, t1, t5);
+    f.ld(t6, 0, t5);
+    const Label keep = f.new_label();
+    f.bgeu(t4, t6, keep);
+    f.sd(t4, 0, t5);
+    f.bind(keep);
+    f.addi(t2, t2, 1);
+    f.j(relax);
+    f.bind(no_update);
+    f.addi(s1, s1, 1);
+    f.j(outer);
+    f.bind(outer_done);
+    // sum distances
+    const Label sum = f.new_label(), sum_done = f.new_label();
+    f.la(t0, "dist");
+    f.li(t1, 0);
+    f.li(t2, static_cast<i64>(n));
+    f.li(a0, 0);
+    f.bind(sum);
+    f.bgeu(t1, t2, sum_done);
+    f.slli(t3, t1, 3);
+    f.add(t3, t0, t3);
+    f.ld(t3, 0, t3);
+    f.add(a0, a0, t3);
+    f.addi(t1, t1, 1);
+    f.j(sum);
+    f.bind(sum_done);
+    frame.leave();
+    f.ret();
+  }
+  {
+    // run(): generate the matrix inline, then sum dijkstra over sources.
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4});
+    // Matrix generation with the inline xorshift (mirrors GuestRand).
+    f.la(s0, "weights");
+    f.li(s1, static_cast<i64>(kWorkloadSeed));  // state
+    f.li(s2, 0);                                // i (row)
+    const Label rows = f.new_label(), rows_done = f.new_label();
+    f.bind(rows);
+    f.li(t0, static_cast<i64>(n));
+    f.bgeu(s2, t0, rows_done);
+    f.li(s3, 0);  // j
+    const Label cols = f.new_label(), cols_done = f.new_label();
+    f.bind(cols);
+    f.li(t0, static_cast<i64>(n));
+    f.bgeu(s3, t0, cols_done);
+    // state advance
+    f.slli(t0, s1, 13);
+    f.xor_(s1, s1, t0);
+    f.srli(t0, s1, 7);
+    f.xor_(s1, s1, t0);
+    f.slli(t0, s1, 17);
+    f.xor_(s1, s1, t0);
+    f.li(t0, static_cast<i64>(0x2545F4914F6CDD1DULL));
+    f.mul(t0, s1, t0);  // value
+    f.andi(t0, t0, 0xFF);
+    f.addi(t0, t0, 1);
+    const Label not_diag = f.new_label();
+    f.bne(s2, s3, not_diag);
+    f.li(t0, 0);
+    f.bind(not_diag);
+    f.li(t1, static_cast<i64>(n));
+    f.mul(t1, s2, t1);
+    f.add(t1, t1, s3);
+    f.slli(t1, t1, 2);
+    f.add(t1, s0, t1);
+    f.sw(t0, 0, t1);
+    f.addi(s3, s3, 1);
+    f.j(cols);
+    f.bind(cols_done);
+    f.addi(s2, s2, 1);
+    f.j(rows);
+    f.bind(rows_done);
+    // Sources.
+    f.li(s2, 0);
+    f.li(s4, 0);  // checksum
+    const Label srcs = f.new_label(), srcs_done = f.new_label();
+    f.bind(srcs);
+    f.li(t0, static_cast<i64>(source_count(scale)));
+    f.bgeu(s2, t0, srcs_done);
+    f.mv(a0, s2);
+    f.call("dijkstra");
+    f.add(s4, s4, a0);
+    f.addi(s2, s2, 1);
+    f.j(srcs);
+    f.bind(srcs_done);
+    f.mv(a0, s4);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_dijkstra(u64 scale) {
+  const u64 n = node_count(scale);
+  const auto w = host_weights(n);
+  u64 checksum = 0;
+  for (u64 src = 0; src < source_count(scale); ++src) {
+    std::vector<u64> dist(n, kInf);
+    std::vector<bool> visited(n, false);
+    dist[src] = 0;
+    for (u64 iter = 0; iter < n; ++iter) {
+      u64 best = n, best_d = kInf + 1;
+      for (u64 v = 0; v < n; ++v) {
+        if (!visited[v] && dist[v] < best_d) {
+          best = v;
+          best_d = dist[v];
+        }
+      }
+      if (best == n) break;
+      visited[best] = true;
+      for (u64 v = 0; v < n; ++v) {
+        const u64 cand = dist[best] + w[best][v];
+        if (cand < dist[v]) dist[v] = cand;
+      }
+    }
+    for (u64 v = 0; v < n; ++v) checksum += dist[v];
+  }
+  return checksum;
+}
+
+}  // namespace sealpk::wl

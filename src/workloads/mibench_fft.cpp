@@ -1,0 +1,316 @@
+// MiBench "FFT" proxy: an in-place radix-2 fixed-point FFT (Q15 twiddles,
+// 32-bit data), one fft_group() call per butterfly group plus a bit-reverse
+// pass. Substitution note: the original uses floating point; the simulated
+// hart is RV64IM, so the FFT is fixed-point — identical memory/call
+// structure, integer ALU instead of FPU. The twiddle table is precomputed
+// host-side into rodata, like a const table in the original binary.
+#include <cmath>
+
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+// Fixed transform size (call granularity stays scale-invariant); scale
+// repeats the generate+transform round with a shifted seed.
+constexpr u64 kFftSize = 256;
+constexpr u64 kRoundSeedStride = 0x9E3779B97F4A7C15ULL;
+u64 fft_size(u64 /*scale*/) { return kFftSize; }
+
+std::vector<i32> host_twiddles(u64 n) {
+  // w[k] = e^{-2*pi*i*k/n} in Q15, interleaved re/im.
+  std::vector<i32> tw(n);  // n/2 complex pairs
+  for (u64 k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * M_PI * static_cast<double>(k) /
+                       static_cast<double>(n);
+    tw[2 * k] = static_cast<i32>(std::lround(std::cos(ang) * 32767.0));
+    tw[2 * k + 1] = static_cast<i32>(std::lround(std::sin(ang) * 32767.0));
+  }
+  return tw;
+}
+
+void host_inputs(u64 n, u64 seed, std::vector<i32>* re,
+                 std::vector<i32>* im) {
+  GuestRand rng(seed);
+  re->resize(n);
+  im->resize(n);
+  for (u64 k = 0; k < n; ++k) {
+    const u64 v = rng.next();
+    (*re)[k] = static_cast<i32>(v & 0x3FFF) - 0x2000;
+    (*im)[k] = static_cast<i32>((v >> 16) & 0x3FFF) - 0x2000;
+  }
+}
+
+std::vector<u8> to_bytes(const std::vector<i32>& v) {
+  std::vector<u8> bytes(v.size() * 4);
+  for (size_t i = 0; i < v.size(); ++i) {
+    const u32 u = static_cast<u32>(v[i]);
+    bytes[4 * i] = static_cast<u8>(u);
+    bytes[4 * i + 1] = static_cast<u8>(u >> 8);
+    bytes[4 * i + 2] = static_cast<u8>(u >> 16);
+    bytes[4 * i + 3] = static_cast<u8>(u >> 24);
+  }
+  return bytes;
+}
+}  // namespace
+
+isa::Program build_fft(u64 scale) {
+  const u64 n = fft_size(scale);
+  Program prog = make_workload_program();
+  prog.add_zero("re", n * 4);
+  prog.add_zero("im", n * 4);
+  prog.add_rodata("twiddle", to_bytes(host_twiddles(n)), 8);
+
+  {
+    // bit_reverse(): permute re/im in place.
+    Function& f = prog.add_function("bit_reverse");
+    const Label loop = f.new_label(), noswap = f.new_label(),
+                done = f.new_label();
+    const Label rev = f.new_label(), rev_done = f.new_label();
+    f.la(t0, "re");
+    f.la(t1, "im");
+    f.li(t2, 0);  // i
+    unsigned log2n = 0;
+    while ((u64{1} << log2n) < n) ++log2n;
+    f.bind(loop);
+    f.li(t3, static_cast<i64>(n));
+    f.bgeu(t2, t3, done);
+    // j = bit-reverse of i over log2n bits
+    f.mv(t4, t2);
+    f.li(t5, 0);       // j
+    f.li(t6, log2n);
+    f.bind(rev);
+    f.beqz(t6, rev_done);
+    f.slli(t5, t5, 1);
+    f.andi(a2, t4, 1);
+    f.or_(t5, t5, a2);
+    f.srli(t4, t4, 1);
+    f.addi(t6, t6, -1);
+    f.j(rev);
+    f.bind(rev_done);
+    f.bgeu(t2, t5, noswap);  // swap once per pair
+    // swap re[i],re[j] and im[i],im[j]
+    f.slli(t4, t2, 2);
+    f.slli(t6, t5, 2);
+    f.add(a2, t0, t4);
+    f.add(a3, t0, t6);
+    f.lw(a4, 0, a2);
+    f.lw(a5, 0, a3);
+    f.sw(a5, 0, a2);
+    f.sw(a4, 0, a3);
+    f.add(a2, t1, t4);
+    f.add(a3, t1, t6);
+    f.lw(a4, 0, a2);
+    f.lw(a5, 0, a3);
+    f.sw(a5, 0, a2);
+    f.sw(a4, 0, a3);
+    f.bind(noswap);
+    f.addi(t2, t2, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    // fft_group(a0 = base index, a1 = half (len/2), a2 = twiddle stride):
+    // butterflies j = 0..half-1 between [base+j] and [base+half+j].
+    Function& f = prog.add_function("fft_group");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.la(t0, "re");
+    f.la(t1, "im");
+    f.la(t2, "twiddle");
+    f.li(t3, 0);  // j
+    f.bind(loop);
+    f.bgeu(t3, a1, done);
+    // indices
+    f.add(t4, a0, t3);       // p = base + j
+    f.add(t5, t4, a1);       // q = p + half
+    f.slli(t4, t4, 2);
+    f.slli(t5, t5, 2);
+    // twiddle k = j * stride (complex pair at twiddle + 8k)
+    f.mul(t6, t3, a2);
+    f.slli(t6, t6, 3);
+    f.add(t6, t2, t6);
+    f.lw(a3, 0, t6);  // w_re
+    f.lw(a4, 4, t6);  // w_im
+    // load b = x[q]
+    f.add(a5, t0, t5);
+    f.lw(a6, 0, a5);  // b_re
+    f.add(a5, t1, t5);
+    f.lw(a7, 0, a5);  // b_im
+    // t = w * b (Q15)
+    f.mul(a5, a3, a6);
+    f.mul(t6, a4, a7);
+    f.sub(a5, a5, t6);
+    f.srai(a5, a5, 15);  // t_re
+    f.mul(t6, a3, a7);
+    f.mul(a3, a4, a6);   // (w_re reused as scratch after use)
+    f.add(t6, t6, a3);
+    f.srai(t6, t6, 15);  // t_im
+    // a = x[p]; x[p] = a + t; x[q] = a - t
+    f.add(a3, t0, t4);
+    f.lw(a4, 0, a3);
+    f.addw(a6, a4, a5);
+    f.sw(a6, 0, a3);
+    f.add(a3, t0, t5);
+    f.subw(a6, a4, a5);
+    f.sw(a6, 0, a3);
+    f.add(a3, t1, t4);
+    f.lw(a4, 0, a3);
+    f.addw(a6, a4, t6);
+    f.sw(a6, 0, a3);
+    f.add(a3, t1, t5);
+    f.subw(a6, a4, t6);
+    f.sw(a6, 0, a3);
+    f.addi(t3, t3, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5});
+    f.li(s3, 0);  // round
+    f.li(s5, 0);  // total checksum
+    const Label round_loop = f.new_label(), round_done = f.new_label();
+    f.bind(round_loop);
+    f.li(t0, static_cast<i64>(scale));
+    f.bgeu(s3, t0, round_done);
+    // Inputs from the shared xorshift stream (per-round seed).
+    f.la(t0, "re");
+    f.la(t1, "im");
+    f.li(s1, static_cast<i64>(kRoundSeedStride));
+    f.mul(s1, s1, s3);
+    f.li(t2, static_cast<i64>(kWorkloadSeed));
+    f.add(s1, s1, t2);
+    f.li(t2, 0);
+    const Label gen = f.new_label(), gen_done = f.new_label();
+    f.bind(gen);
+    f.li(t3, static_cast<i64>(n));
+    f.bgeu(t2, t3, gen_done);
+    f.slli(t4, s1, 13);
+    f.xor_(s1, s1, t4);
+    f.srli(t4, s1, 7);
+    f.xor_(s1, s1, t4);
+    f.slli(t4, s1, 17);
+    f.xor_(s1, s1, t4);
+    f.li(t4, static_cast<i64>(0x2545F4914F6CDD1DULL));
+    f.mul(t4, s1, t4);  // value
+    f.li(t5, 0x3FFF);
+    f.li(a4, -0x2000);  // -8192 exceeds a 12-bit addi immediate
+    f.and_(t6, t4, t5);
+    f.add(t6, t6, a4);
+    f.slli(a2, t2, 2);
+    f.add(a3, t0, a2);
+    f.sw(t6, 0, a3);
+    f.srli(t6, t4, 16);
+    f.and_(t6, t6, t5);
+    f.add(t6, t6, a4);
+    f.add(a3, t1, a2);
+    f.sw(t6, 0, a3);
+    f.addi(t2, t2, 1);
+    f.j(gen);
+    f.bind(gen_done);
+    f.call("bit_reverse");
+    // Stages: len = 2, 4, ..., n; per stage, groups at base = 0, len, ...
+    f.li(s0, 2);  // len
+    const Label stage = f.new_label(), stage_done = f.new_label();
+    const Label group = f.new_label(), group_done = f.new_label();
+    f.bind(stage);
+    f.li(t0, static_cast<i64>(n));
+    f.bltu(t0, s0, stage_done);
+    f.li(s2, 0);  // base
+    f.bind(group);
+    f.li(t0, static_cast<i64>(n));
+    f.bgeu(s2, t0, group_done);
+    f.mv(a0, s2);
+    f.srli(a1, s0, 1);           // half
+    f.li(a2, static_cast<i64>(n));
+    f.divu(a2, a2, s0);          // twiddle stride = n / len
+    f.call("fft_group");
+    f.add(s2, s2, s0);
+    f.j(group);
+    f.bind(group_done);
+    f.slli(s0, s0, 1);
+    f.j(stage);
+    f.bind(stage_done);
+    // checksum = sum over k of (u32)re[k] + 3 * (u32)im[k]
+    f.la(t0, "re");
+    f.la(t1, "im");
+    f.li(t2, 0);
+    const Label sum = f.new_label(), sum_done = f.new_label();
+    f.bind(sum);
+    f.li(t3, static_cast<i64>(n));
+    f.bgeu(t2, t3, sum_done);
+    f.slli(t4, t2, 2);
+    f.add(t5, t0, t4);
+    f.lwu(t5, 0, t5);
+    f.add(s5, s5, t5);
+    f.add(t5, t1, t4);
+    f.lwu(t5, 0, t5);
+    f.slli(t6, t5, 1);
+    f.add(t5, t5, t6);
+    f.add(s5, s5, t5);
+    f.addi(t2, t2, 1);
+    f.j(sum);
+    f.bind(sum_done);
+    f.addi(s3, s3, 1);
+    f.j(round_loop);
+    f.bind(round_done);
+    f.mv(a0, s5);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_fft(u64 scale) {
+  const u64 n = fft_size(scale);
+  const auto tw = host_twiddles(n);
+  u64 total = 0;
+  for (u64 round = 0; round < scale; ++round) {
+  std::vector<i32> re, im;
+  host_inputs(n, kWorkloadSeed + round * kRoundSeedStride, &re, &im);
+  // Bit reverse.
+  unsigned log2n = 0;
+  while ((u64{1} << log2n) < n) ++log2n;
+  for (u64 i = 0; i < n; ++i) {
+    u64 j = 0, x = i;
+    for (unsigned b = 0; b < log2n; ++b) {
+      j = (j << 1) | (x & 1);
+      x >>= 1;
+    }
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  // Stages — identical arithmetic to the guest (64-bit products, >> 15,
+  // 32-bit wrapping adds).
+  for (u64 len = 2; len <= n; len <<= 1) {
+    const u64 half = len / 2, stride = n / len;
+    for (u64 base = 0; base < n; base += len) {
+      for (u64 j = 0; j < half; ++j) {
+        const u64 p = base + j, q = p + half;
+        const i64 w_re = tw[2 * (j * stride)];
+        const i64 w_im = tw[2 * (j * stride) + 1];
+        const i64 t_re = (w_re * re[q] - w_im * im[q]) >> 15;
+        const i64 t_im = (w_re * im[q] + w_im * re[q]) >> 15;
+        const i32 a_re = re[p], a_im = im[p];
+        re[p] = static_cast<i32>(a_re + t_re);
+        re[q] = static_cast<i32>(a_re - t_re);
+        im[p] = static_cast<i32>(a_im + t_im);
+        im[q] = static_cast<i32>(a_im - t_im);
+      }
+    }
+  }
+  for (u64 k = 0; k < n; ++k) {
+    total += static_cast<u32>(re[k]) + 3ULL * static_cast<u32>(im[k]);
+  }
+  }
+  return total;
+}
+
+}  // namespace sealpk::wl

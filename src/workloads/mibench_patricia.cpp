@@ -1,0 +1,209 @@
+// MiBench "patricia" proxy: a binary radix trie over 16-bit keys with
+// pool-allocated nodes. insert/lookup/alloc are separate functions —
+// pointer-chasing with a high call rate, like the original's route-table
+// trie.
+#include <set>
+
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+constexpr unsigned kKeyBits = 12;
+u64 insert_count(u64 scale) { return 192 * scale; }
+u64 lookup_count(u64 scale) { return 2 * insert_count(scale); }
+// Node layout: {left(0), right(8), valid(16), pad(24)} = 32 bytes.
+constexpr u64 kNodeSize = 32;
+
+// Exact node demand for the deterministic key stream (host-side dry run of
+// the same bitwise trie), so the guest pool carries no slack pages.
+u64 host_trie_nodes(u64 inserts) {
+  std::vector<u64> keys;
+  host_fill_rand(keys, inserts, kWorkloadSeed);
+  std::set<std::pair<u64, u64>> edges;  // (depth, prefix)
+  u64 nodes = 1;  // root
+  for (u64 i = 0; i < inserts; ++i) {
+    const u64 key = keys[i] & 0xFFF;
+    for (unsigned depth = 1; depth <= kKeyBits; ++depth) {
+      const u64 prefix = key >> (kKeyBits - depth);
+      if (edges.insert({depth, prefix}).second) ++nodes;
+    }
+  }
+  return nodes;
+}
+}  // namespace
+
+isa::Program build_patricia(u64 scale) {
+  const u64 inserts = insert_count(scale);
+  const u64 lookups = lookup_count(scale);
+  const u64 pool_nodes = host_trie_nodes(inserts) + 1;
+  Program prog = make_workload_program();
+  add_fill_rand(prog);
+  prog.add_zero("node_pool", pool_nodes * kNodeSize, 16);
+  prog.add_zero("pool_next", 8);
+  prog.add_zero("keys", (inserts + lookups) * 8);
+
+  {
+    // alloc_node() -> a0 = zeroed node (bss is pre-zeroed; the bump pointer
+    // only moves forward).
+    Function& f = prog.add_function("alloc_node");
+    f.la(t0, "pool_next");
+    f.ld(t1, 0, t0);
+    f.addi(t2, t1, 1);
+    f.sd(t2, 0, t0);
+    f.li(t2, kNodeSize);
+    f.mul(t1, t1, t2);
+    f.la(t0, "node_pool");
+    f.add(a0, t0, t1);
+    f.ret();
+  }
+  {
+    // trie_insert(a0 = key) -> 1 if newly inserted, 0 if already present.
+    // The root is node 0 (pre-allocated by run()).
+    Function& f = prog.add_function("trie_insert");
+    Frame frame(f, {s0, s1, s2});
+    f.mv(s0, a0);           // key
+    f.la(s1, "node_pool");  // current node (root)
+    f.li(s2, kKeyBits - 1); // bit index
+    const Label walk = f.new_label(), walk_done = f.new_label();
+    const Label have_child = f.new_label();
+    f.bind(walk);
+    f.blt(s2, zero, walk_done);
+    // dir = (key >> bit) & 1; slot offset = dir * 8
+    f.srl(t0, s0, s2);
+    f.andi(t0, t0, 1);
+    f.slli(t0, t0, 3);
+    f.add(t1, s1, t0);  // &child link
+    f.ld(t2, 0, t1);
+    f.bnez(t2, have_child);
+    // Allocate inline (bump pointer) and link. The original pre-allocates
+    // node pools the same way rather than calling malloc per bit.
+    f.la(t3, "pool_next");
+    f.ld(t4, 0, t3);
+    f.addi(t5, t4, 1);
+    f.sd(t5, 0, t3);
+    f.li(t5, kNodeSize);
+    f.mul(t4, t4, t5);
+    f.la(t3, "node_pool");
+    f.add(t2, t3, t4);  // fresh node
+    f.sd(t2, 0, t1);
+    f.bind(have_child);
+    f.mv(s1, t2);
+    f.addi(s2, s2, -1);
+    f.j(walk);
+    f.bind(walk_done);
+    // s1 = leaf node
+    f.ld(t0, 16, s1);  // valid
+    const Label fresh = f.new_label();
+    f.beqz(t0, fresh);
+    f.li(a0, 0);
+    frame.leave();
+    f.ret();
+    f.bind(fresh);
+    f.li(t0, 1);
+    f.sd(t0, 16, s1);
+    f.li(a0, 1);
+    frame.leave();
+    f.ret();
+  }
+  {
+    // trie_lookup(a0 = key) -> 1 if present.
+    Function& f = prog.add_function("trie_lookup");
+    const Label walk = f.new_label(), miss = f.new_label(),
+                walk_done = f.new_label();
+    f.la(t3, "node_pool");  // current
+    f.li(t4, kKeyBits - 1);
+    f.bind(walk);
+    f.blt(t4, zero, walk_done);
+    f.srl(t0, a0, t4);
+    f.andi(t0, t0, 1);
+    f.slli(t0, t0, 3);
+    f.add(t1, t3, t0);
+    f.ld(t3, 0, t1);
+    f.beqz(t3, miss);
+    f.addi(t4, t4, -1);
+    f.j(walk);
+    f.bind(walk_done);
+    f.ld(a0, 16, t3);
+    f.ret();
+    f.bind(miss);
+    f.li(a0, 0);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3});
+    // Reserve node 0 as the root.
+    f.la(t0, "pool_next");
+    f.li(t1, 1);
+    f.sd(t1, 0, t0);
+    // Key stream.
+    f.la(a0, "keys");
+    f.li(a1, static_cast<i64>(inserts + lookups));
+    f.li(a2, static_cast<i64>(kWorkloadSeed));
+    f.call("__fill_rand");
+    // Inserts.
+    f.la(s0, "keys");
+    f.li(s1, 0);  // index
+    f.li(s2, 0);  // inserted count
+    const Label ins = f.new_label(), ins_done = f.new_label();
+    f.bind(ins);
+    f.li(t0, static_cast<i64>(inserts));
+    f.bgeu(s1, t0, ins_done);
+    f.slli(t0, s1, 3);
+    f.add(t0, s0, t0);
+    f.ld(a0, 0, t0);
+    f.li(t1, 0xFFF);
+    f.and_(a0, a0, t1);
+    f.call("trie_insert");
+    f.add(s2, s2, a0);
+    f.addi(s1, s1, 1);
+    f.j(ins);
+    f.bind(ins_done);
+    // Lookups.
+    f.li(s3, 0);  // hits
+    const Label look = f.new_label(), look_done = f.new_label();
+    f.bind(look);
+    f.li(t0, static_cast<i64>(inserts + lookups));
+    f.bgeu(s1, t0, look_done);
+    f.slli(t0, s1, 3);
+    f.add(t0, s0, t0);
+    f.ld(a0, 0, t0);
+    f.li(t1, 0xFFF);
+    f.and_(a0, a0, t1);
+    f.call("trie_lookup");
+    f.add(s3, s3, a0);
+    f.addi(s1, s1, 1);
+    f.j(look);
+    f.bind(look_done);
+    // checksum = hits * 3 + inserted
+    f.slli(t0, s3, 1);
+    f.add(t0, t0, s3);
+    f.add(a0, t0, s2);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_patricia(u64 scale) {
+  const u64 inserts = insert_count(scale);
+  const u64 lookups = lookup_count(scale);
+  std::vector<u64> keys;
+  host_fill_rand(keys, inserts + lookups, kWorkloadSeed);
+  std::set<u64> present;
+  u64 inserted = 0;
+  for (u64 i = 0; i < inserts; ++i) {
+    inserted += present.insert(keys[i] & 0xFFF).second ? 1 : 0;
+  }
+  u64 hits = 0;
+  for (u64 i = inserts; i < inserts + lookups; ++i) {
+    hits += present.count(keys[i] & 0xFFF);
+  }
+  return hits * 3 + inserted;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,180 @@
+// MiBench "qsort" proxy: recursive quicksort (Hoare partition) over a
+// pseudorandom u64 array. Call profile: one recursive call pair per
+// partition — moderate call rate, small footprint, like the original's
+// qsort(3)-dominated run.
+#include <algorithm>
+
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+// Fixed array size: the partition-call granularity stays scale-invariant;
+// scale repeats the fill+sort+verify round on fresh data.
+constexpr u64 kElements = 512;
+constexpr u64 kRoundSeedStride = 0x9E3779B97F4A7C15ULL;
+}  // namespace
+
+isa::Program build_qsort(u64 scale) {
+  const u64 n = kElements;
+  Program prog = make_workload_program();
+  add_fill_rand(prog);
+  prog.add_zero("array", n * 8);
+
+  // insertion_sort(a0 = lo_ptr, a1 = hi_ptr): the small-partition cutoff,
+  // exactly like a production qsort(3).
+  {
+    Function& f = prog.add_function("insertion_sort");
+    const Label outer = f.new_label(), inner = f.new_label(),
+                place = f.new_label(), done = f.new_label();
+    f.addi(t0, a0, 8);  // p
+    f.bind(outer);
+    f.bltu(a1, t0, done);
+    f.ld(t1, 0, t0);     // key
+    f.addi(t2, t0, -8);  // q
+    f.bind(inner);
+    f.bltu(t2, a0, place);
+    f.ld(t3, 0, t2);
+    f.bgeu(t1, t3, place);
+    f.sd(t3, 8, t2);
+    f.addi(t2, t2, -8);
+    f.j(inner);
+    f.bind(place);
+    f.sd(t1, 8, t2);
+    f.addi(t0, t0, 8);
+    f.j(outer);
+    f.bind(done);
+    f.ret();
+  }
+  // quicksort(a0 = lo_ptr, a1 = hi_ptr) — pointers to the first/last
+  // element (inclusive); small partitions fall through to insertion sort.
+  {
+    Function& f = prog.add_function("quicksort");
+    const Label done = f.new_label(), outer = f.new_label();
+    const Label scan_i = f.new_label(), scan_j = f.new_label();
+    const Label swap = f.new_label(), recurse = f.new_label();
+    const Label small = f.new_label();
+    f.bgeu(a0, a1, done);
+    Frame frame(f, {s0, s1, s2, s3, s4});
+    f.mv(s0, a0);  // lo
+    f.mv(s1, a1);  // hi
+    f.sub(t0, s1, s0);
+    f.li(t1, 23 * 8);
+    f.bgeu(t1, t0, small);  // <= 24 elements
+    // pivot = *(lo + ((hi - lo) / 16) * 8)  (the middle element)
+    f.sub(t0, s1, s0);
+    f.srli(t0, t0, 4);
+    f.slli(t0, t0, 3);
+    f.add(t0, s0, t0);
+    f.ld(s2, 0, t0);      // s2 = pivot value
+    f.addi(s3, s0, -8);   // i
+    f.addi(s4, s1, 8);    // j
+    f.bind(outer);
+    f.bind(scan_i);
+    f.addi(s3, s3, 8);
+    f.ld(t0, 0, s3);
+    f.bltu(t0, s2, scan_i);
+    f.bind(scan_j);
+    f.addi(s4, s4, -8);
+    f.ld(t1, 0, s4);
+    f.bltu(s2, t1, scan_j);
+    f.bltu(s3, s4, swap);
+    f.j(recurse);
+    f.bind(swap);
+    f.sd(t1, 0, s3);
+    f.sd(t0, 0, s4);
+    f.j(outer);
+    f.bind(recurse);
+    f.mv(a0, s0);
+    f.mv(a1, s4);
+    f.call("quicksort");
+    f.addi(a0, s4, 8);
+    f.mv(a1, s1);
+    f.call("quicksort");
+    frame.leave();
+    f.bind(done);
+    f.ret();
+    f.bind(small);
+    f.mv(a0, s0);
+    f.mv(a1, s1);
+    f.call("insertion_sort");
+    frame.leave();
+    f.ret();
+  }
+
+  // run(): `scale` rounds of fill, sort, verify + checksum.
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5});
+    f.li(s4, 0);  // round
+    f.li(s5, 0);  // total checksum
+    const Label rounds = f.new_label(), rounds_done = f.new_label();
+    f.bind(rounds);
+    f.li(t0, static_cast<i64>(scale));
+    f.bgeu(s4, t0, rounds_done);
+    f.la(s0, "array");
+    f.la(a0, "array");
+    f.li(a1, static_cast<i64>(n));
+    f.li(a2, static_cast<i64>(kRoundSeedStride));
+    f.mul(a2, a2, s4);
+    f.li(t0, static_cast<i64>(kWorkloadSeed));
+    f.add(a2, a2, t0);  // round seed
+    f.call("__fill_rand");
+    f.la(a0, "array");
+    f.li(t0, static_cast<i64>((n - 1) * 8));
+    f.add(a1, a0, t0);
+    f.call("quicksort");
+    // checksum = sum of value * (index + 1); bail to 0xDEAD on disorder.
+    const Label loop = f.new_label(), done = f.new_label(),
+                bad = f.new_label();
+    f.li(s1, 0);  // checksum
+    f.li(s2, 1);  // index + 1
+    f.li(s3, static_cast<i64>(n));
+    f.mv(t2, s0);
+    f.ld(t3, 0, t2);  // previous
+    f.bind(loop);
+    f.bgeu(s2, s3, done);  // processed n-1 pairs
+    f.mul(t4, t3, s2);
+    f.add(s1, s1, t4);
+    f.addi(t2, t2, 8);
+    f.ld(t0, 0, t2);
+    f.bltu(t0, t3, bad);  // disorder
+    f.mv(t3, t0);
+    f.addi(s2, s2, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mul(t4, t3, s2);
+    f.add(s1, s1, t4);
+    f.add(s5, s5, s1);  // accumulate this round
+    f.addi(s4, s4, 1);
+    f.j(rounds);
+    f.bind(rounds_done);
+    f.mv(a0, s5);
+    frame.leave();
+    f.ret();
+    f.bind(bad);
+    f.li(a0, 0xDEAD);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_qsort(u64 scale) {
+  u64 total = 0;
+  for (u64 round = 0; round < scale; ++round) {
+    std::vector<u64> data;
+    host_fill_rand(data, kElements,
+                   kWorkloadSeed + round * kRoundSeedStride);
+    std::sort(data.begin(), data.end());
+    u64 checksum = 0;
+    for (u64 i = 0; i < kElements; ++i) checksum += data[i] * (i + 1);
+    total += checksum;
+  }
+  return total;
+}
+
+}  // namespace sealpk::wl

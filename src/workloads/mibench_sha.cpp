@@ -1,0 +1,245 @@
+// MiBench "sha" proxy: a real SHA-1 compression function applied to a
+// pseudorandom message, one sha1_block() call per 64-byte block — the
+// original's sha_transform profile (few calls, fat bodies). Simplification
+// vs. the standard: words are read little-endian and no length padding is
+// appended (neither affects the performance profile); the golden model
+// mirrors this exactly.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+u64 block_count(u64 scale) { return 96 * scale; }
+
+constexpr u32 kInit[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                          0xC3D2E1F0};
+
+u32 rotl32(u32 x, unsigned s) { return (x << s) | (x >> (32 - s)); }
+
+void host_sha1_block(u32 state[5], const u32 w_in[16]) {
+  u32 w[16];
+  for (int i = 0; i < 16; ++i) w[i] = w_in[i];
+  u32 a = state[0], b = state[1], c = state[2], d = state[3], e = state[4];
+  for (unsigned t = 0; t < 80; ++t) {
+    u32 wt;
+    if (t < 16) {
+      wt = w[t];
+    } else {
+      wt = rotl32(w[(t - 3) & 15] ^ w[(t - 8) & 15] ^ w[(t - 14) & 15] ^
+                      w[t & 15],
+                  1);
+      w[t & 15] = wt;
+    }
+    u32 f, k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const u32 tmp = rotl32(a, 5) + f + e + k + wt;
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+}
+}  // namespace
+
+isa::Program build_sha(u64 scale) {
+  const u64 blocks = block_count(scale);
+  Program prog = make_workload_program();
+  add_fill_rand(prog);
+  prog.add_zero("message", blocks * 64);
+  prog.add_zero("sha_state", 5 * 4 + 4);
+
+  {
+    // sha1_block(a0 = state ptr, a1 = block ptr). Leaf; W ring on the stack.
+    Function& f = prog.add_function("sha1_block");
+    f.addi(sp, sp, -64);
+    f.lw(t0, 0, a0);   // a
+    f.lw(t1, 4, a0);   // b
+    f.lw(t2, 8, a0);   // c
+    f.lw(t3, 12, a0);  // d
+    f.lw(t4, 16, a0);  // e
+    f.li(t5, 0);       // t (round index)
+    const Label round = f.new_label(), rounds_done = f.new_label();
+    const Label have_w = f.new_label(), sched = f.new_label();
+    const Label f2 = f.new_label(), f3 = f.new_label(), f4 = f.new_label();
+    const Label mixed = f.new_label();
+    f.bind(round);
+    f.li(a2, 80);
+    f.bgeu(t5, a2, rounds_done);
+    // --- W ---
+    f.li(a2, 16);
+    f.bgeu(t5, a2, sched);
+    // t < 16: load from the block, stash in the ring.
+    f.slli(a2, t5, 2);
+    f.add(a3, a1, a2);
+    f.lw(t6, 0, a3);
+    f.add(a3, sp, a2);
+    f.sw(t6, 0, a3);
+    f.j(have_w);
+    f.bind(sched);
+    // w = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16]) into the ring slot.
+    auto ring_load = [&](u8 dest, int back) {
+      f.addi(a2, t5, -back);
+      f.andi(a2, a2, 15);
+      f.slli(a2, a2, 2);
+      f.add(a2, sp, a2);
+      f.lw(dest, 0, a2);
+    };
+    ring_load(t6, 3);
+    ring_load(a4, 8);
+    f.xor_(t6, t6, a4);
+    ring_load(a4, 14);
+    f.xor_(t6, t6, a4);
+    ring_load(a4, 16);
+    f.xor_(t6, t6, a4);
+    f.slliw(a4, t6, 1);
+    f.srliw(t6, t6, 31);
+    f.or_(t6, a4, t6);  // rotl1
+    f.andi(a2, t5, 15);
+    f.slli(a2, a2, 2);
+    f.add(a2, sp, a2);
+    f.sw(t6, 0, a2);
+    f.bind(have_w);
+    // --- f, k by round range ---
+    f.li(a2, 20);
+    f.bgeu(t5, a2, f2);
+    f.and_(a3, t1, t2);
+    f.not_(a4, t1);
+    f.and_(a4, a4, t3);
+    f.or_(a3, a3, a4);                       // (b&c) | (~b&d)
+    f.li(a4, 0x5A827999);
+    f.j(mixed);
+    f.bind(f2);
+    f.li(a2, 40);
+    f.bgeu(t5, a2, f3);
+    f.xor_(a3, t1, t2);
+    f.xor_(a3, a3, t3);                      // b^c^d
+    f.li(a4, 0x6ED9EBA1);
+    f.j(mixed);
+    f.bind(f3);
+    f.li(a2, 60);
+    f.bgeu(t5, a2, f4);
+    f.and_(a3, t1, t2);
+    f.and_(a5, t1, t3);
+    f.or_(a3, a3, a5);
+    f.and_(a5, t2, t3);
+    f.or_(a3, a3, a5);                       // majority
+    f.li(a4, static_cast<i64>(0x8F1BBCDC));
+    f.j(mixed);
+    f.bind(f4);
+    f.xor_(a3, t1, t2);
+    f.xor_(a3, a3, t3);
+    f.li(a4, static_cast<i64>(0xCA62C1D6));
+    f.bind(mixed);
+    // tmp = rotl5(a) + f + e + k + w
+    f.slliw(a5, t0, 5);
+    f.srliw(a6, t0, 27);
+    f.or_(a5, a5, a6);
+    f.addw(a5, a5, a3);
+    f.addw(a5, a5, t4);
+    f.addw(a5, a5, a4);
+    f.addw(a5, a5, t6);
+    // rotate the working registers
+    f.mv(t4, t3);        // e = d
+    f.mv(t3, t2);        // d = c
+    f.slliw(a6, t1, 30);
+    f.srliw(a7, t1, 2);
+    f.or_(t2, a6, a7);   // c = rotl30(b)
+    f.mv(t1, t0);        // b = a
+    f.mv(t0, a5);        // a = tmp
+    f.addi(t5, t5, 1);
+    f.j(round);
+    f.bind(rounds_done);
+    // state += working vars
+    auto fold = [&](u8 reg, i64 off) {
+      f.lw(a2, off, a0);
+      f.addw(a2, a2, reg);
+      f.sw(a2, off, a0);
+    };
+    fold(t0, 0);
+    fold(t1, 4);
+    fold(t2, 8);
+    fold(t3, 12);
+    fold(t4, 16);
+    f.addi(sp, sp, 64);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2});
+    f.la(a0, "message");
+    f.li(a1, static_cast<i64>(blocks * 8));
+    f.li(a2, static_cast<i64>(kWorkloadSeed));
+    f.call("__fill_rand");
+    // init state
+    f.la(t0, "sha_state");
+    for (int i = 0; i < 5; ++i) {
+      f.li(t1, static_cast<i64>(static_cast<i32>(kInit[i])));
+      f.sw(t1, i * 4, t0);
+    }
+    f.li(s0, 0);  // block index
+    f.la(s1, "message");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.bind(loop);
+    f.li(t0, static_cast<i64>(blocks));
+    f.bgeu(s0, t0, done);
+    f.la(a0, "sha_state");
+    f.mv(a1, s1);
+    f.call("sha1_block");
+    f.addi(s1, s1, 64);
+    f.addi(s0, s0, 1);
+    f.j(loop);
+    f.bind(done);
+    // checksum = sum of the five state words (zero-extended)
+    f.la(t0, "sha_state");
+    f.li(a0, 0);
+    for (int i = 0; i < 5; ++i) {
+      f.lwu(t1, i * 4, t0);
+      f.add(a0, a0, t1);
+    }
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_sha(u64 scale) {
+  const u64 blocks = block_count(scale);
+  std::vector<u64> words;
+  host_fill_rand(words, blocks * 8, kWorkloadSeed);
+  u32 state[5];
+  for (int i = 0; i < 5; ++i) state[i] = kInit[i];
+  for (u64 b = 0; b < blocks; ++b) {
+    u32 w[16];
+    for (int i = 0; i < 16; ++i) {
+      const u64 word = words[b * 8 + i / 2];
+      w[i] = static_cast<u32>(i % 2 == 0 ? word : word >> 32);
+    }
+    host_sha1_block(state, w);
+  }
+  u64 checksum = 0;
+  for (int i = 0; i < 5; ++i) checksum += state[i];
+  return checksum;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,227 @@
+// MiBench "stringsearch" proxy: Boyer-Moore-Horspool over pseudorandom
+// lowercase text for a batch of patterns. The full window comparison is a
+// helper function called per alignment — a very high call rate on tiny
+// bodies, like the original's init_search/strsearch pair.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+u64 text_len(u64 scale) { return 2048 * scale; }
+constexpr u64 kNumPatterns = 12;
+
+void host_generate(u64 scale, std::vector<u8>* text,
+                   std::vector<std::vector<u8>>* patterns) {
+  const u64 tlen = text_len(scale);
+  std::vector<u64> words;
+  const u64 state = host_fill_rand(words, tlen / 8, kWorkloadSeed);
+  text->resize(tlen);
+  for (u64 i = 0; i < tlen; ++i) {
+    (*text)[i] = static_cast<u8>(
+        'a' + ((words[i / 8] >> (8 * (i % 8))) & 0xFF) % 8);
+  }
+  std::vector<u64> pwords;
+  host_fill_rand(pwords, kNumPatterns, state);
+  patterns->clear();
+  for (u64 k = 0; k < kNumPatterns; ++k) {
+    const u64 plen = 3 + k % 3;  // 3..5 — short enough to actually hit
+    std::vector<u8> pat(plen);
+    for (u64 j = 0; j < plen; ++j) {
+      pat[j] = static_cast<u8>('a' + ((pwords[k] >> (8 * j)) & 0xFF) % 8);
+    }
+    patterns->push_back(std::move(pat));
+  }
+}
+}  // namespace
+
+isa::Program build_stringsearch(u64 scale) {
+  const u64 tlen = text_len(scale);
+  Program prog = make_workload_program();
+  add_fill_rand(prog);
+  prog.add_zero("text", tlen + 16);
+  prog.add_zero("patterns", kNumPatterns * 8 + 16);
+  prog.add_zero("shift_table", 256);
+
+  {
+    // narrow(a0 = ptr, a1 = len): bytes -> 'a' + (b % 8)
+    Function& f = prog.add_function("narrow");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.bind(loop);
+    f.beqz(a1, done);
+    f.lbu(t0, 0, a0);
+    f.andi(t0, t0, 7);
+    f.addi(t0, t0, 'a');
+    f.sb(t0, 0, a0);
+    f.addi(a0, a0, 1);
+    f.addi(a1, a1, -1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    // win_cmp(a0 = text ptr, a1 = pattern ptr, a2 = plen) -> 1/0
+    Function& f = prog.add_function("win_cmp");
+    const Label loop = f.new_label(), miss = f.new_label(),
+                hit = f.new_label();
+    f.bind(loop);
+    f.beqz(a2, hit);
+    f.lbu(t0, 0, a0);
+    f.lbu(t1, 0, a1);
+    f.bne(t0, t1, miss);
+    f.addi(a0, a0, 1);
+    f.addi(a1, a1, 1);
+    f.addi(a2, a2, -1);
+    f.j(loop);
+    f.bind(hit);
+    f.li(a0, 1);
+    f.ret();
+    f.bind(miss);
+    f.li(a0, 0);
+    f.ret();
+  }
+  {
+    // bmh_search(a0 = text, a1 = tlen, a2 = pat, a3 = plen) -> count
+    Function& f = prog.add_function("bmh_search");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5});
+    f.mv(s0, a0);  // text
+    f.mv(s1, a1);  // tlen
+    f.mv(s2, a2);  // pat
+    f.mv(s3, a3);  // plen
+    // Build the bad-character table: shift[c] = plen; then for j < plen-1:
+    // shift[pat[j]] = plen - 1 - j.
+    f.la(s4, "shift_table");
+    const Label init = f.new_label(), init_done = f.new_label();
+    f.li(t0, 0);
+    f.bind(init);
+    f.li(t1, 256);
+    f.bgeu(t0, t1, init_done);
+    f.add(t1, s4, t0);
+    f.sb(s3, 0, t1);
+    f.addi(t0, t0, 1);
+    f.j(init);
+    f.bind(init_done);
+    const Label fill = f.new_label(), fill_done = f.new_label();
+    f.li(t0, 0);
+    f.addi(t2, s3, -1);
+    f.bind(fill);
+    f.bgeu(t0, t2, fill_done);
+    f.add(t1, s2, t0);
+    f.lbu(t1, 0, t1);
+    f.add(t1, s4, t1);
+    f.sub(t3, t2, t0);  // plen - 1 - j
+    f.sb(t3, 0, t1);
+    f.addi(t0, t0, 1);
+    f.j(fill);
+    f.bind(fill_done);
+    // Scan.
+    const Label scan = f.new_label(), scan_done = f.new_label();
+    f.li(s5, 0);        // count in s5; i reuses t... i must survive calls:
+    f.mv(s1, s1);       // (tlen stays in s1)
+    f.mv(s4, zero);     // s4 = i (table address reloaded when needed)
+    const Label no_cmp = f.new_label();
+    f.bind(scan);
+    f.add(t0, s4, s3);
+    f.bltu(s1, t0, scan_done);  // i + plen > tlen ?
+    // Inline last-character guard (the usual BMH fast path): only fall into
+    // the full window comparison when the last characters agree.
+    f.add(t0, s0, t0);
+    f.lbu(t1, -1, t0);  // text[i + plen - 1]
+    f.add(t2, s2, s3);
+    f.lbu(t2, -1, t2);  // pat[plen - 1]
+    f.bne(t1, t2, no_cmp);
+    f.add(a0, s0, s4);
+    f.mv(a1, s2);
+    f.mv(a2, s3);
+    f.call("win_cmp");
+    f.add(s5, s5, a0);
+    f.bind(no_cmp);
+    // shift by table[text[i + plen - 1]]
+    f.add(t0, s4, s3);
+    f.add(t0, s0, t0);
+    f.lbu(t1, -1, t0);
+    f.la(t2, "shift_table");
+    f.add(t2, t2, t1);
+    f.lbu(t3, 0, t2);
+    f.add(s4, s4, t3);
+    f.j(scan);
+    f.bind(scan_done);
+    f.mv(a0, s5);
+    frame.leave();
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3});
+    // Generate text then patterns from the continued stream.
+    f.la(a0, "text");
+    f.li(a1, static_cast<i64>(tlen / 8));
+    f.li(a2, static_cast<i64>(kWorkloadSeed));
+    f.call("__fill_rand");
+    f.mv(s0, a0);  // continued state
+    f.la(a0, "text");
+    f.li(a1, static_cast<i64>(tlen));
+    f.call("narrow");
+    f.la(a0, "patterns");
+    f.li(a1, kNumPatterns);
+    f.mv(a2, s0);
+    f.call("__fill_rand");
+    f.la(a0, "patterns");
+    f.li(a1, kNumPatterns * 8);
+    f.call("narrow");
+    // Search each pattern; checksum = sum count * (k+1).
+    f.li(s0, 0);  // k
+    f.li(s1, 0);  // checksum
+    const Label loop = f.new_label(), done = f.new_label();
+    f.bind(loop);
+    f.li(t0, kNumPatterns);
+    f.bgeu(s0, t0, done);
+    f.la(a0, "text");
+    f.li(a1, static_cast<i64>(tlen));
+    f.la(a2, "patterns");
+    f.slli(t0, s0, 3);
+    f.add(a2, a2, t0);
+    // plen = 3 + k % 3
+    f.li(t1, 3);
+    f.remu(t1, s0, t1);
+    f.addi(a3, t1, 3);
+    f.call("bmh_search");
+    f.addi(t0, s0, 1);
+    f.mul(t0, a0, t0);
+    f.add(s1, s1, t0);
+    f.addi(s0, s0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, s1);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_stringsearch(u64 scale) {
+  std::vector<u8> text;
+  std::vector<std::vector<u8>> patterns;
+  host_generate(scale, &text, &patterns);
+  u64 checksum = 0;
+  for (u64 k = 0; k < patterns.size(); ++k) {
+    const auto& pat = patterns[k];
+    u64 count = 0;
+    for (u64 i = 0; i + pat.size() <= text.size(); ++i) {
+      bool match = true;
+      for (u64 j = 0; j < pat.size(); ++j) {
+        if (text[i + j] != pat[j]) {
+          match = false;
+          break;
+        }
+      }
+      count += match ? 1 : 0;
+    }
+    checksum += count * (k + 1);
+  }
+  return checksum;
+}
+
+}  // namespace sealpk::wl

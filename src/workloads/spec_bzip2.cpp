@@ -1,0 +1,307 @@
+// SPEC "bzip2" proxy (both the CPU2000 and CPU2006 entries): the real
+// pipeline's per-block stage order minus BWT/Huffman — RLE, then a
+// move-to-front transform, then bzip2's RLE2 (zero-run encoding of the MTF
+// output, the RUNA/RUNB stage). The MTF step is a per-byte helper call
+// (find + shift-to-front) — a high call rate on small bodies, the profile
+// that dominates bzip2's shadow-stack overhead. The two suite entries
+// differ in input size, block size and seed.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+struct Bzip2Params {
+  u64 input_bytes;  // multiple of block_bytes
+  u64 block_bytes;
+  u64 seed;
+};
+
+Bzip2Params params_2000(u64 scale) {
+  return {6144 * scale, 2048, kWorkloadSeed ^ 0xB2B2};
+}
+Bzip2Params params_2006(u64 scale) {
+  return {8192 * scale, 4096, kWorkloadSeed ^ 0x2006};
+}
+
+// Run-prone input: keep the previous character with probability 3/4.
+std::vector<u8> host_input(const Bzip2Params& p) {
+  GuestRand rng(p.seed);
+  std::vector<u8> data(p.input_bytes);
+  u8 prev = 'a';
+  for (u64 i = 0; i < p.input_bytes; ++i) {
+    const u64 v = rng.next();
+    if ((v & 3) == 0) prev = static_cast<u8>('a' + ((v >> 2) & 15));
+    data[i] = prev;
+  }
+  return data;
+}
+
+u64 golden_bzip2(const Bzip2Params& p) {
+  const std::vector<u8> input = host_input(p);
+  u8 table[256];
+  for (unsigned i = 0; i < 256; ++i) table[i] = static_cast<u8>(i);
+  u64 checksum = 0;
+  for (u64 base = 0; base < p.input_bytes; base += p.block_bytes) {
+    // RLE.
+    std::vector<u8> rle;
+    u64 i = 0;
+    while (i < p.block_bytes) {
+      const u8 c = input[base + i];
+      u64 len = 1;
+      while (i + len < p.block_bytes && input[base + i + len] == c &&
+             len < 255) {
+        ++len;
+      }
+      rle.push_back(c);
+      rle.push_back(static_cast<u8>(len));
+      i += len;
+    }
+    checksum += rle.size();
+    // MTF (table persists across blocks).
+    std::vector<u8> mtf_out;
+    for (const u8 b : rle) {
+      unsigned idx = 0;
+      while (table[idx] != b) ++idx;
+      for (unsigned j = idx; j > 0; --j) table[j] = table[j - 1];
+      table[0] = b;
+      checksum += idx;
+      mtf_out.push_back(static_cast<u8>(idx));
+    }
+    // RLE2: bzip2 encodes zero runs of the MTF stream as RUNA/RUNB bits;
+    // the checksum folds each run's bit count (floor(log2(len+1))) and
+    // non-zero symbols pass through.
+    u64 i2 = 0;
+    while (i2 < mtf_out.size()) {
+      if (mtf_out[i2] == 0) {
+        u64 run = 0;
+        while (i2 < mtf_out.size() && mtf_out[i2] == 0) {
+          ++run;
+          ++i2;
+        }
+        u64 bits = 0;
+        for (u64 v = run + 1; v > 1; v >>= 1) ++bits;
+        checksum += 17 * bits;
+      } else {
+        checksum += mtf_out[i2];
+        ++i2;
+      }
+    }
+  }
+  return checksum;
+}
+
+isa::Program build_bzip2(const Bzip2Params& p) {
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  prog.add_zero("input", p.input_bytes);
+  prog.add_zero("rle_out", 2 * p.block_bytes + 16);
+  prog.add_zero("mtf_out", 2 * p.block_bytes + 16);
+  prog.add_zero("mtf_table", 256);
+
+  {
+    // rle_block(a0 = in, a1 = len, a2 = out) -> out length; emits
+    // (char, runlen <= 255) pairs.
+    Function& f = prog.add_function("rle_block");
+    const Label scan = f.new_label(), run = f.new_label(),
+                emit = f.new_label(), done = f.new_label();
+    f.mv(t0, a0);       // cursor
+    f.add(t1, a0, a1);  // end
+    f.mv(t2, a2);       // out cursor
+    f.bind(scan);
+    f.bgeu(t0, t1, done);
+    f.lbu(t3, 0, t0);  // run char
+    f.li(t4, 1);       // run length
+    f.bind(run);
+    f.add(t5, t0, t4);
+    f.bgeu(t5, t1, emit);
+    f.lbu(t6, 0, t5);
+    f.bne(t6, t3, emit);
+    f.li(t5, 255);
+    f.bgeu(t4, t5, emit);
+    f.addi(t4, t4, 1);
+    f.j(run);
+    f.bind(emit);
+    f.sb(t3, 0, t2);
+    f.sb(t4, 1, t2);
+    f.addi(t2, t2, 2);
+    f.add(t0, t0, t4);
+    f.j(scan);
+    f.bind(done);
+    f.sub(a0, t2, a2);
+    f.ret();
+  }
+  {
+    // mtf_one(a0 = byte) -> index in the MTF table; moves the byte to the
+    // front.
+    Function& f = prog.add_function("mtf_one");
+    const Label find = f.new_label(), found = f.new_label();
+    const Label shift = f.new_label(), shift_done = f.new_label();
+    f.la(t0, "mtf_table");
+    f.li(t1, 0);  // index
+    f.bind(find);
+    f.add(t2, t0, t1);
+    f.lbu(t3, 0, t2);
+    f.beq(t3, a0, found);
+    f.addi(t1, t1, 1);
+    f.j(find);
+    f.bind(found);
+    f.mv(t2, t1);  // shift table[1..index] down from the top
+    f.bind(shift);
+    f.beqz(t2, shift_done);
+    f.add(t3, t0, t2);
+    f.lbu(t4, -1, t3);
+    f.sb(t4, 0, t3);
+    f.addi(t2, t2, -1);
+    f.j(shift);
+    f.bind(shift_done);
+    f.sb(a0, 0, t0);
+    f.mv(a0, t1);
+    f.ret();
+  }
+  {
+    // rle2_block(a0 = mtf buffer, a1 = len) -> RLE2 checksum contribution:
+    // 17 * bitlen(run+1) per zero run, pass-through for other symbols.
+    Function& f = prog.add_function("rle2_block");
+    const Label scan = f.new_label(), zrun = f.new_label(),
+                zdone = f.new_label(), bits = f.new_label(),
+                bits_done = f.new_label(), plain = f.new_label(),
+                done = f.new_label();
+    f.add(t0, a0, a1);  // end
+    f.mv(t1, a0);       // cursor
+    f.li(a0, 0);        // checksum out
+    f.bind(scan);
+    f.bgeu(t1, t0, done);
+    f.lbu(t2, 0, t1);
+    f.bnez(t2, plain);
+    f.li(t3, 0);  // run length
+    f.bind(zrun);
+    f.bgeu(t1, t0, zdone);
+    f.lbu(t2, 0, t1);
+    f.bnez(t2, zdone);
+    f.addi(t3, t3, 1);
+    f.addi(t1, t1, 1);
+    f.j(zrun);
+    f.bind(zdone);
+    // bits = floor(log2(run + 1))
+    f.addi(t3, t3, 1);
+    f.li(t4, 0);
+    f.bind(bits);
+    f.li(t5, 1);
+    f.bgeu(t5, t3, bits_done);
+    f.srli(t3, t3, 1);
+    f.addi(t4, t4, 1);
+    f.j(bits);
+    f.bind(bits_done);
+    f.li(t5, 17);
+    f.mul(t4, t4, t5);
+    f.add(a0, a0, t4);
+    f.j(scan);
+    f.bind(plain);
+    f.add(a0, a0, t2);
+    f.addi(t1, t1, 1);
+    f.j(scan);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5});
+    // Generate the run-prone input inline (mirrors host_input).
+    f.la(s0, "input");
+    f.li(s1, static_cast<i64>(p.seed));  // xorshift state
+    f.li(s2, 0);                         // i
+    f.li(s3, 'a');                       // prev
+    const Label gen = f.new_label(), keep = f.new_label(),
+                gen_done = f.new_label();
+    f.bind(gen);
+    f.li(t0, static_cast<i64>(p.input_bytes));
+    f.bgeu(s2, t0, gen_done);
+    f.slli(t0, s1, 13);
+    f.xor_(s1, s1, t0);
+    f.srli(t0, s1, 7);
+    f.xor_(s1, s1, t0);
+    f.slli(t0, s1, 17);
+    f.xor_(s1, s1, t0);
+    f.li(t0, static_cast<i64>(0x2545F4914F6CDD1DULL));
+    f.mul(t0, s1, t0);  // value
+    f.andi(t1, t0, 3);
+    f.bnez(t1, keep);
+    f.srli(t1, t0, 2);
+    f.andi(t1, t1, 15);
+    f.addi(s3, t1, 'a');
+    f.bind(keep);
+    f.add(t1, s0, s2);
+    f.sb(s3, 0, t1);
+    f.addi(s2, s2, 1);
+    f.j(gen);
+    f.bind(gen_done);
+    // Init the MTF table to the identity.
+    f.la(t0, "mtf_table");
+    f.li(t1, 0);
+    const Label mt = f.new_label(), mt_done = f.new_label();
+    f.bind(mt);
+    f.li(t2, 256);
+    f.bgeu(t1, t2, mt_done);
+    f.add(t2, t0, t1);
+    f.sb(t1, 0, t2);
+    f.addi(t1, t1, 1);
+    f.j(mt);
+    f.bind(mt_done);
+    // Blocks.
+    f.li(s2, 0);  // block offset
+    f.li(s4, 0);  // checksum
+    const Label blocks = f.new_label(), blocks_done = f.new_label();
+    const Label mtf = f.new_label(), mtf_done = f.new_label();
+    f.bind(blocks);
+    f.li(t0, static_cast<i64>(p.input_bytes));
+    f.bgeu(s2, t0, blocks_done);
+    f.la(a0, "input");
+    f.add(a0, a0, s2);
+    f.li(a1, static_cast<i64>(p.block_bytes));
+    f.la(a2, "rle_out");
+    f.call("rle_block");
+    f.mv(s5, a0);        // RLE length
+    f.add(s4, s4, a0);   // checksum += outlen
+    f.li(s3, 0);         // j
+    f.bind(mtf);
+    f.bgeu(s3, s5, mtf_done);
+    f.la(t0, "rle_out");
+    f.add(t0, t0, s3);
+    f.lbu(a0, 0, t0);
+    f.call("mtf_one");
+    f.add(s4, s4, a0);
+    f.la(t0, "mtf_out");
+    f.add(t0, t0, s3);
+    f.sb(a0, 0, t0);  // keep the MTF stream for the RLE2 stage
+    f.addi(s3, s3, 1);
+    f.j(mtf);
+    f.bind(mtf_done);
+    f.la(a0, "mtf_out");
+    f.mv(a1, s5);
+    f.call("rle2_block");
+    f.add(s4, s4, a0);
+    f.li(t0, static_cast<i64>(p.block_bytes));
+    f.add(s2, s2, t0);
+    f.j(blocks);
+    f.bind(blocks_done);
+    f.mv(a0, s4);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+}  // namespace
+
+isa::Program build_bzip2_2000(u64 scale) {
+  return build_bzip2(params_2000(scale));
+}
+isa::Program build_bzip2_2006(u64 scale) {
+  return build_bzip2(params_2006(scale));
+}
+u64 golden_bzip2_2000(u64 scale) { return golden_bzip2(params_2000(scale)); }
+u64 golden_bzip2_2006(u64 scale) { return golden_bzip2(params_2006(scale)); }
+
+}  // namespace sealpk::wl

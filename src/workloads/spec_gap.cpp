@@ -1,0 +1,216 @@
+// SPEC CPU2000 "gap" proxy: computational group theory on permutations —
+// repeated composition of random generators with orbit tracking.
+// perm_mul() and perm_copy() are the hot helpers, like GAP's permutation
+// arithmetic kernels.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+constexpr u64 kDegree = 24;      // permutation degree (byte entries)
+constexpr u64 kGenerators = 8;
+u64 iterations(u64 scale) { return 2800 * scale; }
+constexpr u64 kSeed = kWorkloadSeed ^ 0x6A9;
+
+// Fisher-Yates with the shared xorshift — mirrored by the guest.
+void host_make_perm(GuestRand& rng, u8* perm) {
+  for (u64 i = 0; i < kDegree; ++i) perm[i] = static_cast<u8>(i);
+  for (u64 i = kDegree - 1; i > 0; --i) {
+    const u64 j = rng.next() % (i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+}
+}  // namespace
+
+isa::Program build_gap(u64 scale) {
+  const u64 iters = iterations(scale);
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  prog.add_zero("generators", kGenerators * kDegree);
+  prog.add_zero("acc", kDegree);
+  prog.add_zero("tmp", kDegree);
+
+  {
+    // perm_mul(a0 = dst, a1 = pa, a2 = pb): dst[i] = pa[pb[i]].
+    Function& f = prog.add_function("perm_mul");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(t0, 0);
+    f.bind(loop);
+    f.li(t1, kDegree);
+    f.bgeu(t0, t1, done);
+    f.add(t1, a2, t0);
+    f.lbu(t1, 0, t1);   // pb[i]
+    f.add(t1, a1, t1);
+    f.lbu(t1, 0, t1);   // pa[pb[i]]
+    f.add(t2, a0, t0);
+    f.sb(t1, 0, t2);
+    f.addi(t0, t0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    // perm_copy(a0 = dst, a1 = src)
+    Function& f = prog.add_function("perm_copy");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(t0, 0);
+    f.bind(loop);
+    f.li(t1, kDegree);
+    f.bgeu(t0, t1, done);
+    f.add(t1, a1, t0);
+    f.lbu(t1, 0, t1);
+    f.add(t2, a0, t0);
+    f.sb(t1, 0, t2);
+    f.addi(t0, t0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4});
+    auto advance = [&]() {  // xorshift state in s1 -> value in t0
+      f.slli(t0, s1, 13);
+      f.xor_(s1, s1, t0);
+      f.srli(t0, s1, 7);
+      f.xor_(s1, s1, t0);
+      f.slli(t0, s1, 17);
+      f.xor_(s1, s1, t0);
+      f.li(t0, static_cast<i64>(0x2545F4914F6CDD1DULL));
+      f.mul(t0, s1, t0);
+    };
+    f.li(s1, static_cast<i64>(kSeed));
+    // Build the generators with Fisher-Yates.
+    f.li(s0, 0);  // g
+    const Label gens = f.new_label(), gens_done = f.new_label();
+    f.bind(gens);
+    f.li(t1, kGenerators);
+    f.bgeu(s0, t1, gens_done);
+    f.la(s2, "generators");
+    f.li(t1, kDegree);
+    f.mul(t1, s0, t1);
+    f.add(s2, s2, t1);  // perm base
+    // identity
+    f.li(t1, 0);
+    const Label idl = f.new_label(), idl_done = f.new_label();
+    f.bind(idl);
+    f.li(t2, kDegree);
+    f.bgeu(t1, t2, idl_done);
+    f.add(t2, s2, t1);
+    f.sb(t1, 0, t2);
+    f.addi(t1, t1, 1);
+    f.j(idl);
+    f.bind(idl_done);
+    // shuffle: i from kDegree-1 down to 1
+    f.li(s3, kDegree - 1);
+    const Label shuf = f.new_label(), shuf_done = f.new_label();
+    f.bind(shuf);
+    f.beqz(s3, shuf_done);
+    advance();
+    f.addi(t1, s3, 1);
+    f.remu(t1, t0, t1);  // j
+    f.add(t2, s2, s3);
+    f.lbu(t3, 0, t2);
+    f.add(t4, s2, t1);
+    f.lbu(t5, 0, t4);
+    f.sb(t5, 0, t2);
+    f.sb(t3, 0, t4);
+    f.addi(s3, s3, -1);
+    f.j(shuf);
+    f.bind(shuf_done);
+    f.addi(s0, s0, 1);
+    f.j(gens);
+    f.bind(gens_done);
+    // acc = identity
+    f.la(t0, "acc");
+    f.li(t1, 0);
+    const Label accl = f.new_label(), accl_done = f.new_label();
+    f.bind(accl);
+    f.li(t2, kDegree);
+    f.bgeu(t1, t2, accl_done);
+    f.add(t2, t0, t1);
+    f.sb(t1, 0, t2);
+    f.addi(t1, t1, 1);
+    f.j(accl);
+    f.bind(accl_done);
+    // Composition walk with orbit tracking: point s2, orbit sum s3.
+    f.li(s0, 0);  // iter
+    f.li(s2, 1);  // tracked point
+    f.li(s3, 0);  // orbit sum
+    const Label walk = f.new_label(), walk_done = f.new_label();
+    f.bind(walk);
+    f.li(t1, static_cast<i64>(iters));
+    f.bgeu(s0, t1, walk_done);
+    advance();
+    f.li(t1, kGenerators);
+    f.remu(s4, t0, t1);  // generator index
+    // tmp = acc o gen[k]
+    f.la(a0, "tmp");
+    f.la(a1, "acc");
+    f.la(a2, "generators");
+    f.li(t1, kDegree);
+    f.mul(t1, s4, t1);
+    f.add(a2, a2, t1);
+    f.call("perm_mul");
+    f.la(a0, "acc");
+    f.la(a1, "tmp");
+    f.call("perm_copy");
+    // orbit step: point = acc[point]
+    f.la(t1, "acc");
+    f.add(t1, t1, s2);
+    f.lbu(s2, 0, t1);
+    f.add(s3, s3, s2);
+    f.addi(s0, s0, 1);
+    f.j(walk);
+    f.bind(walk_done);
+    // checksum = sum acc[i] * (i+1) + orbit sum
+    f.la(t0, "acc");
+    f.li(t1, 0);
+    f.mv(a0, s3);
+    const Label sum = f.new_label(), sum_done = f.new_label();
+    f.bind(sum);
+    f.li(t2, kDegree);
+    f.bgeu(t1, t2, sum_done);
+    f.add(t3, t0, t1);
+    f.lbu(t3, 0, t3);
+    f.addi(t4, t1, 1);
+    f.mul(t3, t3, t4);
+    f.add(a0, a0, t3);
+    f.addi(t1, t1, 1);
+    f.j(sum);
+    f.bind(sum_done);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_gap(u64 scale) {
+  const u64 iters = iterations(scale);
+  GuestRand rng(kSeed);
+  std::vector<u8> gens(kGenerators * kDegree);
+  for (u64 g = 0; g < kGenerators; ++g) {
+    host_make_perm(rng, &gens[g * kDegree]);
+  }
+  u8 acc[kDegree], tmp[kDegree];
+  for (u64 i = 0; i < kDegree; ++i) acc[i] = static_cast<u8>(i);
+  u64 point = 1, orbit = 0;
+  for (u64 it = 0; it < iters; ++it) {
+    const u64 g = rng.next() % kGenerators;
+    const u8* pb = &gens[g * kDegree];
+    for (u64 i = 0; i < kDegree; ++i) tmp[i] = acc[pb[i]];
+    for (u64 i = 0; i < kDegree; ++i) acc[i] = tmp[i];
+    point = acc[point];
+    orbit += point;
+  }
+  u64 checksum = orbit;
+  for (u64 i = 0; i < kDegree; ++i) {
+    checksum += static_cast<u64>(acc[i]) * (i + 1);
+  }
+  return checksum;
+}
+
+}  // namespace sealpk::wl

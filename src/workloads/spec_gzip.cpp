@@ -1,0 +1,241 @@
+// SPEC CPU2000 "gzip" proxy: LZ77 with a hash-head match finder and
+// deflate's *lazy matching* — at each match site the next position is
+// probed too, and the longer of the two wins. probe()/match_len() are
+// helpers called for nearly every input position: deflate's
+// longest_match() profile (very high call rate, small-to-medium bodies,
+// sliding-window memory access).
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+u64 input_len(u64 scale) { return 6144 * scale; }
+constexpr u64 kHashSize = 4096;
+constexpr u64 kWindow = 4096;
+constexpr u64 kMaxMatch = 64;
+constexpr u64 kSeed = kWorkloadSeed ^ 0x9219;
+
+std::vector<u8> host_input(u64 len) {
+  GuestRand rng(kSeed);
+  std::vector<u8> data(len);
+  u8 prev = 'a';
+  for (u64 i = 0; i < len; ++i) {
+    const u64 v = rng.next();
+    if ((v & 3) == 0) prev = static_cast<u8>('a' + ((v >> 2) & 7));
+    data[i] = prev;
+  }
+  return data;
+}
+
+u64 host_hash(const std::vector<u8>& t, u64 pos) {
+  return ((static_cast<u64>(t[pos]) << 8) ^
+          (static_cast<u64>(t[pos + 1]) << 4) ^ t[pos + 2]) &
+         (kHashSize - 1);
+}
+
+// Probe the hash chain at `pos` and insert `pos`; returns (len, dist),
+// len = 0 when there is no usable candidate.
+std::pair<u64, u64> host_probe(const std::vector<u8>& text,
+                               std::vector<u64>& head, u64 pos) {
+  const u64 h = host_hash(text, pos);
+  const u64 cand_plus1 = head[h];
+  head[h] = pos + 1;
+  if (cand_plus1 == 0) return {0, 0};
+  const u64 cand = cand_plus1 - 1;
+  const u64 dist = pos - cand;
+  if (dist == 0 || dist > kWindow) return {0, 0};
+  u64 match = 0;
+  const u64 limit = std::min(text.size() - pos, kMaxMatch);
+  while (match < limit && text[cand + match] == text[pos + match]) ++match;
+  return {match, dist};
+}
+}  // namespace
+
+isa::Program build_gzip(u64 scale) {
+  const u64 len = input_len(scale);
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  prog.add_zero("text", len + 8);
+  prog.add_zero("hash_head", kHashSize * 8);  // position + 1; 0 = empty
+
+  {
+    // match_len(a0 = candidate ptr, a1 = current ptr, a2 = limit)
+    // -> common prefix length, capped at kMaxMatch.
+    Function& f = prog.add_function("match_len");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(t0, 0);
+    f.li(t3, kMaxMatch);
+    f.bind(loop);
+    f.bgeu(t0, a2, done);
+    f.bgeu(t0, t3, done);
+    f.add(t1, a0, t0);
+    f.lbu(t1, 0, t1);
+    f.add(t2, a1, t0);
+    f.lbu(t2, 0, t2);
+    f.bne(t1, t2, done);
+    f.addi(t0, t0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, t0);
+    f.ret();
+  }
+  {
+    // probe(a0 = pos) -> a0 = match length (0 if none), a1 = distance.
+    // Reads the hash head, inserts pos, and measures the candidate.
+    Function& f = prog.add_function("probe");
+    Frame frame(f, {s6, s7});
+    const Label miss = f.new_label();
+    f.mv(s6, a0);  // pos
+    f.la(t0, "text");
+    f.add(t1, t0, s6);
+    f.lbu(t2, 0, t1);
+    f.slli(t2, t2, 8);
+    f.lbu(t3, 1, t1);
+    f.slli(t3, t3, 4);
+    f.xor_(t2, t2, t3);
+    f.lbu(t3, 2, t1);
+    f.xor_(t2, t2, t3);
+    f.li(t3, kHashSize - 1);
+    f.and_(t2, t2, t3);
+    f.la(t3, "hash_head");
+    f.slli(t2, t2, 3);
+    f.add(t3, t3, t2);
+    f.ld(s7, 0, t3);  // cand + 1
+    f.addi(t4, s6, 1);
+    f.sd(t4, 0, t3);  // insert pos
+    f.beqz(s7, miss);
+    f.addi(s7, s7, -1);  // cand
+    f.sub(t4, s6, s7);   // dist
+    f.beqz(t4, miss);
+    f.li(t5, kWindow);
+    f.bltu(t5, t4, miss);
+    f.la(t0, "text");
+    f.add(a0, t0, s7);
+    f.add(a1, t0, s6);
+    f.li(a2, static_cast<i64>(len));
+    f.sub(a2, a2, s6);
+    f.call("match_len");
+    f.sub(a1, s6, s7);  // dist
+    frame.leave();
+    f.ret();
+    f.bind(miss);
+    f.li(a0, 0);
+    f.li(a1, 0);
+    frame.leave();
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5, s6});
+    // Generate input (mirrors host_input).
+    f.la(s0, "text");
+    f.li(s1, static_cast<i64>(kSeed));
+    f.li(s2, 0);
+    f.li(s3, 'a');
+    const Label gen = f.new_label(), keep = f.new_label(),
+                gen_done = f.new_label();
+    f.bind(gen);
+    f.li(t0, static_cast<i64>(len));
+    f.bgeu(s2, t0, gen_done);
+    f.slli(t0, s1, 13);
+    f.xor_(s1, s1, t0);
+    f.srli(t0, s1, 7);
+    f.xor_(s1, s1, t0);
+    f.slli(t0, s1, 17);
+    f.xor_(s1, s1, t0);
+    f.li(t0, static_cast<i64>(0x2545F4914F6CDD1DULL));
+    f.mul(t0, s1, t0);
+    f.andi(t1, t0, 3);
+    f.bnez(t1, keep);
+    f.srli(t1, t0, 2);
+    f.andi(t1, t1, 7);
+    f.addi(s3, t1, 'a');
+    f.bind(keep);
+    f.add(t1, s0, s2);
+    f.sb(s3, 0, t1);
+    f.addi(s2, s2, 1);
+    f.j(gen);
+    f.bind(gen_done);
+    // Lazy LZ scan: s2 = pos, s4 = checksum, s5/s6 = (len1, dist1).
+    f.li(s2, 0);
+    f.li(s4, 0);
+    const Label scan = f.new_label(), literal = f.new_label(),
+                take1 = f.new_label(), scan_done = f.new_label();
+    f.bind(scan);
+    f.li(t0, static_cast<i64>(len - 3));
+    f.bgeu(s2, t0, scan_done);
+    f.mv(a0, s2);
+    f.call("probe");
+    f.mv(s5, a0);  // len1
+    f.mv(s6, a1);  // dist1
+    f.li(t0, 3);
+    f.bltu(s5, t0, literal);
+    // Lazy probe at pos+1 (when it still fits the scan window).
+    f.li(t0, static_cast<i64>(len - 3));
+    f.addi(t1, s2, 1);
+    f.bgeu(t1, t0, take1);
+    f.mv(a0, t1);
+    f.call("probe");
+    f.bgeu(s5, a0, take1);  // len2 <= len1: keep the first match
+    // Deferred: literal at pos, match (len2, dist2) at pos+1.
+    f.add(t0, s0, s2);
+    f.lbu(t0, 0, t0);
+    f.add(s4, s4, t0);
+    f.slli(t2, a0, 8);
+    f.xor_(t2, t2, a1);
+    f.add(s4, s4, t2);
+    f.addi(t1, a0, 1);  // 1 + len2
+    f.add(s2, s2, t1);
+    f.j(scan);
+    f.bind(take1);
+    f.slli(t2, s5, 8);
+    f.xor_(t2, t2, s6);
+    f.add(s4, s4, t2);
+    f.add(s2, s2, s5);
+    f.j(scan);
+    f.bind(literal);
+    f.add(t1, s0, s2);
+    f.lbu(t1, 0, t1);
+    f.add(s4, s4, t1);
+    f.addi(s2, s2, 1);
+    f.j(scan);
+    f.bind(scan_done);
+    f.mv(a0, s4);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_gzip(u64 scale) {
+  const u64 len = input_len(scale);
+  const std::vector<u8> text = host_input(len);
+  std::vector<u64> head(kHashSize, 0);
+  u64 checksum = 0;
+  u64 pos = 0;
+  while (pos < len - 3) {
+    const auto [len1, dist1] = host_probe(text, head, pos);
+    if (len1 < 3) {
+      checksum += text[pos];
+      pos += 1;
+      continue;
+    }
+    if (pos + 1 < len - 3) {
+      const auto [len2, dist2] = host_probe(text, head, pos + 1);
+      if (len2 > len1) {
+        checksum += text[pos];               // deferred literal
+        checksum += (len2 << 8) ^ dist2;     // the better match
+        pos += 1 + len2;
+        continue;
+      }
+    }
+    checksum += (len1 << 8) ^ dist1;
+    pos += len1;
+  }
+  return checksum;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,221 @@
+// SPEC CPU2006 "h264ref" proxy: full-search motion estimation — for every
+// 16x16 macroblock of the current frame, each candidate offset in a +/-4
+// search window is evaluated as eight sad_8x4() sub-block calls (the
+// encoder subdivides macroblocks into exactly such partitions). The SAD kernel dominates:
+// high call rate, straight-line bodies over two frame buffers.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+constexpr u64 kWidth = 64;
+constexpr i64 kRange = 4;  // search window: [-4, +4] in both axes
+u64 height(u64 scale) { return 32 * scale; }
+constexpr u64 kSeed = kWorkloadSeed ^ 0x264;
+}  // namespace
+
+isa::Program build_h264ref(u64 scale) {
+  const u64 h = height(scale);
+  const u64 frame_bytes = kWidth * h;
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  add_fill_rand(prog);
+  prog.add_zero("ref_frame", frame_bytes);
+  prog.add_zero("cur_frame", frame_bytes);
+
+  {
+    // sad_8x8(a0 = ref ptr, a1 = cur ptr) -> sum of absolute differences
+    // over an 8x8 sub-block; both frames have stride kWidth.
+    Function& f = prog.add_function("sad_8x4");
+    const Label rows = f.new_label(), cols = f.new_label(),
+                cols_done = f.new_label(), done = f.new_label();
+    f.li(t0, 0);   // row
+    f.li(a2, 0);   // accumulator
+    f.bind(rows);
+    f.li(t1, 4);
+    f.bgeu(t0, t1, done);
+    f.li(t2, 0);   // col
+    f.bind(cols);
+    f.li(t1, 8);
+    f.bgeu(t2, t1, cols_done);
+    f.add(t3, a0, t2);
+    f.lbu(t4, 0, t3);
+    f.add(t3, a1, t2);
+    f.lbu(t5, 0, t3);
+    f.sub(t4, t4, t5);
+    f.srai(t5, t4, 63);
+    f.xor_(t4, t4, t5);
+    f.sub(t4, t4, t5);  // |diff|
+    f.add(a2, a2, t4);
+    f.addi(t2, t2, 1);
+    f.j(cols);
+    f.bind(cols_done);
+    f.addi(a0, a0, kWidth);
+    f.addi(a1, a1, kWidth);
+    f.addi(t0, t0, 1);
+    f.j(rows);
+    f.bind(done);
+    f.mv(a0, a2);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5, s6, s7});
+    f.la(a0, "ref_frame");
+    f.li(a1, static_cast<i64>(frame_bytes / 8));
+    f.li(a2, static_cast<i64>(kSeed));
+    f.call("__fill_rand");
+    f.mv(s7, a0);  // continue the stream into the second frame
+    f.la(a0, "cur_frame");
+    f.li(a1, static_cast<i64>(frame_bytes / 8));
+    f.mv(a2, s7);
+    f.call("__fill_rand");
+    // Macroblock sweep. s0 = mby, s1 = mbx, s2 = dy, s3 = dx,
+    // s4 = best SAD, s5 = checksum.
+    f.li(s5, 0);
+    f.li(s0, 0);
+    const Label mb_rows = f.new_label(), all_done = f.new_label();
+    const Label mb_cols = f.new_label(), next_row = f.new_label();
+    const Label dy_loop = f.new_label(), mb_done = f.new_label();
+    const Label dx_loop = f.new_label(), dy_next = f.new_label();
+    const Label dx_next = f.new_label(), dy_skip = f.new_label();
+    f.bind(mb_rows);
+    f.li(t0, static_cast<i64>(h / 16));
+    f.bgeu(s0, t0, all_done);
+    f.li(s1, 0);
+    f.bind(mb_cols);
+    f.li(t0, static_cast<i64>(kWidth / 16));
+    f.bgeu(s1, t0, next_row);
+    f.li(s4, 1 << 30);
+    f.li(s2, -kRange);
+    f.bind(dy_loop);
+    f.li(t0, kRange);
+    f.blt(t0, s2, mb_done);
+    // y = mby*16 + dy in [0, h-16]?
+    f.slli(t0, s0, 4);
+    f.add(t0, t0, s2);
+    f.blt(t0, zero, dy_skip);
+    f.li(t1, static_cast<i64>(h - 16));
+    f.blt(t1, t0, dy_skip);
+    f.li(s3, -kRange);
+    f.bind(dx_loop);
+    f.li(t0, kRange);
+    f.blt(t0, s3, dy_next);
+    // x = mbx*16 + dx in [0, kWidth-16]?
+    f.slli(t1, s1, 4);
+    f.add(t1, t1, s3);
+    f.blt(t1, zero, dx_next);
+    f.li(t2, static_cast<i64>(kWidth - 16));
+    f.blt(t2, t1, dx_next);
+    // ref ptr = ref + y*kWidth + x
+    f.slli(t0, s0, 4);
+    f.add(t0, t0, s2);
+    f.li(t2, kWidth);
+    f.mul(t0, t0, t2);
+    f.add(t0, t0, t1);
+    f.la(a0, "ref_frame");
+    f.add(a0, a0, t0);
+    // cur ptr = cur + (mby*16)*kWidth + mbx*16
+    f.slli(t0, s0, 4);
+    f.li(t2, kWidth);
+    f.mul(t0, t0, t2);
+    f.slli(t1, s1, 4);
+    f.add(t0, t0, t1);
+    f.la(a1, "cur_frame");
+    f.add(a1, a1, t0);
+    // Eight 8x4 sub-blocks tiling the 16x16 macroblock.
+    f.mv(t3, a0);  // candidate ref base
+    f.mv(t4, a1);  // cur base — but t-regs die across calls: stash in s6/t..
+    f.mv(s6, zero);
+    {
+      // sub-block offsets relative to the block base
+      i64 offs[8];
+      for (int r = 0; r < 4; ++r) {
+        offs[2 * r] = r * 4 * kWidth;
+        offs[2 * r + 1] = r * 4 * kWidth + 8;
+      }
+      // preserve the two bases across calls in callee-saved space: reuse
+      // the stack
+      f.addi(sp, sp, -16);
+      f.sd(t3, 0, sp);
+      f.sd(t4, 8, sp);
+      for (int b = 0; b < 8; ++b) {
+        f.ld(a0, 0, sp);
+        f.ld(a1, 8, sp);
+        f.addi(a0, a0, offs[b]);
+        f.addi(a1, a1, offs[b]);
+        f.call("sad_8x4");
+        f.add(s6, s6, a0);
+      }
+      f.addi(sp, sp, 16);
+    }
+    const Label no_better = f.new_label();
+    f.bge(s6, s4, no_better);
+    f.mv(s4, s6);
+    f.bind(no_better);
+    f.bind(dx_next);
+    f.addi(s3, s3, 1);
+    f.j(dx_loop);
+    f.bind(dy_next);
+    f.bind(dy_skip);
+    f.addi(s2, s2, 1);
+    f.j(dy_loop);
+    f.bind(mb_done);
+    f.add(s5, s5, s4);
+    f.addi(s1, s1, 1);
+    f.j(mb_cols);
+    f.bind(next_row);
+    f.addi(s0, s0, 1);
+    f.j(mb_rows);
+    f.bind(all_done);
+    f.mv(a0, s5);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_h264ref(u64 scale) {
+  const u64 h = height(scale);
+  const u64 frame_bytes = kWidth * h;
+  std::vector<u64> ref_words, cur_words;
+  const u64 state = host_fill_rand(ref_words, frame_bytes / 8, kSeed);
+  host_fill_rand(cur_words, frame_bytes / 8, state);
+  auto byte_at = [](const std::vector<u64>& words, u64 idx) {
+    return static_cast<u8>(words[idx / 8] >> (8 * (idx % 8)));
+  };
+  u64 checksum = 0;
+  for (u64 mby = 0; mby < h / 16; ++mby) {
+    for (u64 mbx = 0; mbx < kWidth / 16; ++mbx) {
+      u64 best = 1 << 30;
+      for (i64 dy = -kRange; dy <= kRange; ++dy) {
+        const i64 y = static_cast<i64>(mby * 16) + dy;
+        if (y < 0 || y > static_cast<i64>(h - 16)) continue;
+        for (i64 dx = -kRange; dx <= kRange; ++dx) {
+          const i64 x = static_cast<i64>(mbx * 16) + dx;
+          if (x < 0 || x > static_cast<i64>(kWidth - 16)) continue;
+          u64 sad = 0;
+          for (u64 r = 0; r < 16; ++r) {
+            for (u64 c = 0; c < 16; ++c) {
+              const i64 a = byte_at(
+                  ref_words, static_cast<u64>(y + static_cast<i64>(r)) *
+                                     kWidth +
+                                 static_cast<u64>(x) + c);
+              const i64 b =
+                  byte_at(cur_words, (mby * 16 + r) * kWidth + mbx * 16 + c);
+              sad += static_cast<u64>(a > b ? a - b : b - a);
+            }
+          }
+          if (sad < best) best = sad;
+        }
+      }
+      checksum += best;
+    }
+  }
+  return checksum;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,215 @@
+// SPEC CPU2006 "libquantum" proxy: a quantum-register simulation over an
+// array of basis states; X / CNOT / Toffoli gates are functions that sweep
+// the whole state array flipping target bits — libquantum's
+// quantum_toffoli/cnot profile: moderate call rate, array-sweep bodies.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+u64 state_count(u64 /*scale*/) { return 48; }  // fixed: keeps the per-gate
+                                                // call granularity scale-invariant
+u64 gate_count(u64 scale) { return 1024 * scale; }
+constexpr u64 kQubits = 48;
+constexpr u64 kSeed = kWorkloadSeed ^ 0x9B17;
+}  // namespace
+
+isa::Program build_libquantum(u64 scale) {
+  const u64 n = state_count(scale);
+  const u64 gates = gate_count(scale);
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  add_fill_rand(prog);
+  prog.add_zero("states", n * 8);
+
+  {
+    // gate_x(a0 = target bit): flip bit t in every basis state.
+    Function& f = prog.add_function("gate_x");
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(t0, 1);
+    f.sll(t0, t0, a0);  // mask
+    f.la(t1, "states");
+    f.li(t2, 0);
+    f.bind(loop);
+    f.li(t3, static_cast<i64>(n));
+    f.bgeu(t2, t3, done);
+    f.slli(t3, t2, 3);
+    f.add(t3, t1, t3);
+    f.ld(t4, 0, t3);
+    f.xor_(t4, t4, t0);
+    f.sd(t4, 0, t3);
+    f.addi(t2, t2, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    // gate_cnot(a0 = control, a1 = target).
+    Function& f = prog.add_function("gate_cnot");
+    const Label loop = f.new_label(), skip = f.new_label(),
+                done = f.new_label();
+    f.li(t0, 1);
+    f.sll(t0, t0, a0);  // control mask
+    f.li(t1, 1);
+    f.sll(t1, t1, a1);  // target mask
+    f.la(t2, "states");
+    f.li(t3, 0);
+    f.bind(loop);
+    f.li(t4, static_cast<i64>(n));
+    f.bgeu(t3, t4, done);
+    f.slli(t4, t3, 3);
+    f.add(t4, t2, t4);
+    f.ld(t5, 0, t4);
+    f.and_(t6, t5, t0);
+    f.beqz(t6, skip);
+    f.xor_(t5, t5, t1);
+    f.sd(t5, 0, t4);
+    f.bind(skip);
+    f.addi(t3, t3, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    // gate_toffoli(a0 = c1, a1 = c2, a2 = target).
+    Function& f = prog.add_function("gate_toffoli");
+    const Label loop = f.new_label(), skip = f.new_label(),
+                done = f.new_label();
+    f.li(t0, 1);
+    f.sll(t0, t0, a0);
+    f.li(t1, 1);
+    f.sll(t1, t1, a1);
+    f.or_(t0, t0, t1);  // both-controls mask
+    f.li(t1, 1);
+    f.sll(t1, t1, a2);
+    f.la(t2, "states");
+    f.li(t3, 0);
+    f.bind(loop);
+    f.li(t4, static_cast<i64>(n));
+    f.bgeu(t3, t4, done);
+    f.slli(t4, t3, 3);
+    f.add(t4, t2, t4);
+    f.ld(t5, 0, t4);
+    f.and_(t6, t5, t0);
+    f.bne(t6, t0, skip);  // both controls set?
+    f.xor_(t5, t5, t1);
+    f.sd(t5, 0, t4);
+    f.bind(skip);
+    f.addi(t3, t3, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1});
+    f.la(a0, "states");
+    f.li(a1, static_cast<i64>(n));
+    f.li(a2, static_cast<i64>(kSeed));
+    f.call("__fill_rand");
+    f.mv(s1, a0);  // continued xorshift state
+    f.li(s0, 0);   // gate index
+    const Label loop = f.new_label(), done = f.new_label();
+    const Label cnot = f.new_label(), toffoli = f.new_label(),
+                next = f.new_label();
+    auto advance = [&]() {
+      f.slli(t0, s1, 13);
+      f.xor_(s1, s1, t0);
+      f.srli(t0, s1, 7);
+      f.xor_(s1, s1, t0);
+      f.slli(t0, s1, 17);
+      f.xor_(s1, s1, t0);
+      f.li(t0, static_cast<i64>(0x2545F4914F6CDD1DULL));
+      f.mul(t0, s1, t0);
+    };
+    f.bind(loop);
+    f.li(t1, static_cast<i64>(gates));
+    f.bgeu(s0, t1, done);
+    advance();
+    // qubit picks from value fields; gate type = value % 3
+    f.li(t1, static_cast<i64>(kQubits));
+    f.remu(a0, t0, t1);
+    f.srli(t2, t0, 8);
+    f.remu(a1, t2, t1);
+    f.srli(t2, t0, 16);
+    f.remu(a2, t2, t1);
+    f.srli(t2, t0, 32);
+    f.li(t1, 3);
+    f.remu(t2, t2, t1);
+    f.li(t1, 1);
+    f.beq(t2, t1, cnot);
+    f.li(t1, 2);
+    f.beq(t2, t1, toffoli);
+    f.call("gate_x");
+    f.j(next);
+    f.bind(cnot);
+    f.call("gate_cnot");
+    f.j(next);
+    f.bind(toffoli);
+    f.call("gate_toffoli");
+    f.bind(next);
+    f.addi(s0, s0, 1);
+    f.j(loop);
+    f.bind(done);
+    // checksum = xor-fold then sum of all states.
+    f.la(t0, "states");
+    f.li(t1, 0);
+    f.li(a0, 0);
+    f.li(a1, 0);
+    const Label sum = f.new_label(), sum_done = f.new_label();
+    f.bind(sum);
+    f.li(t2, static_cast<i64>(n));
+    f.bgeu(t1, t2, sum_done);
+    f.slli(t2, t1, 3);
+    f.add(t2, t0, t2);
+    f.ld(t3, 0, t2);
+    f.xor_(a0, a0, t3);
+    f.add(a1, a1, t3);
+    f.addi(t1, t1, 1);
+    f.j(sum);
+    f.bind(sum_done);
+    f.add(a0, a0, a1);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_libquantum(u64 scale) {
+  const u64 n = state_count(scale);
+  const u64 gates = gate_count(scale);
+  std::vector<u64> states;
+  GuestRand rng(kSeed);
+  states.resize(n);
+  for (u64 i = 0; i < n; ++i) states[i] = rng.next();
+  for (u64 g = 0; g < gates; ++g) {
+    const u64 v = rng.next();
+    const u64 q0 = v % kQubits;
+    const u64 q1 = (v >> 8) % kQubits;
+    const u64 q2 = (v >> 16) % kQubits;
+    const u64 type = (v >> 32) % 3;
+    if (type == 0) {
+      for (auto& s : states) s ^= u64{1} << q0;
+    } else if (type == 1) {
+      for (auto& s : states) {
+        if ((s & (u64{1} << q0)) != 0) s ^= u64{1} << q1;
+      }
+    } else {
+      const u64 cm = (u64{1} << q0) | (u64{1} << q1);
+      for (auto& s : states) {
+        if ((s & cm) == cm) s ^= u64{1} << q2;
+      }
+    }
+  }
+  u64 x = 0, sum = 0;
+  for (const u64 s : states) {
+    x ^= s;
+    sum += s;
+  }
+  return x + sum;
+}
+
+}  // namespace sealpk::wl

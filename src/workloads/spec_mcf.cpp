@@ -1,0 +1,201 @@
+// SPEC CPU2000 "mcf" proxy: Bellman-Ford over a large sparse network —
+// the original is memory-latency bound over big node/arc arrays with a
+// comparatively low call rate; here relax_pass() scans the full arc arrays
+// once per call, giving the same big-footprint / few-calls profile.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+u64 node_count(u64 scale) { return 1024 * scale; }
+u64 edge_count(u64 scale) { return 4 * node_count(scale); }
+constexpr u64 kPasses = 20;
+constexpr u64 kChunk = 32;  // edges per relax_chunk call (e is a multiple)
+constexpr i64 kInf = i64{1} << 40;
+constexpr u64 kSeed = kWorkloadSeed ^ 0xACF;
+}  // namespace
+
+isa::Program build_mcf(u64 scale) {
+  const u64 n = node_count(scale);
+  const u64 e = edge_count(scale);
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  add_fill_rand(prog);
+  prog.add_zero("edge_raw", e * 8);  // packed random words
+  prog.add_zero("efrom", e * 8);
+  prog.add_zero("eto", e * 8);
+  prog.add_zero("ew", e * 8);
+  prog.add_zero("dist", n * 8);
+
+  {
+    // relax_chunk(a0 = first edge, a1 = count) -> successful relaxations.
+    // One call per bundle of arcs, like mcf's per-basket pricing loops.
+    Function& f = prog.add_function("relax_chunk");
+    const Label loop = f.new_label(), skip = f.new_label(),
+                done = f.new_label();
+    f.mv(t4, a0);       // edge index
+    f.add(a1, a0, a1);  // end
+    f.la(t0, "efrom");
+    f.la(t1, "eto");
+    f.la(t2, "ew");
+    f.la(t3, "dist");
+    f.li(a0, 0);   // relaxations
+    f.bind(loop);
+    f.bgeu(t4, a1, done);
+    f.slli(t5, t4, 3);
+    f.add(t6, t0, t5);
+    f.ld(t6, 0, t6);   // u
+    f.slli(t6, t6, 3);
+    f.add(t6, t3, t6);
+    f.ld(a2, 0, t6);   // dist[u]
+    f.add(t6, t2, t5);
+    f.ld(a3, 0, t6);   // w
+    f.add(a2, a2, a3); // cand
+    f.add(t6, t1, t5);
+    f.ld(t6, 0, t6);   // v
+    f.slli(t6, t6, 3);
+    f.add(t6, t3, t6);
+    f.ld(a3, 0, t6);   // dist[v]
+    f.bge(a2, a3, skip);
+    f.sd(a2, 0, t6);
+    f.addi(a0, a0, 1);
+    f.bind(skip);
+    f.addi(t4, t4, 1);
+    f.j(loop);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2});
+    // Random edge words.
+    f.la(a0, "edge_raw");
+    f.li(a1, static_cast<i64>(e));
+    f.li(a2, static_cast<i64>(kSeed));
+    f.call("__fill_rand");
+    // Unpack: from = w % n; to = (w >> 20) % n; weight = 1 + (w >> 40) % 512.
+    f.la(t0, "edge_raw");
+    f.la(t1, "efrom");
+    f.la(t2, "eto");
+    f.la(t3, "ew");
+    f.li(t4, 0);
+    const Label unpack = f.new_label(), unpack_done = f.new_label();
+    f.bind(unpack);
+    f.li(t5, static_cast<i64>(e));
+    f.bgeu(t4, t5, unpack_done);
+    f.slli(t5, t4, 3);
+    f.add(t6, t0, t5);
+    f.ld(t6, 0, t6);  // raw
+    f.li(a2, static_cast<i64>(n));
+    f.remu(a3, t6, a2);
+    f.add(a4, t1, t5);
+    f.sd(a3, 0, a4);
+    f.srli(a3, t6, 20);
+    f.remu(a3, a3, a2);
+    f.add(a4, t2, t5);
+    f.sd(a3, 0, a4);
+    f.srli(a3, t6, 40);
+    f.li(a2, 512);
+    f.remu(a3, a3, a2);
+    f.addi(a3, a3, 1);
+    f.add(a4, t3, t5);
+    f.sd(a3, 0, a4);
+    f.addi(t4, t4, 1);
+    f.j(unpack);
+    f.bind(unpack_done);
+    // dist init: dist[0] = 0, rest INF.
+    f.la(t0, "dist");
+    f.li(t1, 0);
+    f.li(t2, kInf);
+    const Label init = f.new_label(), init_done = f.new_label();
+    f.bind(init);
+    f.li(t3, static_cast<i64>(n));
+    f.bgeu(t1, t3, init_done);
+    f.slli(t3, t1, 3);
+    f.add(t3, t0, t3);
+    f.sd(t2, 0, t3);
+    f.addi(t1, t1, 1);
+    f.j(init);
+    f.bind(init_done);
+    f.sd(zero, 0, t0);
+    // Passes.
+    f.li(s0, 0);
+    f.li(s1, 0);  // total relaxations
+    const Label pass = f.new_label(), pass_done = f.new_label();
+    f.bind(pass);
+    f.li(t0, kPasses);
+    f.bgeu(s0, t0, pass_done);
+    // Sweep the arc arrays in chunks of kChunk edges per call.
+    f.li(s2, 0);
+    const Label chunk = f.new_label(), chunk_done = f.new_label();
+    f.bind(chunk);
+    f.li(t0, static_cast<i64>(e));
+    f.bgeu(s2, t0, chunk_done);
+    f.mv(a0, s2);
+    f.li(a1, kChunk);
+    f.call("relax_chunk");
+    f.add(s1, s1, a0);
+    f.li(t0, kChunk);
+    f.add(s2, s2, t0);
+    f.j(chunk);
+    f.bind(chunk_done);
+    f.addi(s0, s0, 1);
+    f.j(pass);
+    f.bind(pass_done);
+    // checksum = sum over v of min(dist[v], kInf) + relaxations * 131.
+    f.la(t0, "dist");
+    f.li(t1, 0);
+    f.li(s2, 0);
+    const Label sum = f.new_label(), sum_done = f.new_label();
+    f.bind(sum);
+    f.li(t2, static_cast<i64>(n));
+    f.bgeu(t1, t2, sum_done);
+    f.slli(t2, t1, 3);
+    f.add(t2, t0, t2);
+    f.ld(t2, 0, t2);
+    f.add(s2, s2, t2);
+    f.addi(t1, t1, 1);
+    f.j(sum);
+    f.bind(sum_done);
+    f.li(t0, 131);
+    f.mul(t0, s1, t0);
+    f.add(a0, s2, t0);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_mcf(u64 scale) {
+  const u64 n = node_count(scale);
+  const u64 e = edge_count(scale);
+  std::vector<u64> raw;
+  host_fill_rand(raw, e, kSeed);
+  std::vector<u64> efrom(e), eto(e);
+  std::vector<i64> ew(e);
+  for (u64 i = 0; i < e; ++i) {
+    efrom[i] = raw[i] % n;
+    eto[i] = (raw[i] >> 20) % n;
+    ew[i] = 1 + static_cast<i64>((raw[i] >> 40) % 512);
+  }
+  std::vector<i64> dist(n, kInf);
+  dist[0] = 0;
+  u64 relaxations = 0;
+  for (u64 p = 0; p < kPasses; ++p) {
+    for (u64 i = 0; i < e; ++i) {
+      const i64 cand = dist[efrom[i]] + ew[i];
+      if (cand < dist[eto[i]]) {
+        dist[eto[i]] = cand;
+        ++relaxations;
+      }
+    }
+  }
+  u64 checksum = 0;
+  for (u64 v = 0; v < n; ++v) checksum += static_cast<u64>(dist[v]);
+  return checksum + relaxations * 131;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,237 @@
+// SPEC CPU2000 "parser" proxy: recursive-descent parsing + evaluation of a
+// deterministic synthetic expression grammar:
+//   expr   := term  (('+' | '-') term)*
+//   term   := factor ('*' factor)*
+//   factor := digit | '(' expr ')'
+// The input sentence is generated host-side (like a SPEC ref input file)
+// and embedded as rodata. parse_expr/parse_term/parse_factor are mutually
+// recursive — the original's link-grammar parser is similarly dominated by
+// deep recursive calls over a token stream.
+#include <string>
+
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+constexpr u64 kSeed = kWorkloadSeed ^ 0x9A55E5;
+
+void gen_expr(GuestRand& rng, unsigned depth, std::string* out) {
+  const unsigned terms = 1 + rng.next() % 3;
+  for (unsigned t = 0; t < terms; ++t) {
+    if (t != 0) out->push_back((rng.next() & 1) != 0 ? '+' : '-');
+    const unsigned factors = 1 + rng.next() % 2;
+    for (unsigned k = 0; k < factors; ++k) {
+      if (k != 0) out->push_back('*');
+      if (depth > 0 && (rng.next() & 3) == 0) {
+        out->push_back('(');
+        gen_expr(rng, depth - 1, out);
+        out->push_back(')');
+      } else {
+        out->push_back(static_cast<char>('0' + rng.next() % 10));
+      }
+    }
+  }
+}
+
+std::string host_sentence(u64 scale) {
+  GuestRand rng(kSeed);
+  std::string text;
+  const u64 sentences = 24 * scale;
+  for (u64 s = 0; s < sentences; ++s) {
+    if (s != 0) text.push_back(';');
+    gen_expr(rng, 6, &text);
+  }
+  text.push_back('\0');
+  return text;
+}
+
+// Host evaluator with the same wrapping u64 semantics as the guest.
+struct HostParser {
+  const char* p;
+  u64 tokens = 0;
+
+  u64 factor() {
+    ++tokens;
+    if (*p == '(') {
+      ++p;
+      const u64 v = expr();
+      ++p;  // ')'
+      ++tokens;
+      return v;
+    }
+    const u64 v = static_cast<u64>(*p - '0');
+    ++p;
+    return v;
+  }
+  u64 term() {
+    u64 v = factor();
+    while (*p == '*') {
+      ++p;
+      ++tokens;
+      v *= factor();
+    }
+    return v;
+  }
+  u64 expr() {
+    u64 v = term();
+    while (*p == '+' || *p == '-') {
+      const char op = *p;
+      ++p;
+      ++tokens;
+      const u64 rhs = term();
+      v = op == '+' ? v + rhs : v - rhs;
+    }
+    return v;
+  }
+};
+}  // namespace
+
+isa::Program build_parser(u64 scale) {
+  const std::string text = host_sentence(scale);
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  prog.add_rodata("sentence",
+                  std::vector<u8>(text.begin(), text.end()));
+  prog.add_zero("cursor", 8);  // current position pointer
+  prog.add_zero("token_count", 8);
+
+  // Small helpers shared by the parse functions.
+  auto emit_peek = [&](Function& f, u8 dest) {  // dest = *cursor byte
+    f.la(t6, "cursor");
+    f.ld(t6, 0, t6);
+    f.lbu(dest, 0, t6);
+  };
+  auto emit_advance = [&](Function& f) {  // ++cursor, ++token_count
+    f.la(t6, "cursor");
+    f.ld(t5, 0, t6);
+    f.addi(t5, t5, 1);
+    f.sd(t5, 0, t6);
+    f.la(t6, "token_count");
+    f.ld(t5, 0, t6);
+    f.addi(t5, t5, 1);
+    f.sd(t5, 0, t6);
+  };
+
+  {
+    // parse_factor() -> a0
+    Function& f = prog.add_function("parse_factor");
+    Frame frame(f, {s0});
+    const Label paren = f.new_label();
+    emit_peek(f, s0);
+    f.li(t0, '(');
+    f.beq(s0, t0, paren);
+    // digit
+    emit_advance(f);
+    f.addi(a0, s0, -'0');
+    frame.leave();
+    f.ret();
+    f.bind(paren);
+    emit_advance(f);  // consume '('
+    f.call("parse_expr");
+    f.mv(s0, a0);
+    emit_advance(f);  // consume ')'
+    f.mv(a0, s0);
+    frame.leave();
+    f.ret();
+  }
+  {
+    // parse_term() -> a0
+    Function& f = prog.add_function("parse_term");
+    Frame frame(f, {s0});
+    f.call("parse_factor");
+    f.mv(s0, a0);
+    const Label loop = f.new_label(), done = f.new_label();
+    f.bind(loop);
+    emit_peek(f, t0);
+    f.li(t1, '*');
+    f.bne(t0, t1, done);
+    emit_advance(f);
+    f.call("parse_factor");
+    f.mul(s0, s0, a0);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, s0);
+    frame.leave();
+    f.ret();
+  }
+  {
+    // parse_expr() -> a0
+    Function& f = prog.add_function("parse_expr");
+    Frame frame(f, {s0, s1});
+    f.call("parse_term");
+    f.mv(s0, a0);
+    const Label loop = f.new_label(), done = f.new_label(),
+                minus = f.new_label();
+    f.bind(loop);
+    emit_peek(f, s1);
+    f.li(t1, '+');
+    f.li(t2, '-');
+    const Label is_op = f.new_label();
+    f.beq(s1, t1, is_op);
+    f.beq(s1, t2, is_op);
+    f.j(done);
+    f.bind(is_op);
+    emit_advance(f);
+    f.call("parse_term");
+    f.li(t1, '-');
+    f.beq(s1, t1, minus);
+    f.add(s0, s0, a0);
+    f.j(loop);
+    f.bind(minus);
+    f.sub(s0, s0, a0);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, s0);
+    frame.leave();
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1});
+    f.la(t0, "sentence");
+    f.la(t1, "cursor");
+    f.sd(t0, 0, t1);
+    f.li(s0, 0);  // value accumulator
+    const Label loop = f.new_label(), done = f.new_label(),
+                more = f.new_label();
+    f.bind(loop);
+    f.call("parse_expr");
+    f.add(s0, s0, a0);
+    emit_peek(f, t0);
+    f.li(t1, ';');
+    f.beq(t0, t1, more);
+    f.j(done);
+    f.bind(more);
+    emit_advance(f);
+    f.j(loop);
+    f.bind(done);
+    // checksum = total value + 31 * token count
+    f.la(t0, "token_count");
+    f.ld(t0, 0, t0);
+    f.li(t1, 31);
+    f.mul(t0, t0, t1);
+    f.add(a0, s0, t0);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_parser(u64 scale) {
+  const std::string text = host_sentence(scale);
+  HostParser parser{text.c_str()};
+  u64 total = 0;
+  for (;;) {
+    total += parser.expr();
+    if (*parser.p != ';') break;
+    ++parser.p;
+    ++parser.tokens;
+  }
+  return total + 31 * parser.tokens;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,152 @@
+// SPEC CPU2006 "sjeng" proxy: fixed-depth alpha-beta negamax over a
+// deterministic synthetic game tree (4 moves per node, positions mixed by
+// multiplicative hashing) with a leaf evaluator — chess-search profile:
+// recursion-dominated, extremely high call rate, cutoff-driven control
+// flow like the real engine.
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+unsigned search_depth(u64 scale) {
+  unsigned d = 9;  // alpha-beta prunes hard; deeper trees keep the work up
+  while (scale > 1) {
+    ++d;
+    scale /= 2;
+  }
+  return d;
+}
+constexpr u64 kRootState = 0x5EED0F5EA1C0FFEEULL;
+constexpr u64 kMixMul = 0x9E3779B97F4A7C15ULL;
+constexpr u64 kEvalMul = 0x2545F4914F6CDD1DULL;
+
+u64 host_child(u64 state, u64 move) {
+  u64 x = state + (move + 1) * kMixMul;
+  x ^= (x << 25) | (x >> 39);  // rotl(x, 25)
+  return x * kEvalMul;
+}
+
+i64 host_eval(u64 state) {
+  return static_cast<i64>(sext((state * kEvalMul) >> 48, 16));
+}
+
+i64 host_negamax(u64 state, unsigned depth, i64 alpha, i64 beta,
+                 u64* nodes) {
+  ++*nodes;
+  if (depth == 0) return host_eval(state);
+  i64 best = INT64_MIN + 1;
+  for (u64 m = 0; m < 4; ++m) {
+    const i64 v = -host_negamax(host_child(state, m), depth - 1, -beta,
+                                -alpha, nodes);
+    if (v > best) best = v;
+    if (best > alpha) alpha = best;
+    if (alpha >= beta) break;  // cutoff
+  }
+  return best;
+}
+}  // namespace
+
+isa::Program build_sjeng(u64 scale) {
+  const unsigned depth = search_depth(scale);
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  prog.add_zero("nodes", 8);
+
+  {
+    // eval(a0 = state) -> score (16-bit signed, in a 64-bit reg).
+    Function& f = prog.add_function("eval");
+    f.li(t0, static_cast<i64>(kEvalMul));
+    f.mul(a0, a0, t0);
+    f.srai(a0, a0, 48);
+    f.ret();
+  }
+  {
+    // negamax(a0 = state, a1 = depth, a2 = alpha, a3 = beta) -> best score.
+    Function& f = prog.add_function("negamax");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5});
+    // nodes++
+    f.la(t0, "nodes");
+    f.ld(t1, 0, t0);
+    f.addi(t1, t1, 1);
+    f.sd(t1, 0, t0);
+    const Label leaf = f.new_label(), loop = f.new_label(),
+                done = f.new_label(), keep = f.new_label();
+    f.beqz(a1, leaf);
+    f.mv(s0, a0);  // state
+    f.mv(s1, a1);  // depth
+    f.mv(s4, a2);  // alpha
+    f.mv(s5, a3);  // beta
+    f.li(s2, 0);   // move
+    f.li(s3, static_cast<i64>(INT64_MIN + 1));  // best
+    f.bind(loop);
+    f.li(t0, 4);
+    f.bgeu(s2, t0, done);
+    // child = ((state + (m+1)*kMixMul) rotl'd) * kEvalMul
+    f.li(t0, static_cast<i64>(kMixMul));
+    f.addi(t1, s2, 1);
+    f.mul(t0, t0, t1);
+    f.add(t0, s0, t0);   // x
+    f.slli(t1, t0, 25);
+    f.srli(t2, t0, 39);
+    f.or_(t1, t1, t2);   // rotl(x, 25)
+    f.xor_(t0, t0, t1);
+    f.li(t1, static_cast<i64>(kEvalMul));
+    f.mul(a0, t0, t1);
+    f.addi(a1, s1, -1);
+    f.neg(a2, s5);       // -beta
+    f.neg(a3, s4);       // -alpha
+    f.call("negamax");
+    f.neg(a0, a0);
+    f.bge(s3, a0, keep);
+    f.mv(s3, a0);        // best = v
+    f.bind(keep);
+    const Label no_raise = f.new_label();
+    f.bge(s4, s3, no_raise);  // alpha = max(alpha, best)
+    f.mv(s4, s3);
+    f.bind(no_raise);
+    f.bge(s4, s5, done);      // alpha >= beta: cutoff
+    f.addi(s2, s2, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, s3);
+    frame.leave();
+    f.ret();
+    f.bind(leaf);
+    frame.leave();
+    // tail: eval(state) — manual jump keeps the frame balanced
+    f.li(t0, static_cast<i64>(kEvalMul));
+    f.mul(a0, a0, t0);
+    f.srai(a0, a0, 48);
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0});
+    f.li(a0, static_cast<i64>(kRootState));
+    f.li(a1, depth);
+    f.li(a2, static_cast<i64>(INT64_MIN + 2));  // alpha
+    f.li(a3, static_cast<i64>(INT64_MAX - 1));  // beta
+    f.call("negamax");
+    f.mv(s0, a0);
+    // checksum = (u64)best + node count
+    f.la(t0, "nodes");
+    f.ld(t0, 0, t0);
+    f.add(a0, s0, t0);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_sjeng(u64 scale) {
+  u64 nodes = 0;
+  const i64 best =
+      host_negamax(kRootState, search_depth(scale), INT64_MIN + 2,
+                   INT64_MAX - 1, &nodes);
+  return static_cast<u64>(best) + nodes;
+}
+
+}  // namespace sealpk::wl

@@ -1,0 +1,335 @@
+// SPEC CPU2000 "vpr" proxy: simulated-annealing placement on a grid.
+// Cells hold (x, y) positions; nets connect two cells; each iteration
+// tentatively swaps two random cells and keeps the swap if the wirelength
+// of their nets improves — or, with a temperature-scheduled probability,
+// even when it worsens (annealing's hill-climbing escape). net_cost() is a
+// helper called several times per iteration: vpr's bounding-box
+// cost-function profile.
+#include <cstdlib>
+
+#include "workloads/build_util.h"
+#include "workloads/workload.h"
+
+using namespace sealpk::isa;
+
+namespace sealpk::wl {
+
+namespace {
+constexpr u64 kGrid = 20;
+constexpr u64 kCells = kGrid * kGrid;
+constexpr u64 kNets = kCells;         // two endpoints each
+constexpr u64 kNetsPerCell = 4;       // tracked nets per cell (rest untracked)
+u64 iterations(u64 scale) { return 900 * scale; }
+
+struct HostState {
+  std::vector<u64> pos;                    // cell -> packed (x<<16)|y
+  std::vector<u64> net_a, net_b;           // net endpoints
+  std::vector<std::vector<u64>> cell_nets; // tracked nets per cell
+};
+
+u64 host_net_cost(const HostState& st, u64 n) {
+  const u64 pa = st.pos[st.net_a[n]], pb = st.pos[st.net_b[n]];
+  const i64 ax = static_cast<i64>(pa >> 16), ay = static_cast<i64>(pa & 0xFFFF);
+  const i64 bx = static_cast<i64>(pb >> 16), by = static_cast<i64>(pb & 0xFFFF);
+  return static_cast<u64>(std::llabs(ax - bx) + std::llabs(ay - by));
+}
+
+HostState host_init(GuestRand& rng) {
+  HostState st;
+  st.pos.resize(kCells);
+  for (u64 c = 0; c < kCells; ++c) {
+    st.pos[c] = ((c % kGrid) << 16) | (c / kGrid);
+  }
+  st.net_a.resize(kNets);
+  st.net_b.resize(kNets);
+  st.cell_nets.assign(kCells, {});
+  for (u64 n = 0; n < kNets; ++n) {
+    st.net_a[n] = rng.next() % kCells;
+    st.net_b[n] = rng.next() % kCells;
+    if (st.cell_nets[st.net_a[n]].size() < kNetsPerCell) {
+      st.cell_nets[st.net_a[n]].push_back(n);
+    }
+    if (st.cell_nets[st.net_b[n]].size() < kNetsPerCell) {
+      st.cell_nets[st.net_b[n]].push_back(n);
+    }
+  }
+  return st;
+}
+}  // namespace
+
+isa::Program build_vpr(u64 scale) {
+  const u64 iters = iterations(scale);
+  Program prog = make_workload_program();
+  add_rss_ballast(prog, 384);
+  // pos: u64 per cell; nets: u64 a, u64 b per net;
+  // cell_nets: kNetsPerCell u64 slots per cell, 0xFFFF... = empty;
+  // cell_net_count: byte per cell.
+  prog.add_zero("pos", kCells * 8);
+  prog.add_zero("net_a", kNets * 8);
+  prog.add_zero("net_b", kNets * 8);
+  prog.add_zero("cell_nets", kCells * kNetsPerCell * 8);
+  prog.add_zero("cell_net_count", kCells);
+
+  {
+    // net_cost(a0 = net index) -> |dx| + |dy| of its endpoints.
+    Function& f = prog.add_function("net_cost");
+    f.slli(t0, a0, 3);
+    f.la(t1, "net_a");
+    f.add(t1, t1, t0);
+    f.ld(t1, 0, t1);  // cell a
+    f.la(t2, "net_b");
+    f.add(t2, t2, t0);
+    f.ld(t2, 0, t2);  // cell b
+    f.la(t0, "pos");
+    f.slli(t1, t1, 3);
+    f.add(t1, t0, t1);
+    f.ld(t1, 0, t1);  // pa
+    f.slli(t2, t2, 3);
+    f.add(t2, t0, t2);
+    f.ld(t2, 0, t2);  // pb
+    // |ax-bx| + |ay-by| (x in bits 16+, y in low 16)
+    f.srli(t3, t1, 16);
+    f.srli(t4, t2, 16);
+    f.sub(t3, t3, t4);
+    f.srai(t4, t3, 63);
+    f.xor_(t3, t3, t4);
+    f.sub(t3, t3, t4);  // |dx|
+    f.li(t5, 0xFFFF);
+    f.and_(t1, t1, t5);
+    f.and_(t2, t2, t5);
+    f.sub(t1, t1, t2);
+    f.srai(t4, t1, 63);
+    f.xor_(t1, t1, t4);
+    f.sub(t1, t1, t4);  // |dy|
+    f.add(a0, t3, t1);
+    f.ret();
+  }
+  {
+    // cell_cost(a0 = cell) -> sum of net_cost over the cell's tracked nets.
+    Function& f = prog.add_function("cell_cost");
+    Frame frame(f, {s0, s1, s2, s3});
+    f.mv(s0, a0);
+    f.la(t0, "cell_net_count");
+    f.add(t0, t0, s0);
+    f.lbu(s1, 0, t0);  // count
+    f.li(s2, 0);       // k
+    f.li(s3, 0);       // sum
+    const Label loop = f.new_label(), done = f.new_label();
+    f.bind(loop);
+    f.bgeu(s2, s1, done);
+    f.la(t0, "cell_nets");
+    f.li(t1, kNetsPerCell * 8);
+    f.mul(t1, s0, t1);
+    f.add(t0, t0, t1);
+    f.slli(t1, s2, 3);
+    f.add(t0, t0, t1);
+    f.ld(a0, 0, t0);
+    f.call("net_cost");
+    f.add(s3, s3, a0);
+    f.addi(s2, s2, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, s3);
+    frame.leave();
+    f.ret();
+  }
+  {
+    Function& f = prog.add_function("run");
+    Frame frame(f, {s0, s1, s2, s3, s4, s5, s6, s7});
+    // --- init positions ---
+    f.la(t0, "pos");
+    f.li(t1, 0);
+    const Label ip = f.new_label(), ip_done = f.new_label();
+    f.bind(ip);
+    f.li(t2, static_cast<i64>(kCells));
+    f.bgeu(t1, t2, ip_done);
+    f.li(t2, static_cast<i64>(kGrid));
+    f.remu(t3, t1, t2);  // x = c % grid
+    f.divu(t4, t1, t2);  // y = c / grid
+    f.slli(t3, t3, 16);
+    f.or_(t3, t3, t4);
+    f.slli(t4, t1, 3);
+    f.add(t4, t0, t4);
+    f.sd(t3, 0, t4);
+    f.addi(t1, t1, 1);
+    f.j(ip);
+    f.bind(ip_done);
+    // --- init nets + tracked lists (xorshift state in s1) ---
+    f.li(s1, static_cast<i64>(kWorkloadSeed ^ 0x7B9));
+    f.li(s0, 0);  // n
+    const Label in = f.new_label(), in_done = f.new_label();
+    // helper to advance state -> value in t0 (emitted twice per net)
+    auto advance = [&]() {
+      f.slli(t0, s1, 13);
+      f.xor_(s1, s1, t0);
+      f.srli(t0, s1, 7);
+      f.xor_(s1, s1, t0);
+      f.slli(t0, s1, 17);
+      f.xor_(s1, s1, t0);
+      f.li(t0, static_cast<i64>(0x2545F4914F6CDD1DULL));
+      f.mul(t0, s1, t0);
+    };
+    // track(cell in t1, net in s0): append if space
+    auto track = [&]() {
+      const Label full = f.new_label();
+      f.la(t2, "cell_net_count");
+      f.add(t2, t2, t1);
+      f.lbu(t3, 0, t2);
+      f.li(t4, kNetsPerCell);
+      f.bgeu(t3, t4, full);
+      f.la(t4, "cell_nets");
+      f.li(t5, kNetsPerCell * 8);
+      f.mul(t5, t1, t5);
+      f.add(t4, t4, t5);
+      f.slli(t5, t3, 3);
+      f.add(t4, t4, t5);
+      f.sd(s0, 0, t4);
+      f.addi(t3, t3, 1);
+      f.sb(t3, 0, t2);
+      f.bind(full);
+    };
+    f.bind(in);
+    f.li(t1, static_cast<i64>(kNets));
+    f.bgeu(s0, t1, in_done);
+    advance();
+    f.li(t1, static_cast<i64>(kCells));
+    f.remu(t1, t0, t1);  // cell a
+    f.la(t2, "net_a");
+    f.slli(t3, s0, 3);
+    f.add(t2, t2, t3);
+    f.sd(t1, 0, t2);
+    track();
+    advance();
+    f.li(t1, static_cast<i64>(kCells));
+    f.remu(t1, t0, t1);  // cell b
+    f.la(t2, "net_b");
+    f.slli(t3, s0, 3);
+    f.add(t2, t2, t3);
+    f.sd(t1, 0, t2);
+    track();
+    f.addi(s0, s0, 1);
+    f.j(in);
+    f.bind(in_done);
+    // --- anneal loop ---
+    f.li(s0, 0);  // iteration
+    f.li(s2, 0);  // accepted count
+    const Label it = f.new_label(), it_done = f.new_label(),
+                revert = f.new_label(), next = f.new_label();
+    auto swap_cells = [&]() {  // swap pos[s3] and pos[s4]
+      f.la(t0, "pos");
+      f.slli(t1, s3, 3);
+      f.add(t1, t0, t1);
+      f.slli(t2, s4, 3);
+      f.add(t2, t0, t2);
+      f.ld(t3, 0, t1);
+      f.ld(t4, 0, t2);
+      f.sd(t4, 0, t1);
+      f.sd(t3, 0, t2);
+    };
+    f.bind(it);
+    f.li(t0, static_cast<i64>(iters));
+    f.bgeu(s0, t0, it_done);
+    advance();
+    f.li(t1, static_cast<i64>(kCells));
+    f.remu(s3, t0, t1);  // cell 1
+    advance();
+    f.li(t1, static_cast<i64>(kCells));
+    f.remu(s4, t0, t1);  // cell 2
+    // old = cell_cost(c1) + cell_cost(c2)
+    f.mv(a0, s3);
+    f.call("cell_cost");
+    f.mv(s5, a0);
+    f.mv(a0, s4);
+    f.call("cell_cost");
+    f.add(s5, s5, a0);  // old cost
+    swap_cells();
+    f.mv(a0, s3);
+    f.call("cell_cost");
+    f.mv(s6, a0);
+    f.mv(a0, s4);
+    f.call("cell_cost");
+    f.add(s6, s6, a0);  // new cost
+    const Label accept = f.new_label();
+    f.bgeu(s5, s6, accept);  // improvement (or equal): accept
+    // Worse: accept anyway with probability ~ threshold(iteration), the
+    // annealing temperature schedule. threshold = 0xFFFF >> (2 + 8*i/iters).
+    advance();
+    f.srli(t1, t0, 32);
+    f.li(t2, 0xFFFF);
+    f.and_(t1, t1, t2);      // 16-bit uniform draw
+    f.li(t2, 8);
+    f.mul(t2, t2, s0);
+    f.li(t3, static_cast<i64>(iters));
+    f.divu(t2, t2, t3);
+    f.addi(t2, t2, 2);       // shift = 2 + 8*i/iters
+    f.li(t3, 0xFFFF);
+    f.srl(t3, t3, t2);       // threshold
+    f.bltu(t1, t3, accept);  // lucky: keep the worse placement
+    f.j(revert);
+    f.bind(accept);
+    f.addi(s2, s2, 1);
+    f.j(next);
+    f.bind(revert);
+    swap_cells();
+    f.bind(next);
+    f.addi(s0, s0, 1);
+    f.j(it);
+    f.bind(it_done);
+    // --- checksum = 7 * accepted + total cost over all nets ---
+    f.li(s0, 0);
+    f.li(s7, 0);
+    const Label tc = f.new_label(), tc_done = f.new_label();
+    f.bind(tc);
+    f.li(t0, static_cast<i64>(kNets));
+    f.bgeu(s0, t0, tc_done);
+    f.mv(a0, s0);
+    f.call("net_cost");
+    f.add(s7, s7, a0);
+    f.addi(s0, s0, 1);
+    f.j(tc);
+    f.bind(tc_done);
+    f.li(t0, 7);
+    f.mul(t0, s2, t0);
+    f.add(a0, s7, t0);
+    frame.leave();
+    f.ret();
+  }
+  return prog;
+}
+
+u64 golden_vpr(u64 scale) {
+  const u64 iters = iterations(scale);
+  GuestRand rng(kWorkloadSeed ^ 0x7B9);
+  HostState st = host_init(rng);
+  auto cell_cost = [&st](u64 c) {
+    u64 sum = 0;
+    for (const u64 n : st.cell_nets[c]) sum += host_net_cost(st, n);
+    return sum;
+  };
+  u64 accepted = 0;
+  for (u64 i = 0; i < iters; ++i) {
+    const u64 c1 = rng.next() % kCells;
+    const u64 c2 = rng.next() % kCells;
+    const u64 old_cost = cell_cost(c1) + cell_cost(c2);
+    std::swap(st.pos[c1], st.pos[c2]);
+    const u64 new_cost = cell_cost(c1) + cell_cost(c2);
+    bool accept = new_cost <= old_cost;
+    if (!accept) {
+      // Annealing acceptance (mirrors the guest exactly, including the
+      // extra RNG draw only on the worse-cost path).
+      const u64 draw = (rng.next() >> 32) & 0xFFFF;
+      const u64 shift = 2 + (8 * i) / iters;
+      accept = draw < (u64{0xFFFF} >> shift);
+    }
+    if (accept) {
+      ++accepted;
+    } else {
+      std::swap(st.pos[c1], st.pos[c2]);  // revert
+    }
+  }
+  u64 total = 0;
+  for (u64 n = 0; n < kNets; ++n) total += host_net_cost(st, n);
+  return total + 7 * accepted;
+}
+
+}  // namespace sealpk::wl

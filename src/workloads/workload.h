@@ -1,0 +1,80 @@
+// Benchmark-proxy workloads (paper §V-A).
+//
+// The paper evaluates 6 SPECint2000, 4 SPECint2006 and 7 MiBench programs
+// cross-compiled to RISC-V. SPEC/MiBench sources cannot ship here, so each
+// benchmark is substituted by a guest program implementing the namesake's
+// algorithmic kernel with a matching profile: call granularity
+// (calls/kilocycle drives shadow-stack overhead) and data footprint (pages
+// touched between pushes drives the post-mprotect TLB-refill cost).
+// Every workload computes a checksum, verified against a host-side golden
+// model, and report()s it before exiting 0.
+#pragma once
+
+#include <vector>
+
+#include "isa/program.h"
+
+namespace sealpk::wl {
+
+enum class Suite : u8 { kSpec2000, kSpec2006, kMiBench };
+
+const char* suite_name(Suite suite);
+
+struct Workload {
+  const char* name;  // the benchmark it proxies, e.g. "bzip2"
+  Suite suite;
+  // Builds the guest program at the given problem scale (>= 1). The
+  // program includes a crt0 and is ready for instrumentation + link.
+  isa::Program (*build)(u64 scale);
+  // Host-side golden model producing the exact checksum the guest reports.
+  u64 (*golden)(u64 scale);
+  u64 test_scale;   // small: used by unit tests
+  u64 bench_scale;  // larger: used by the Figure-5 harness
+};
+
+// All 17 workloads in the paper's Figure-5 order.
+const std::vector<Workload>& all_workloads();
+
+// Lookup by (suite-qualified) name; nullptr if unknown. Names are unique
+// except bzip2, which appears in both SPEC suites.
+const Workload* find_workload(Suite suite, const char* name);
+
+// --- individual builders/goldens (one pair per benchmark) -------------------
+isa::Program build_sha(u64 scale);
+u64 golden_sha(u64 scale);
+isa::Program build_qsort(u64 scale);
+u64 golden_qsort(u64 scale);
+isa::Program build_dijkstra(u64 scale);
+u64 golden_dijkstra(u64 scale);
+isa::Program build_fft(u64 scale);
+u64 golden_fft(u64 scale);
+isa::Program build_patricia(u64 scale);
+u64 golden_patricia(u64 scale);
+isa::Program build_bitcount(u64 scale);
+u64 golden_bitcount(u64 scale);
+isa::Program build_stringsearch(u64 scale);
+u64 golden_stringsearch(u64 scale);
+
+isa::Program build_bzip2_2000(u64 scale);
+u64 golden_bzip2_2000(u64 scale);
+isa::Program build_vpr(u64 scale);
+u64 golden_vpr(u64 scale);
+isa::Program build_gzip(u64 scale);
+u64 golden_gzip(u64 scale);
+isa::Program build_parser(u64 scale);
+u64 golden_parser(u64 scale);
+isa::Program build_gap(u64 scale);
+u64 golden_gap(u64 scale);
+isa::Program build_mcf(u64 scale);
+u64 golden_mcf(u64 scale);
+
+isa::Program build_libquantum(u64 scale);
+u64 golden_libquantum(u64 scale);
+isa::Program build_bzip2_2006(u64 scale);
+u64 golden_bzip2_2006(u64 scale);
+isa::Program build_sjeng(u64 scale);
+u64 golden_sjeng(u64 scale);
+isa::Program build_h264ref(u64 scale);
+u64 golden_h264ref(u64 scale);
+
+}  // namespace sealpk::wl

@@ -1,0 +1,58 @@
+// Shared helpers for tests that assemble and run guest programs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "os/kernel.h"
+#include "runtime/guest.h"
+#include "sim/machine.h"
+
+namespace sealpk::testutil {
+
+struct GuestRun {
+  sim::RunOutcome outcome;
+  i64 exit_code = 0;
+  std::string console;
+  std::vector<u64> reports;
+  std::vector<os::FaultRecord> faults;
+  u64 cycles = 0;
+  u64 instructions = 0;
+};
+
+// Links `prog`, loads it into a fresh machine and runs to completion.
+inline GuestRun run_guest(const isa::Program& prog,
+                          sim::MachineConfig config = {},
+                          u64 max_instructions = 200'000'000) {
+  sim::Machine machine(config);
+  const int pid = machine.load(prog.link());
+  GuestRun result;
+  result.outcome = machine.run(max_instructions);
+  result.exit_code = machine.exit_code(pid);
+  result.console = machine.kernel().console();
+  result.reports = machine.kernel().reports();
+  result.faults = machine.kernel().faults();
+  result.cycles = result.outcome.cycles;
+  result.instructions = result.outcome.instructions;
+  return result;
+}
+
+// Builds a program whose main body is filled in by `body`; main's a0 return
+// value becomes the exit code. main saves/restores ra around the body so
+// bodies may freely `call` helper functions.
+template <typename BodyFn>
+isa::Program make_main_program(BodyFn&& body) {
+  isa::Program prog;
+  rt::add_crt0(prog);
+  isa::Function& main_fn = prog.add_function("main");
+  main_fn.addi(isa::sp, isa::sp, -16);
+  main_fn.sd(isa::ra, 0, isa::sp);
+  body(prog, main_fn);
+  main_fn.ld(isa::ra, 0, isa::sp);
+  main_fn.addi(isa::sp, isa::sp, 16);
+  main_fn.ret();
+  return prog;
+}
+
+}  // namespace sealpk::testutil

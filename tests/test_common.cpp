@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sealpk {
+namespace {
+
+TEST(Bits, ExtractBasic) {
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 16), 0xDEADu);
+  EXPECT_EQ(bits(0xDEADBEEF, 15, 0), 0xBEEFu);
+  EXPECT_EQ(bits(0xFF, 3, 0), 0xFu);
+  EXPECT_EQ(bits(~u64{0}, 63, 0), ~u64{0});
+}
+
+TEST(Bits, SingleBit) {
+  EXPECT_EQ(bit(0b1010, 1), 1u);
+  EXPECT_EQ(bit(0b1010, 0), 0u);
+  EXPECT_EQ(bit(u64{1} << 63, 63), 1u);
+}
+
+TEST(Bits, Deposit) {
+  EXPECT_EQ(deposit(0, 7, 4, 0xA), 0xA0u);
+  EXPECT_EQ(deposit(0xFF, 7, 4, 0x0), 0x0Fu);
+  EXPECT_EQ(deposit(0, 63, 54, 0x3FF), u64{0x3FF} << 54);
+  // Field wider than value: masked.
+  EXPECT_EQ(deposit(0, 3, 0, 0x1FF), 0xFu);
+}
+
+TEST(Bits, DepositRoundTripsWithExtract) {
+  for (unsigned lo = 0; lo < 60; lo += 7) {
+    const u64 v = deposit(0x1234'5678'9ABC'DEF0, lo + 3, lo, 0b1010);
+    EXPECT_EQ(bits(v, lo + 3, lo), 0b1010u) << "lo=" << lo;
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sext(0xFFF, 12), -1);
+  EXPECT_EQ(sext(0x7FF, 12), 0x7FF);
+  EXPECT_EQ(sext(0x800, 12), -2048);
+  EXPECT_EQ(sext(0xFFFFFFFF, 32), -1);
+  EXPECT_EQ(sext(0x80000000, 32), INT64_C(-2147483648));
+}
+
+TEST(Bits, ZeroExtend) {
+  EXPECT_EQ(zext(~u64{0}, 12), 0xFFFu);
+  EXPECT_EQ(zext(~u64{0}, 64), ~u64{0});
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(2047, 12));
+  EXPECT_FALSE(fits_signed(2048, 12));
+  EXPECT_TRUE(fits_signed(-2048, 12));
+  EXPECT_FALSE(fits_signed(-2049, 12));
+  EXPECT_TRUE(fits_signed(0, 1));
+  EXPECT_TRUE(fits_signed(-1, 1));
+  EXPECT_FALSE(fits_signed(1, 1));
+}
+
+TEST(Bits, Alignment) {
+  EXPECT_EQ(align_down(0x1FFF, 0x1000), 0x1000u);
+  EXPECT_EQ(align_up(0x1001, 0x1000), 0x2000u);
+  EXPECT_EQ(align_up(0x1000, 0x1000), 0x1000u);
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(Check, ThrowsOnFailure) {
+  EXPECT_THROW(SEALPK_CHECK(1 == 2), CheckError);
+  EXPECT_NO_THROW(SEALPK_CHECK(1 == 1));
+  try {
+    SEALPK_CHECK_MSG(false, "context " << 42);
+    FAIL();
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace sealpk

@@ -1,0 +1,285 @@
+// Additional hart coverage: branch/compare matrices, W-suffix arithmetic
+// edges, CSR instruction variants, control-flow corner cases, and the
+// interaction of traps with architectural state.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/hart.h"
+#include "isa/program.h"
+
+namespace sealpk::core {
+namespace {
+
+using isa::Inst;
+using isa::Op;
+
+class Harness : public ::testing::Test {
+ protected:
+  static constexpr u64 kCodeBase = 0x1000;
+
+  Harness() : mem_(1 << 20), hart_(mem_) {
+    hart_.set_priv(Priv::kUser);
+    hart_.set_pc(kCodeBase);
+  }
+
+  void place(const std::vector<Inst>& insts) {
+    for (size_t i = 0; i < insts.size(); ++i) {
+      mem_.write_u32(kCodeBase + 4 * i, isa::encode(insts[i]));
+    }
+    hart_.set_pc(kCodeBase);
+  }
+
+  // Executes a single R-type op with the given operands and returns rd.
+  u64 alu(Op op, u64 a, u64 b) {
+    hart_.set_reg(isa::a0, a);
+    hart_.set_reg(isa::a1, b);
+    place({Inst{.op = op, .rd = isa::a2, .rs1 = isa::a0, .rs2 = isa::a1}});
+    EXPECT_EQ(hart_.step().kind, StepKind::kOk);
+    return hart_.reg(isa::a2);
+  }
+
+  // Whether a branch with the given operands is taken.
+  bool taken(Op op, u64 a, u64 b) {
+    hart_.set_reg(isa::a0, a);
+    hart_.set_reg(isa::a1, b);
+    place({Inst{.op = op, .rs1 = isa::a0, .rs2 = isa::a1, .imm = 8},
+           Inst{.op = Op::kAddi, .rd = isa::a2, .rs1 = 0, .imm = 1},
+           Inst{.op = Op::kAddi, .rd = isa::a3, .rs1 = 0, .imm = 1}});
+    hart_.set_reg(isa::a2, 0);
+    EXPECT_EQ(hart_.step().kind, StepKind::kOk);
+    EXPECT_EQ(hart_.step().kind, StepKind::kOk);
+    return hart_.reg(isa::a2) == 0;  // skipped the +1 when taken
+  }
+
+  mem::PhysMem mem_;
+  Hart hart_;
+};
+
+// ---------------------------------------------------------------------------
+// Branch semantics matrix: every branch op against a differential model.
+// ---------------------------------------------------------------------------
+
+using BranchCase = std::tuple<unsigned, int>;  // (op index, operand pair)
+
+constexpr Op kBranchOps[] = {Op::kBeq,  Op::kBne,  Op::kBlt,
+                             Op::kBge,  Op::kBltu, Op::kBgeu};
+constexpr std::pair<u64, u64> kOperandPairs[] = {
+    {0, 0},
+    {1, 2},
+    {2, 1},
+    {static_cast<u64>(-1), 1},            // signed < vs unsigned >
+    {1, static_cast<u64>(-1)},
+    {static_cast<u64>(INT64_MIN), INT64_MAX},
+    {0x8000000000000000ULL, 0x8000000000000000ULL},
+};
+
+bool model_taken(Op op, u64 a, u64 b) {
+  switch (op) {
+    case Op::kBeq: return a == b;
+    case Op::kBne: return a != b;
+    case Op::kBlt: return static_cast<i64>(a) < static_cast<i64>(b);
+    case Op::kBge: return static_cast<i64>(a) >= static_cast<i64>(b);
+    case Op::kBltu: return a < b;
+    case Op::kBgeu: return a >= b;
+    default: return false;
+  }
+}
+
+class BranchMatrix : public Harness,
+                     public ::testing::WithParamInterface<BranchCase> {};
+
+TEST_P(BranchMatrix, MatchesModel) {
+  const Op op = kBranchOps[std::get<0>(GetParam())];
+  const auto [a, b] = kOperandPairs[std::get<1>(GetParam())];
+  EXPECT_EQ(taken(op, a, b), model_taken(op, a, b))
+      << isa::op_info(op).name << " a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBranchOps, BranchMatrix,
+    ::testing::Combine(::testing::Range(0u, 6u), ::testing::Range(0, 7)));
+
+// ---------------------------------------------------------------------------
+// W-suffix arithmetic and shifts.
+// ---------------------------------------------------------------------------
+
+TEST_F(Harness, WordOpsTruncateAndSignExtend) {
+  EXPECT_EQ(alu(Op::kAddw, 0xFFFFFFFF, 1), 0u);  // 32-bit wrap
+  EXPECT_EQ(alu(Op::kSubw, 0, 1), ~u64{0});      // -1 sign-extended
+  EXPECT_EQ(alu(Op::kAddw, 0x1'0000'0001, 1), 2u);  // upper half ignored
+  EXPECT_EQ(alu(Op::kSllw, 1, 31), 0xFFFFFFFF80000000ULL);
+  EXPECT_EQ(alu(Op::kSrlw, 0x80000000, 1), 0x40000000u);
+  EXPECT_EQ(alu(Op::kSraw, 0x80000000, 1), 0xFFFFFFFFC0000000ULL);
+  // Shift amounts use only the low 5 bits for W ops.
+  EXPECT_EQ(alu(Op::kSllw, 1, 32), 1u);
+  EXPECT_EQ(alu(Op::kSll, 1, 64), 1u);  // low 6 bits for 64-bit shifts
+}
+
+TEST_F(Harness, WordDivisionEdges) {
+  EXPECT_EQ(alu(Op::kDivw, static_cast<u64>(INT32_MIN),
+                static_cast<u64>(-1)),
+            static_cast<u64>(static_cast<i64>(INT32_MIN)));  // overflow
+  EXPECT_EQ(alu(Op::kDivw, 7, 0), ~u64{0});
+  EXPECT_EQ(alu(Op::kRemw, 7, 0), 7u);
+  EXPECT_EQ(alu(Op::kDivuw, 0xFFFFFFFF, 2), 0x7FFFFFFFu);
+  EXPECT_EQ(alu(Op::kRemuw, 0xFFFFFFFF, 0),
+            0xFFFFFFFFFFFFFFFFULL);  // rem-by-zero returns rs1, sext32
+}
+
+TEST_F(Harness, SltVariants) {
+  EXPECT_EQ(alu(Op::kSlt, static_cast<u64>(-1), 0), 1u);
+  EXPECT_EQ(alu(Op::kSltu, static_cast<u64>(-1), 0), 0u);
+  EXPECT_EQ(alu(Op::kSlt, 0, 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow corners.
+// ---------------------------------------------------------------------------
+
+TEST_F(Harness, JalrWithRdEqualsRs1) {
+  // jalr a0, a0, 0: the link value must be written after the target is
+  // computed from the OLD rs1.
+  hart_.set_reg(isa::a0, kCodeBase + 8);
+  place({Inst{.op = Op::kJalr, .rd = isa::a0, .rs1 = isa::a0, .imm = 0},
+         Inst{.op = Op::kAddi, .rd = isa::a1, .rs1 = 0, .imm = 1},
+         Inst{.op = Op::kAddi, .rd = isa::a2, .rs1 = 0, .imm = 2}});
+  EXPECT_EQ(hart_.step().kind, StepKind::kOk);
+  EXPECT_EQ(hart_.pc(), kCodeBase + 8);
+  EXPECT_EQ(hart_.reg(isa::a0), kCodeBase + 4);  // link value
+}
+
+TEST_F(Harness, BackwardJalLoops) {
+  place({Inst{.op = Op::kAddi, .rd = isa::a0, .rs1 = isa::a0, .imm = 1},
+         Inst{.op = Op::kJal, .rd = 0, .imm = -4}});
+  for (int i = 0; i < 10; ++i) hart_.step();
+  EXPECT_EQ(hart_.reg(isa::a0), 5u);  // 5 addi + 5 jal
+}
+
+TEST_F(Harness, FencesAndWfiAreNops) {
+  hart_.set_reg(isa::a0, 7);
+  place({Inst{.op = Op::kFence}, Inst{.op = Op::kFenceI},
+         Inst{.op = Op::kWfi}});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(hart_.step().kind, StepKind::kOk);
+  }
+  EXPECT_EQ(hart_.reg(isa::a0), 7u);
+  EXPECT_EQ(hart_.pc(), kCodeBase + 12);
+}
+
+TEST_F(Harness, SfenceFromUserTraps) {
+  place({Inst{.op = Op::kSfenceVma}});
+  EXPECT_EQ(hart_.step().cause, TrapCause::kIllegalInst);
+}
+
+TEST_F(Harness, TrapPreservesRegisterFile) {
+  hart_.set_reg(isa::s5, 0x1234);
+  hart_.set_reg(isa::a0, 0x200000);  // out of range
+  place({Inst{.op = Op::kLd, .rd = isa::a1, .rs1 = isa::a0, .imm = 0}});
+  EXPECT_EQ(hart_.step().kind, StepKind::kTrap);
+  EXPECT_EQ(hart_.reg(isa::s5), 0x1234u);  // untouched
+  EXPECT_EQ(hart_.reg(isa::a1), 0u);       // rd not written on fault
+}
+
+TEST_F(Harness, FaultingStoreLeavesMemoryUntouched) {
+  mem_.write_u64(0x9000, 0xAA);
+  hart_.set_reg(isa::a0, 0x9001);  // misaligned
+  hart_.set_reg(isa::a1, 0xBB);
+  place({Inst{.op = Op::kSd, .rs1 = isa::a0, .rs2 = isa::a1, .imm = 0}});
+  EXPECT_EQ(hart_.step().kind, StepKind::kTrap);
+  EXPECT_EQ(mem_.read_u64(0x9000), 0xAAu);
+}
+
+// ---------------------------------------------------------------------------
+// CSR instruction variants.
+// ---------------------------------------------------------------------------
+
+TEST_F(Harness, CsrSetAndClearWithX0DoNotWrite) {
+  hart_.set_priv(Priv::kSupervisor);
+  hart_.csrs().sscratch = 0xF0;
+  // csrrs rd, sscratch, x0 reads without writing (legal on read-only CSRs).
+  place({Inst{.op = Op::kCsrrs, .rd = isa::a0, .rs1 = 0, .csr = 0x140},
+         Inst{.op = Op::kCsrrc, .rd = isa::a1, .rs1 = 0, .csr = 0x140}});
+  EXPECT_EQ(hart_.step().kind, StepKind::kOk);
+  EXPECT_EQ(hart_.step().kind, StepKind::kOk);
+  EXPECT_EQ(hart_.reg(isa::a0), 0xF0u);
+  EXPECT_EQ(hart_.reg(isa::a1), 0xF0u);
+  EXPECT_EQ(hart_.csrs().sscratch, 0xF0u);
+}
+
+TEST_F(Harness, CsrImmediateVariants) {
+  hart_.set_priv(Priv::kSupervisor);
+  place({Inst{.op = Op::kCsrrwi, .rd = isa::a0, .imm = 0x15, .csr = 0x140},
+         Inst{.op = Op::kCsrrsi, .rd = isa::a1, .imm = 0x0A, .csr = 0x140},
+         Inst{.op = Op::kCsrrci, .rd = isa::a2, .imm = 0x11, .csr = 0x140}});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(hart_.step().kind, StepKind::kOk);
+  }
+  EXPECT_EQ(hart_.reg(isa::a0), 0u);     // old value
+  EXPECT_EQ(hart_.reg(isa::a1), 0x15u);  // after csrrwi
+  EXPECT_EQ(hart_.reg(isa::a2), 0x1Fu);  // after csrrsi
+  EXPECT_EQ(hart_.csrs().sscratch, 0x0Eu);
+}
+
+TEST_F(Harness, InstretCsrTracksRetirement) {
+  place({Inst{.op = Op::kAddi, .rd = isa::a0, .rs1 = 0, .imm = 1},
+         Inst{.op = Op::kCsrrs, .rd = isa::a1, .rs1 = 0, .csr = 0xC02}});
+  hart_.step();
+  hart_.step();
+  EXPECT_EQ(hart_.reg(isa::a1), 1u);  // one instruction retired before it
+}
+
+// ---------------------------------------------------------------------------
+// Differential ALU fuzz: random operands against host arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST_F(Harness, RandomAluDifferential) {
+  Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u64 a = rng.next(), b = rng.next();
+    EXPECT_EQ(alu(Op::kAdd, a, b), a + b);
+    EXPECT_EQ(alu(Op::kSub, a, b), a - b);
+    EXPECT_EQ(alu(Op::kXor, a, b), a ^ b);
+    EXPECT_EQ(alu(Op::kAnd, a, b), a & b);
+    EXPECT_EQ(alu(Op::kOr, a, b), a | b);
+    EXPECT_EQ(alu(Op::kMul, a, b), a * b);
+    EXPECT_EQ(alu(Op::kSltu, a, b), a < b ? 1u : 0u);
+    if (b != 0) {
+      EXPECT_EQ(alu(Op::kDivu, a, b), a / b);
+      EXPECT_EQ(alu(Op::kRemu, a, b), a % b);
+    }
+    const u64 sh = b & 63;
+    EXPECT_EQ(alu(Op::kSll, a, sh), a << sh);
+    EXPECT_EQ(alu(Op::kSrl, a, sh), a >> sh);
+    EXPECT_EQ(alu(Op::kSra, a, sh),
+              static_cast<u64>(static_cast<i64>(a) >> sh));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decode fuzz: any 32-bit word decodes to either illegal or a word that
+// round-trips through encode.
+// ---------------------------------------------------------------------------
+
+TEST(DecodeFuzz, RandomWordsRoundTripOrAreIllegal) {
+  Rng rng(7);
+  unsigned legal = 0;
+  for (int trial = 0; trial < 200'000; ++trial) {
+    const u32 word = static_cast<u32>(rng.next());
+    isa::Inst inst = isa::decode(word);
+    if (inst.op == Op::kIllegal) continue;
+    ++legal;
+    // Encoding the decoded form and re-decoding must be a fixed point.
+    u32 reencoded = 0;
+    ASSERT_NO_THROW(reencoded = isa::encode(inst)) << std::hex << word;
+    isa::Inst again = isa::decode(reencoded);
+    again.raw = 0;
+    inst.raw = 0;
+    EXPECT_EQ(again, inst) << std::hex << word;
+  }
+  EXPECT_GT(legal, 1000u);  // the fuzz actually exercised legal encodings
+}
+
+}  // namespace
+}  // namespace sealpk::core

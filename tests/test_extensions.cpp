@@ -1,0 +1,252 @@
+// Tests for the extension features: the guest print library, guest-visible
+// ENOMEM on DRAM exhaustion, and the Donky-style key-CSR model.
+#include <gtest/gtest.h>
+
+#include "guest_test_util.h"
+#include "hw/donky.h"
+
+namespace sealpk {
+namespace {
+
+using isa::Function;
+using isa::Label;
+using isa::Program;
+using namespace isa;
+using testutil::make_main_program;
+using testutil::run_guest;
+
+// ---------------------------------------------------------------------------
+// Guest print library.
+// ---------------------------------------------------------------------------
+
+TEST(PrintLib, PrintsStringsAndNumbers) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    rt::add_print_lib(p);
+    p.add_rodata("msg", {'s', 'u', 'm', '='});
+    f.la(a0, "msg");
+    f.li(a1, 4);
+    f.call("__print_str");
+    f.li(a0, 1234567890);
+    f.call("__print_u64");
+    f.call("__print_nl");
+    f.li(a0, 0);
+    f.call("__print_u64");  // zero must print one digit
+    f.call("__print_nl");
+    f.li(a0, 0);
+  });
+  const auto run = run_guest(prog);
+  EXPECT_EQ(run.console, "sum=1234567890\n0\n");
+  EXPECT_EQ(run.exit_code, 0);
+}
+
+TEST(PrintLib, HandlesMaxU64) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    rt::add_print_lib(p);
+    f.li(a0, -1);  // 2^64 - 1 unsigned
+    f.call("__print_u64");
+    f.li(a0, 0);
+  });
+  EXPECT_EQ(run_guest(prog).console, "18446744073709551615");
+}
+
+TEST(PrintLib, IsIdempotent) {
+  Program prog;
+  rt::add_print_lib(prog);
+  rt::add_print_lib(prog);
+  EXPECT_NE(prog.find_function("__print_u64"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Guest-visible memory exhaustion.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryExhaustion, MmapReturnsEnomemNotHostError) {
+  // A small machine: the guest mmaps until DRAM runs out; the failure must
+  // be a clean -ENOMEM, not a simulator exception.
+  auto prog = make_main_program([](Program&, Function& f) {
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(s0, 0);  // successful maps
+    f.bind(loop);
+    f.li(a0, 0);
+    f.li(a1, 64 * 4096);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.blez(a0, done);
+    f.addi(s0, s0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.neg(a1, a0);  // -ENOMEM -> 12
+    f.mv(a0, s0);
+    rt::syscall(f, os::sys::kReport);
+    f.mv(a0, a1);
+    rt::syscall(f, os::sys::kReport);
+    f.li(a0, 0);
+  });
+  sim::MachineConfig cfg;
+  cfg.mem_bytes = 16 * 1024 * 1024;  // tiny DRAM
+  const auto run = run_guest(prog, cfg, 100'000'000);
+  ASSERT_TRUE(run.outcome.completed);
+  EXPECT_EQ(run.exit_code, 0);
+  ASSERT_EQ(run.reports.size(), 2u);
+  EXPECT_GT(run.reports[0], 10u);  // a healthy number of maps succeeded
+  EXPECT_EQ(run.reports[1], static_cast<u64>(-os::err::kNoMem));
+}
+
+TEST(MemoryExhaustion, UnmapMakesFramesReusable) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    // map/unmap in a loop far past DRAM capacity: must never fail.
+    const Label loop = f.new_label(), done = f.new_label(),
+                fail = f.new_label(), end = f.new_label();
+    f.li(s0, 0);
+    f.bind(loop);
+    f.li(t0, 64);
+    f.bgeu(s0, t0, done);
+    f.li(a0, 0);
+    f.li(a1, 128 * 4096);  // 512 KiB per round, 32 MiB total
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.blez(a0, fail);
+    f.li(a1, 128 * 4096);
+    rt::syscall(f, os::sys::kMunmap);
+    f.addi(s0, s0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.li(a0, 0);
+    f.j(end);
+    f.bind(fail);
+    f.li(a0, 1);
+    f.bind(end);
+  });
+  sim::MachineConfig cfg;
+  cfg.mem_bytes = 16 * 1024 * 1024;
+  const auto run = run_guest(prog, cfg, 100'000'000);
+  EXPECT_EQ(run.exit_code, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Donky key-CSR model.
+// ---------------------------------------------------------------------------
+
+TEST(Donky, FourSlotsHitWithinWorkingSet) {
+  hw::DonkyKeyCsr csr;
+  u8 perm;
+  for (u32 k = 0; k < 4; ++k) csr.reload(k, static_cast<u8>(k % 4));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(csr.lookup(static_cast<u32>(i % 4), &perm));
+  }
+  EXPECT_EQ(csr.stats().hits, 100u);
+  EXPECT_EQ(csr.stats().reloads, 4u);
+}
+
+TEST(Donky, FifthKeyEvictsLru) {
+  hw::DonkyKeyCsr csr;
+  u8 perm;
+  for (u32 k = 0; k < 4; ++k) csr.reload(k, 0);
+  csr.lookup(0, &perm);  // 0 is now most-recent; 1 is LRU
+  csr.lookup(2, &perm);
+  csr.lookup(3, &perm);
+  csr.reload(4, 0);  // evicts 1
+  EXPECT_TRUE(csr.lookup(0, &perm));
+  EXPECT_FALSE(csr.lookup(1, &perm));
+  EXPECT_TRUE(csr.lookup(4, &perm));
+}
+
+TEST(Donky, ReturnsTheLoadedPermission) {
+  hw::DonkyKeyCsr csr;
+  csr.reload(7, 0b10);
+  u8 perm = 0;
+  ASSERT_TRUE(csr.lookup(7, &perm));
+  EXPECT_EQ(perm, 0b10);
+}
+
+
+// ---------------------------------------------------------------------------
+// Cross-thread pkey_free semantics (§III-B.1 + §III-B.2 interaction).
+// ---------------------------------------------------------------------------
+
+TEST(PkeyFreeThreads, FreeClearsSiblingSavedPkr) {
+  // Thread A allocates a no-access key, spawns B (which inherits the PKR
+  // view), then frees the key while B sleeps. When B wakes, the kernel
+  // must have scrubbed the freed key's field in B's *saved* PKR too —
+  // otherwise B would still be locked out of the orphan page.
+  auto prog = make_main_program([](Program& p, Function& f) {
+    p.add_zero("flag", 8);
+    p.add_zero("page_addr", 8);
+    // page + key (no access) + assign
+    f.li(a0, 0);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.mv(s0, a0);
+    f.la(t0, "page_addr");
+    f.sd(a0, 0, t0);
+    f.li(a0, 0);
+    f.li(a1, static_cast<i64>(os::pkeyperm::kNone));
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);
+    f.mv(a0, s0);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    f.mv(a3, s1);
+    rt::syscall(f, os::sys::kPkeyMprotect);
+    // spawn B (inherits the locked view)
+    f.li(a0, 0);
+    f.li(a1, 16384);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.li(t0, 16384);
+    f.add(a1, a0, t0);
+    f.la(a0, "sibling");
+    f.li(a2, 0);
+    rt::syscall(f, os::sys::kClone);
+    // free the key WHILE B is parked in the run queue
+    f.mv(a0, s1);
+    rt::syscall(f, os::sys::kPkeyFree);
+    f.la(t0, "flag");
+    f.li(t1, 1);
+    f.sd(t1, 0, t0);
+    // wait for B to report
+    const Label wait = f.new_label(), done = f.new_label();
+    f.bind(wait);
+    rt::syscall(f, os::sys::kSchedYield);
+    f.la(t0, "flag");
+    f.ld(t1, 0, t0);
+    f.li(t2, 2);
+    f.beq(t1, t2, done);
+    f.j(wait);
+    f.bind(done);
+    f.li(a0, 0);
+
+    Function& c = p.add_function("sibling");
+    c.instrumentable = false;
+    const Label park = c.new_label();
+    c.bind(park);
+    rt::syscall(c, os::sys::kSchedYield);
+    c.la(t0, "flag");
+    c.ld(t1, 0, t0);
+    c.beqz(t1, park);
+    // The key was freed: B's restored PKR must be permissive again, so
+    // this access goes through the PTE alone and succeeds.
+    c.la(t0, "page_addr");
+    c.ld(t0, 0, t0);
+    c.li(t1, 0x77);
+    c.sd(t1, 0, t0);
+    c.ld(a0, 0, t0);
+    rt::syscall(c, os::sys::kReport);  // expect 0x77
+    c.la(t0, "flag");
+    c.li(t1, 2);
+    c.sd(t1, 0, t0);
+    const Label spin = c.new_label();
+    c.bind(spin);
+    rt::syscall(c, os::sys::kSchedYield);
+    c.j(spin);
+  });
+  const auto run = run_guest(prog);
+  ASSERT_TRUE(run.outcome.completed);
+  ASSERT_TRUE(run.faults.empty())
+      << core::trap_cause_name(run.faults[0].cause);
+  EXPECT_EQ(run.reports, (std::vector<u64>{0x77}));
+}
+
+}  // namespace
+}  // namespace sealpk

@@ -1,0 +1,179 @@
+// Differential fuzzing of the *enforcement* path: random sequences of
+// permission changes (syscalls and user-space WRPKR flips) interleaved
+// with loads/stores. An independent host oracle predicts the outcome of
+// every access from first principles (Figure 2's effective-permission
+// rule); the first predicted fault must kill the guest with exactly that
+// cause and pkey, and everything before it must succeed.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "guest_test_util.h"
+
+namespace sealpk {
+namespace {
+
+using isa::Function;
+using isa::Program;
+using namespace isa;
+
+constexpr unsigned kRegions = 3;
+constexpr u64 kRegionBase = 0x3000'0000;
+constexpr u64 kRegionStride = 0x10000;
+constexpr unsigned kKeys = 4;  // keys 1..4 pre-allocated
+constexpr u64 kSentinel = 0xACCE55;
+
+u64 region_addr(unsigned r) { return kRegionBase + r * kRegionStride; }
+
+struct Oracle {
+  // Per-key 2-bit (RD, WD) hardware permission, and per-region key.
+  std::array<u8, kKeys + 1> perm{};  // index 0 = default key
+  std::array<u32, kRegions> region_key{};
+
+  bool load_ok(unsigned r) const {
+    return (perm[region_key[r]] & 0b10) == 0;
+  }
+  bool store_ok(unsigned r) const {
+    return (perm[region_key[r]] & 0b01) == 0;
+  }
+};
+
+struct Op {
+  enum class Kind : u8 { kSetPerm, kAssign, kLoad, kStore } kind;
+  unsigned region = 0;
+  u32 key = 0;
+  u8 perm = 0;
+};
+
+Op random_op(Rng& rng) {
+  Op op;
+  const u64 pick = rng.below(10);
+  if (pick < 3) {
+    op.kind = Op::Kind::kSetPerm;
+  } else if (pick < 5) {
+    op.kind = Op::Kind::kAssign;
+  } else if (pick < 8) {
+    op.kind = Op::Kind::kLoad;
+  } else {
+    op.kind = Op::Kind::kStore;
+  }
+  op.region = static_cast<unsigned>(rng.below(kRegions));
+  op.key = static_cast<u32>(1 + rng.below(kKeys));
+  op.perm = static_cast<u8>(rng.below(4));
+  return op;
+}
+
+struct Expectation {
+  std::vector<u64> reports;
+  bool faults = false;
+  core::TrapCause cause = core::TrapCause::kLoadPageFault;
+  u32 faulting_key = 0;
+};
+
+// Emits `op`; returns false when the oracle predicts this op kills the
+// process (the caller stops emitting — anything after would be dead code).
+bool emit_op(Function& f, Oracle& oracle, Expectation& expect,
+             const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kSetPerm:
+      // User-space flip via RDPKR/WRPKR (no syscall, Figure 3's
+      // pkey_set).
+      f.li(a0, op.key);
+      f.li(a1, op.perm);
+      f.call("__pkey_set");
+      oracle.perm[op.key] = op.perm;
+      return true;
+    case Op::Kind::kAssign:
+      f.li(a0, static_cast<i64>(region_addr(op.region)));
+      f.li(a1, 4096);
+      f.li(a2, 3);
+      f.li(a3, op.key);
+      rt::syscall(f, os::sys::kPkeyMprotect);
+      rt::syscall(f, os::sys::kReport);
+      expect.reports.push_back(0);  // all keys are live: always succeeds
+      oracle.region_key[op.region] = op.key;
+      return true;
+    case Op::Kind::kLoad:
+      f.li(t0, static_cast<i64>(region_addr(op.region)));
+      f.ld(t1, 0, t0);
+      if (!oracle.load_ok(op.region)) {
+        expect.faults = true;
+        expect.cause = core::TrapCause::kLoadPageFault;
+        expect.faulting_key = oracle.region_key[op.region];
+        return false;
+      }
+      f.li(a0, kSentinel);
+      rt::syscall(f, os::sys::kReport);
+      expect.reports.push_back(kSentinel);
+      return true;
+    case Op::Kind::kStore:
+      f.li(t0, static_cast<i64>(region_addr(op.region)));
+      f.sd(t0, 0, t0);
+      if (!oracle.store_ok(op.region)) {
+        expect.faults = true;
+        expect.cause = core::TrapCause::kStorePageFault;
+        expect.faulting_key = oracle.region_key[op.region];
+        return false;
+      }
+      f.li(a0, kSentinel);
+      rt::syscall(f, os::sys::kReport);
+      expect.reports.push_back(kSentinel);
+      return true;
+  }
+  return true;
+}
+
+class FuzzAccessTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzAccessTest, EnforcementMatchesOracle) {
+  Rng rng(GetParam() * 31 + 5);
+  Oracle oracle;
+  Expectation expect;
+  Program prog;
+  rt::add_crt0(prog);
+  rt::add_pkey_lib(prog);
+  Function& f = prog.add_function("main");
+  f.addi(sp, sp, -16);
+  f.sd(ra, 0, sp);
+  // Fixture: map the regions, allocate keys 1..kKeys with permissive
+  // hardware perms (alloc init = 0).
+  for (unsigned r = 0; r < kRegions; ++r) {
+    f.li(a0, static_cast<i64>(region_addr(r)));
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+  }
+  for (unsigned k = 0; k < kKeys; ++k) {
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+  }
+  // Random phase.
+  for (int i = 0; i < 250; ++i) {
+    const Op op = random_op(rng);
+    if (!emit_op(f, oracle, expect, op)) break;  // predicted kill
+  }
+  f.ld(ra, 0, sp);
+  f.addi(sp, sp, 16);
+  f.li(a0, 0);
+  f.ret();
+
+  const auto run = testutil::run_guest(prog);
+  ASSERT_TRUE(run.outcome.completed);
+  EXPECT_EQ(run.reports, expect.reports);
+  if (expect.faults) {
+    ASSERT_EQ(run.faults.size(), 1u);
+    EXPECT_EQ(run.faults[0].cause, expect.cause);
+    EXPECT_TRUE(run.faults[0].pkey_fault);
+    EXPECT_EQ(run.faults[0].pkey, expect.faulting_key);
+  } else {
+    EXPECT_TRUE(run.faults.empty());
+    EXPECT_EQ(run.exit_code, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAccessTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 42u, 777u,
+                                           31337u));
+
+}  // namespace
+}  // namespace sealpk

@@ -1,0 +1,243 @@
+// Differential fuzzing of the pkey syscall surface: a random operation
+// sequence is compiled into a guest program whose per-call return codes
+// are compared against an independent host-side oracle implementing the
+// paper's kernel semantics (§III-B allocation/lazy-free state machine and
+// the §IV sealing rules). Any divergence between the real kernel +
+// hardware path and the oracle fails the test.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "guest_test_util.h"
+
+namespace sealpk {
+namespace {
+
+using isa::Function;
+using isa::Program;
+using namespace isa;
+
+constexpr unsigned kRegions = 4;
+constexpr u64 kRegionBase = 0x2000'0000;
+constexpr u64 kRegionStride = 0x10000;
+constexpr u64 kRegionPages = 2;
+constexpr unsigned kKeyUniverse = 6;  // ops draw keys from 0..5
+
+u64 region_addr(unsigned r) { return kRegionBase + r * kRegionStride; }
+
+// --- the oracle: a from-first-principles model of the kernel semantics ---
+struct Oracle {
+  struct Key {
+    bool allocated = false;
+    bool dirty = false;
+    u64 pages = 0;
+    bool sealed_domain = false;
+    bool sealed_page = false;
+  };
+  struct Region {
+    bool mapped = false;
+    u32 pkey = 0;
+  };
+
+  std::array<Key, 1024> keys;
+  std::array<Region, kRegions> regions;
+
+  Oracle() { keys[0].allocated = true; }
+
+  void page_delta(u32 k, i64 pages) {
+    keys[k].pages = static_cast<u64>(static_cast<i64>(keys[k].pages) + pages);
+    if (keys[k].pages == 0 && keys[k].dirty) {
+      keys[k] = Key{};  // fully drained: quarantine + seals dissolve
+    }
+  }
+
+  i64 alloc() {
+    for (u32 k = 1; k < 1024; ++k) {
+      if (!keys[k].allocated && !keys[k].dirty) {
+        keys[k].allocated = true;
+        return k;
+      }
+    }
+    return os::err::kNoSpc;
+  }
+
+  i64 free_key(u32 k) {
+    if (k == 0 || k >= 1024 || !keys[k].allocated) return os::err::kInval;
+    keys[k].allocated = false;
+    if (keys[k].pages > 0) {
+      keys[k].dirty = true;
+    } else {
+      keys[k] = Key{};
+    }
+    return 0;
+  }
+
+  bool assignable(u32 k) const {
+    return k < 1024 && keys[k].allocated && !keys[k].dirty;
+  }
+
+  i64 pkey_mprotect(unsigned r, u32 k) {
+    if (!assignable(k)) return os::err::kInval;
+    if (!regions[r].mapped) return os::err::kNoMem;
+    const u32 old = regions[r].pkey;
+    if (keys[old].sealed_domain) return os::err::kPerm;
+    if (old != k && keys[k].sealed_page) return os::err::kPerm;
+    if (old != k) {
+      regions[r].pkey = k;
+      page_delta(k, kRegionPages);
+      page_delta(old, -static_cast<i64>(kRegionPages));
+    }
+    return 0;
+  }
+
+  i64 mprotect(unsigned r) {
+    if (!regions[r].mapped) return os::err::kNoMem;
+    if (keys[regions[r].pkey].sealed_domain) return os::err::kPerm;
+    return 0;
+  }
+
+  i64 seal(u32 k, bool domain, bool page) {
+    if (!assignable(k)) return os::err::kInval;
+    if (domain) keys[k].sealed_domain = true;
+    if (page) keys[k].sealed_page = true;
+    return 0;
+  }
+
+  i64 map(unsigned r) {
+    if (regions[r].mapped) return os::err::kInval;  // overlap
+    regions[r].mapped = true;
+    regions[r].pkey = 0;
+    page_delta(0, kRegionPages);
+    return static_cast<i64>(region_addr(r));
+  }
+
+  i64 unmap(unsigned r) {
+    if (regions[r].mapped) {
+      const u32 old = regions[r].pkey;
+      regions[r].mapped = false;
+      page_delta(old, -static_cast<i64>(kRegionPages));
+    }
+    return 0;  // munmap over a hole succeeds, like Linux
+  }
+};
+
+enum class OpKind : u8 {
+  kAlloc,
+  kFree,
+  kPkeyMprotect,
+  kMprotect,
+  kSeal,
+  kMap,
+  kUnmap,
+};
+
+struct Op {
+  OpKind kind;
+  unsigned region = 0;
+  u32 key = 0;
+  bool seal_domain = false;
+  bool seal_page = false;
+};
+
+// Emits one operation into the guest and returns the oracle's prediction
+// for its return value. The guest reports each rc (two's complement).
+i64 emit_and_predict(Function& f, Oracle& oracle, const Op& op) {
+  switch (op.kind) {
+    case OpKind::kAlloc:
+      f.li(a0, 0);
+      f.li(a1, 0);
+      rt::syscall(f, os::sys::kPkeyAlloc);
+      rt::syscall(f, os::sys::kReport);
+      return oracle.alloc();
+    case OpKind::kFree:
+      f.li(a0, op.key);
+      rt::syscall(f, os::sys::kPkeyFree);
+      rt::syscall(f, os::sys::kReport);
+      return oracle.free_key(op.key);
+    case OpKind::kPkeyMprotect:
+      f.li(a0, static_cast<i64>(region_addr(op.region)));
+      f.li(a1, kRegionPages * 4096);
+      f.li(a2, 3);
+      f.li(a3, op.key);
+      rt::syscall(f, os::sys::kPkeyMprotect);
+      rt::syscall(f, os::sys::kReport);
+      return oracle.pkey_mprotect(op.region, op.key);
+    case OpKind::kMprotect:
+      f.li(a0, static_cast<i64>(region_addr(op.region)));
+      f.li(a1, kRegionPages * 4096);
+      f.li(a2, 3);
+      rt::syscall(f, os::sys::kMprotect);
+      rt::syscall(f, os::sys::kReport);
+      return oracle.mprotect(op.region);
+    case OpKind::kSeal:
+      f.li(a0, op.key);
+      f.li(a1, op.seal_domain ? 1 : 0);
+      f.li(a2, op.seal_page ? 1 : 0);
+      rt::syscall(f, os::sys::kPkeySeal);
+      rt::syscall(f, os::sys::kReport);
+      return oracle.seal(op.key, op.seal_domain, op.seal_page);
+    case OpKind::kMap:
+      f.li(a0, static_cast<i64>(region_addr(op.region)));
+      f.li(a1, kRegionPages * 4096);
+      f.li(a2, 3);
+      rt::syscall(f, os::sys::kMmap);
+      rt::syscall(f, os::sys::kReport);
+      return oracle.map(op.region);
+    case OpKind::kUnmap:
+      f.li(a0, static_cast<i64>(region_addr(op.region)));
+      f.li(a1, kRegionPages * 4096);
+      rt::syscall(f, os::sys::kMunmap);
+      rt::syscall(f, os::sys::kReport);
+      return oracle.unmap(op.region);
+  }
+  return 0;
+}
+
+Op random_op(Rng& rng) {
+  Op op;
+  op.kind = static_cast<OpKind>(rng.below(7));
+  op.region = static_cast<unsigned>(rng.below(kRegions));
+  op.key = static_cast<u32>(rng.below(kKeyUniverse));
+  op.seal_domain = rng.chance(0.5);
+  op.seal_page = rng.chance(0.5);
+  return op;
+}
+
+class FuzzOracleTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzOracleTest, KernelMatchesOracleOnRandomOpSequences) {
+  Rng rng(GetParam());
+  Oracle oracle;
+  Program prog;
+  rt::add_crt0(prog);
+  Function& f = prog.add_function("main");
+  f.addi(sp, sp, -16);
+  f.sd(ra, 0, sp);
+  std::vector<i64> expected;
+  std::vector<Op> ops;
+  for (int i = 0; i < 300; ++i) {
+    const Op op = random_op(rng);
+    ops.push_back(op);
+    expected.push_back(emit_and_predict(f, oracle, op));
+  }
+  f.ld(ra, 0, sp);
+  f.addi(sp, sp, 16);
+  f.li(a0, 0);
+  f.ret();
+
+  const auto run = testutil::run_guest(prog);
+  ASSERT_TRUE(run.outcome.completed);
+  ASSERT_TRUE(run.faults.empty());
+  ASSERT_EQ(run.exit_code, 0);
+  ASSERT_EQ(run.reports.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(static_cast<i64>(run.reports[i]), expected[i])
+        << "op " << i << " kind=" << static_cast<int>(ops[i].kind)
+        << " region=" << ops[i].region << " key=" << ops[i].key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 1234u));
+
+}  // namespace
+}  // namespace sealpk

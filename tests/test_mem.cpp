@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/phys_mem.h"
+#include "mem/pte.h"
+#include "mem/tlb.h"
+#include "mem/walker.h"
+
+namespace sealpk::mem {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Physical memory.
+// ---------------------------------------------------------------------------
+
+TEST(PhysMem, FreshMemoryReadsZero) {
+  PhysMem mem(1 << 20);
+  EXPECT_EQ(mem.read_u64(0), 0u);
+  EXPECT_EQ(mem.read_u8(0xFFFFF), 0u);
+}
+
+TEST(PhysMem, ReadWriteWidths) {
+  PhysMem mem(1 << 20);
+  mem.write_u8(0x100, 0xAB);
+  mem.write_u16(0x102, 0xCDEF);
+  mem.write_u32(0x104, 0x12345678);
+  mem.write_u64(0x108, 0x1122334455667788ULL);
+  EXPECT_EQ(mem.read_u8(0x100), 0xAB);
+  EXPECT_EQ(mem.read_u16(0x102), 0xCDEF);
+  EXPECT_EQ(mem.read_u32(0x104), 0x12345678u);
+  EXPECT_EQ(mem.read_u64(0x108), 0x1122334455667788ULL);
+}
+
+TEST(PhysMem, LittleEndianLayout) {
+  PhysMem mem(1 << 20);
+  mem.write_u32(0x200, 0xAABBCCDD);
+  EXPECT_EQ(mem.read_u8(0x200), 0xDD);
+  EXPECT_EQ(mem.read_u8(0x203), 0xAA);
+}
+
+TEST(PhysMem, CrossPageAccess) {
+  PhysMem mem(1 << 20);
+  mem.write_u64(kPageSize - 4, 0x0102030405060708ULL);
+  EXPECT_EQ(mem.read_u64(kPageSize - 4), 0x0102030405060708ULL);
+  EXPECT_EQ(mem.read_u32(kPageSize), 0x01020304u);
+}
+
+TEST(PhysMem, OutOfRangeThrows) {
+  PhysMem mem(1 << 20);
+  EXPECT_THROW(mem.read_u8(1 << 20), CheckError);
+  EXPECT_THROW(mem.write_u8(1 << 20, 0), CheckError);
+  EXPECT_FALSE(mem.contains((1 << 20) - 1, 2));
+  EXPECT_TRUE(mem.contains((1 << 20) - 1, 1));
+}
+
+TEST(PhysMem, BulkOps) {
+  PhysMem mem(1 << 20);
+  const std::vector<u8> data{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  mem.write_bytes(kPageSize - 4, data.data(), data.size());
+  std::vector<u8> back(data.size());
+  mem.read_bytes(kPageSize - 4, back.data(), back.size());
+  EXPECT_EQ(back, data);
+  mem.fill(0x100, 0xEE, 8);
+  EXPECT_EQ(mem.read_u64(0x100), 0xEEEEEEEEEEEEEEEEULL);
+}
+
+// ---------------------------------------------------------------------------
+// PTE codec.
+// ---------------------------------------------------------------------------
+
+TEST(Pte, MakeAndExtract) {
+  const u64 entry =
+      pte::make(0x12345, pte::kV | pte::kR | pte::kW | pte::kU, 0x3C1);
+  EXPECT_EQ(pte::ppn_of(entry), 0x12345u);
+  EXPECT_EQ(pte::pkey_of(entry), 0x3C1u);
+  EXPECT_TRUE(pte::valid(entry));
+  EXPECT_TRUE(pte::is_leaf(entry));
+}
+
+TEST(Pte, PkeyOccupiesReservedBits) {
+  // §III-A: the pkey lives in PTE bits [63:54] — the Sv39 reserved range.
+  const u64 entry = pte::make(0, pte::kV, 0x3FF);
+  EXPECT_EQ(bits(entry, 63, 54), 0x3FFu);
+  EXPECT_EQ(bits(entry, 53, 0), pte::kV);
+}
+
+TEST(Pte, MpkFlavourUsesFourBits) {
+  const u64 entry = pte::make(0, pte::kV, 0xF, pte::kMpkPkeyBits);
+  EXPECT_EQ(pte::pkey_of(entry, pte::kMpkPkeyBits), 0xFu);
+  EXPECT_EQ(bits(entry, 63, 58), 0u);  // upper reserved bits untouched
+}
+
+TEST(Pte, WithPkeyPreservesRest) {
+  u64 entry = pte::make(0x777, pte::kV | pte::kR | pte::kD, 5);
+  entry = pte::with_pkey(entry, 900);
+  EXPECT_EQ(pte::pkey_of(entry), 900u);
+  EXPECT_EQ(pte::ppn_of(entry), 0x777u);
+  EXPECT_TRUE((entry & pte::kD) != 0);
+}
+
+TEST(Pte, ReservedComboDetected) {
+  EXPECT_TRUE(pte::reserved_perm_combo(pte::kV | pte::kW));
+  EXPECT_FALSE(pte::reserved_perm_combo(pte::kV | pte::kR | pte::kW));
+}
+
+TEST(Sv39, VpnSlices) {
+  const u64 vaddr = (u64{0x1A} << 30) | (u64{0x2B} << 21) | (u64{0x3C} << 12) |
+                    0x123;
+  EXPECT_EQ(sv39::vpn_slice(vaddr, 2), 0x1Au);
+  EXPECT_EQ(sv39::vpn_slice(vaddr, 1), 0x2Bu);
+  EXPECT_EQ(sv39::vpn_slice(vaddr, 0), 0x3Cu);
+  EXPECT_EQ(sv39::page_offset(vaddr), 0x123u);
+}
+
+TEST(Sv39, Canonical) {
+  EXPECT_TRUE(sv39::canonical(0));
+  EXPECT_TRUE(sv39::canonical((u64{1} << 38) - 1));
+  EXPECT_FALSE(sv39::canonical(u64{1} << 38));  // bit 38 set, upper clear
+  EXPECT_TRUE(sv39::canonical(~u64{0}));        // all-ones is canonical
+}
+
+// ---------------------------------------------------------------------------
+// Page-table walker.
+// ---------------------------------------------------------------------------
+
+class WalkerTest : public ::testing::Test {
+ protected:
+  WalkerTest() : mem_(16 << 20) {}
+
+  // Installs a 3-level mapping vaddr -> ppn with `flags`.
+  void map(u64 vaddr, u64 ppn, u64 flags, u32 pkey = 0) {
+    u64 table = root_;
+    for (int level = 2; level >= 1; --level) {
+      const u64 slot = (table << kPageShift) +
+                       sv39::vpn_slice(vaddr, static_cast<unsigned>(level)) * 8;
+      u64 entry = mem_.read_u64(slot);
+      if (!pte::valid(entry)) {
+        entry = pte::make(next_table_++, pte::kV);
+        mem_.write_u64(slot, entry);
+      }
+      table = pte::ppn_of(entry);
+    }
+    const u64 slot =
+        (table << kPageShift) + sv39::vpn_slice(vaddr, 0) * 8;
+    mem_.write_u64(slot, pte::make(ppn, flags, pkey));
+  }
+
+  PhysMem mem_;
+  u64 root_ = 1;
+  u64 next_table_ = 2;
+};
+
+TEST_F(WalkerTest, TranslatesMappedPage) {
+  map(0x4000'1000, 0x99, pte::kV | pte::kR | pte::kW | pte::kU, 77);
+  const auto r = walk(mem_, root_, 0x4000'1234, Access::kLoad);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.ppn, 0x99u);
+  EXPECT_EQ(pte::pkey_of(r.pte), 77u);
+  EXPECT_EQ(r.level, 0u);
+  EXPECT_EQ(r.accesses, 3u);
+}
+
+TEST_F(WalkerTest, FaultsOnUnmapped) {
+  EXPECT_FALSE(walk(mem_, root_, 0x5000'0000, Access::kLoad).ok);
+}
+
+TEST_F(WalkerTest, FaultsOnNonCanonical) {
+  EXPECT_FALSE(walk(mem_, root_, u64{1} << 38, Access::kLoad).ok);
+}
+
+TEST_F(WalkerTest, FaultsOnReservedCombo) {
+  map(0x4000'2000, 0x9A, pte::kV | pte::kW | pte::kU);  // W without R
+  EXPECT_FALSE(walk(mem_, root_, 0x4000'2000, Access::kLoad).ok);
+}
+
+TEST_F(WalkerTest, UpdatesAccessedAndDirtyBits) {
+  map(0x4000'3000, 0x9B, pte::kV | pte::kR | pte::kW | pte::kU);
+  auto r = walk(mem_, root_, 0x4000'3000, Access::kLoad, true);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE((r.pte & pte::kA) != 0);
+  EXPECT_TRUE((r.pte & pte::kD) == 0);
+  r = walk(mem_, root_, 0x4000'3000, Access::kStore, true);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE((r.pte & pte::kD) != 0);
+  // The update is persistent in memory.
+  EXPECT_TRUE((mem_.read_u64(r.pte_addr) & pte::kD) != 0);
+}
+
+TEST_F(WalkerTest, ConstWalkLeavesAdAlone) {
+  map(0x4000'4000, 0x9C, pte::kV | pte::kR | pte::kU);
+  const auto r =
+      walk(static_cast<const PhysMem&>(mem_), root_, 0x4000'4000,
+           Access::kLoad);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE((mem_.read_u64(r.pte_addr) & pte::kA) == 0);
+}
+
+TEST_F(WalkerTest, MegapageResolvesTo4kGranularity) {
+  // Install a 2 MiB leaf at level 1 directly.
+  const u64 vaddr = 0x6000'0000;
+  u64 table = root_;
+  const u64 slot2 =
+      (table << kPageShift) + sv39::vpn_slice(vaddr, 2) * 8;
+  mem_.write_u64(slot2, pte::make(next_table_, pte::kV));
+  const u64 slot1 = (next_table_ << kPageShift) +
+                    sv39::vpn_slice(vaddr, 1) * 8;
+  // Aligned superpage PPN (low 9 bits zero).
+  mem_.write_u64(slot1,
+                 pte::make(0x200, pte::kV | pte::kR | pte::kU, 0));
+  const auto r = walk(mem_, root_, vaddr + 5 * kPageSize + 0x10,
+                      Access::kLoad);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.level, 1u);
+  EXPECT_EQ(r.ppn, 0x205u);  // base + vpn[0] splice
+  EXPECT_EQ(r.accesses, 2u);
+}
+
+TEST_F(WalkerTest, MisalignedSuperpageFaults) {
+  const u64 vaddr = 0x7000'0000;
+  const u64 slot2 =
+      (root_ << kPageShift) + sv39::vpn_slice(vaddr, 2) * 8;
+  mem_.write_u64(slot2, pte::make(next_table_, pte::kV));
+  const u64 slot1 = (next_table_ << kPageShift) +
+                    sv39::vpn_slice(vaddr, 1) * 8;
+  mem_.write_u64(slot1, pte::make(0x201, pte::kV | pte::kR | pte::kU));
+  EXPECT_FALSE(walk(mem_, root_, vaddr, Access::kLoad).ok);
+}
+
+TEST_F(WalkerTest, NonLeafWithAdBitsFaults) {
+  const u64 vaddr = 0x8000'0000;
+  const u64 slot2 =
+      (root_ << kPageShift) + sv39::vpn_slice(vaddr, 2) * 8;
+  mem_.write_u64(slot2, pte::make(next_table_, pte::kV | pte::kA));
+  EXPECT_FALSE(walk(mem_, root_, vaddr, Access::kLoad).ok);
+}
+
+// ---------------------------------------------------------------------------
+// TLB.
+// ---------------------------------------------------------------------------
+
+TlbEntry entry_for(u64 vpn, u16 pkey = 0) {
+  TlbEntry e;
+  e.vpn = vpn;
+  e.ppn = vpn + 100;
+  e.r = e.w = e.user = true;
+  e.pkey = pkey;
+  return e;
+}
+
+TEST(Tlb, MissThenHit) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.lookup(1).has_value());
+  tlb.insert(entry_for(1, 42));
+  const auto hit = tlb.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pkey, 42);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, InsertReplacesSameVpn) {
+  Tlb tlb(4);
+  tlb.insert(entry_for(7, 1));
+  tlb.insert(entry_for(7, 2));
+  EXPECT_EQ(tlb.valid_count(), 1u);
+  EXPECT_EQ(tlb.peek(7)->pkey, 2);
+}
+
+TEST(Tlb, EvictsRoundRobinWhenFull) {
+  Tlb tlb(2);
+  tlb.insert(entry_for(1));
+  tlb.insert(entry_for(2));
+  tlb.insert(entry_for(3));  // evicts slot 0 (vpn 1)
+  EXPECT_FALSE(tlb.peek(1).has_value());
+  EXPECT_TRUE(tlb.peek(2).has_value());
+  EXPECT_TRUE(tlb.peek(3).has_value());
+  EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(Tlb, GlobalFlushInvalidatesEverything) {
+  Tlb tlb(8);
+  for (u64 v = 0; v < 8; ++v) tlb.insert(entry_for(v));
+  tlb.flush();
+  EXPECT_EQ(tlb.valid_count(), 0u);
+  EXPECT_EQ(tlb.stats().flushes, 1u);
+}
+
+TEST(Tlb, SingleVpnFlush) {
+  Tlb tlb(8);
+  tlb.insert(entry_for(5));
+  tlb.insert(entry_for(6));
+  tlb.flush_vpn(5);
+  EXPECT_FALSE(tlb.peek(5).has_value());
+  EXPECT_TRUE(tlb.peek(6).has_value());
+}
+
+TEST(Tlb, PropertyNeverExceedsCapacityAndFindsRecent) {
+  Rng rng(11);
+  Tlb tlb(16);
+  for (int i = 0; i < 5000; ++i) {
+    const u64 vpn = rng.below(64);
+    tlb.insert(entry_for(vpn));
+    EXPECT_LE(tlb.valid_count(), 16u);
+    EXPECT_TRUE(tlb.peek(vpn).has_value());  // just-inserted always present
+    if (rng.chance(0.05)) tlb.flush();
+  }
+}
+
+}  // namespace
+}  // namespace sealpk::mem

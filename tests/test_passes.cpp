@@ -1,0 +1,351 @@
+// Shadow-stack instrumentation tests (§V-B): functional transparency of all
+// five variants, ROP detection, and the protection level of the shadow
+// stack itself under each variant.
+#include <gtest/gtest.h>
+
+#include "guest_test_util.h"
+#include "passes/shadow_stack.h"
+
+namespace sealpk {
+namespace {
+
+using isa::Function;
+using isa::Label;
+using isa::Program;
+using namespace isa;
+using passes::ShadowStackKind;
+using passes::ShadowStackOptions;
+using testutil::GuestRun;
+using testutil::run_guest;
+
+constexpr ShadowStackKind kAllVariants[] = {
+    ShadowStackKind::kInline, ShadowStackKind::kFunc,
+    ShadowStackKind::kSealPkWr, ShadowStackKind::kSealPkRdWr,
+    ShadowStackKind::kMprotect};
+
+// Recursive fib(n): deep call tree exercising push/pop heavily.
+Program make_fib_program(i64 n) {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& main_fn = prog.add_function("main");
+  main_fn.addi(sp, sp, -16);
+  main_fn.sd(ra, 0, sp);
+  main_fn.li(a0, n);
+  main_fn.call("fib");
+  main_fn.ld(ra, 0, sp);
+  main_fn.addi(sp, sp, 16);
+  main_fn.ret();
+
+  Function& fib = prog.add_function("fib");
+  const Label base = fib.new_label();
+  fib.li(t0, 2);
+  fib.blt(a0, t0, base);
+  fib.addi(sp, sp, -32);
+  fib.sd(ra, 0, sp);
+  fib.sd(s0, 8, sp);
+  fib.sd(s1, 16, sp);
+  fib.mv(s0, a0);
+  fib.addi(a0, s0, -1);
+  fib.call("fib");
+  fib.mv(s1, a0);
+  fib.addi(a0, s0, -2);
+  fib.call("fib");
+  fib.add(a0, a0, s1);
+  fib.ld(ra, 0, sp);
+  fib.ld(s0, 8, sp);
+  fib.ld(s1, 16, sp);
+  fib.addi(sp, sp, 32);
+  fib.bind(base);
+  fib.ret();
+  return prog;
+}
+
+// A classic stack-smash: vuln() overwrites its saved return address with
+// the gadget's address; without an isolated shadow stack the "attack"
+// succeeds and the process exits 666.
+Program make_rop_program() {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& main_fn = prog.add_function("main");
+  main_fn.addi(sp, sp, -16);
+  main_fn.sd(ra, 0, sp);
+  main_fn.call("vuln");
+  main_fn.ld(ra, 0, sp);
+  main_fn.addi(sp, sp, 16);
+  main_fn.li(a0, 0);
+  main_fn.ret();
+
+  Function& vuln = prog.add_function("vuln");
+  vuln.addi(sp, sp, -16);
+  vuln.sd(ra, 8, sp);
+  // The "overflow": clobber the saved RA with the gadget address.
+  vuln.la(t0, "gadget");
+  vuln.sd(t0, 8, sp);
+  vuln.ld(ra, 8, sp);
+  vuln.addi(sp, sp, 16);
+  vuln.ret();
+
+  Function& gadget = prog.add_function("gadget");
+  gadget.instrumentable = false;  // attacker payload, not a real function
+  gadget.li(a0, 666);
+  rt::emit_exit(gadget);
+  return prog;
+}
+
+class ShadowStackVariants
+    : public ::testing::TestWithParam<ShadowStackKind> {};
+
+TEST_P(ShadowStackVariants, FibStillComputesCorrectly) {
+  Program prog = make_fib_program(15);
+  ShadowStackOptions opts;
+  opts.kind = GetParam();
+  passes::apply_shadow_stack(prog, opts);
+  const GuestRun run = run_guest(prog);
+  EXPECT_TRUE(run.outcome.completed);
+  EXPECT_EQ(run.exit_code, 610);  // fib(15)
+  EXPECT_TRUE(run.faults.empty());
+}
+
+TEST_P(ShadowStackVariants, CatchesRopAttack) {
+  Program prog = make_rop_program();
+  ShadowStackOptions opts;
+  opts.kind = GetParam();
+  passes::apply_shadow_stack(prog, opts);
+  const GuestRun run = run_guest(prog);
+  // The epilogue comparison detects the mismatch and aborts with 139
+  // instead of letting the gadget run (666).
+  EXPECT_EQ(run.exit_code, 139);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ShadowStackVariants, ::testing::ValuesIn(kAllVariants),
+    [](const ::testing::TestParamInfo<ShadowStackKind>& info) {
+      std::string name = passes::shadow_stack_kind_name(info.param);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(ShadowStack, BaselineRopSucceedsWithoutInstrumentation) {
+  Program prog = make_rop_program();
+  EXPECT_EQ(run_guest(prog).exit_code, 666);  // attack lands
+}
+
+TEST(ShadowStack, UninstrumentedKindIsNoOp) {
+  Program prog = make_fib_program(10);
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kNone;
+  passes::apply_shadow_stack(prog, opts);
+  EXPECT_EQ(prog.find_function("__ss_init"), nullptr);
+  EXPECT_EQ(run_guest(prog).exit_code, 55);
+}
+
+TEST(ShadowStack, ApplyingTwiceThrows) {
+  Program prog = make_fib_program(5);
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kFunc;
+  passes::apply_shadow_stack(prog, opts);
+  EXPECT_THROW(passes::apply_shadow_stack(prog, opts), CheckError);
+}
+
+// Full-bypass attack: the attacker overwrites BOTH the live return path
+// and the shadow copy, so the epilogue comparison passes. This succeeds on
+// the unprotected variants (it is exactly why the paper isolates the shadow
+// stack) and faults on the first shadow-stack write under SealPK/mprotect.
+Program make_bypass_program() {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& main_fn = prog.add_function("main");
+  main_fn.addi(sp, sp, -16);
+  main_fn.sd(ra, 0, sp);
+  main_fn.call("vuln");
+  main_fn.ld(ra, 0, sp);
+  main_fn.addi(sp, sp, 16);
+  main_fn.li(a0, 0);
+  main_fn.ret();
+
+  Function& vuln = prog.add_function("vuln");
+  vuln.la(t0, "gadget");
+  vuln.sd(t0, -8, s10);  // tamper the shadow copy of vuln's RA...
+  vuln.mv(ra, t0);       // ...and the live return path
+  vuln.ret();            // the epilogue comparison now passes
+
+  Function& gadget = prog.add_function("gadget");
+  gadget.instrumentable = false;
+  gadget.li(a0, 666);
+  rt::emit_exit(gadget);
+  return prog;
+}
+
+TEST(ShadowStack, UnprotectedVariantsAllowFullBypass) {
+  for (const auto kind :
+       {ShadowStackKind::kInline, ShadowStackKind::kFunc}) {
+    Program prog = make_bypass_program();
+    ShadowStackOptions opts;
+    opts.kind = kind;
+    passes::apply_shadow_stack(prog, opts);
+    const GuestRun run = run_guest(prog);
+    EXPECT_EQ(run.exit_code, 666)
+        << passes::shadow_stack_kind_name(kind);  // attack landed
+    EXPECT_TRUE(run.faults.empty());
+  }
+}
+
+TEST(ShadowStack, SealPkVariantsBlockBypassWithPkeyFault) {
+  for (const auto kind :
+       {ShadowStackKind::kSealPkWr, ShadowStackKind::kSealPkRdWr}) {
+    Program prog = make_bypass_program();
+    ShadowStackOptions opts;
+    opts.kind = kind;
+    passes::apply_shadow_stack(prog, opts);
+    const GuestRun run = run_guest(prog);
+    ASSERT_EQ(run.faults.size(), 1u)
+        << passes::shadow_stack_kind_name(kind);
+    EXPECT_EQ(run.faults[0].cause, core::TrapCause::kStorePageFault);
+    EXPECT_TRUE(run.faults[0].pkey_fault);  // denied by the pkey, not PTE
+  }
+}
+
+TEST(ShadowStack, MprotectVariantBlocksBypassViaPte) {
+  Program prog = make_bypass_program();
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kMprotect;
+  passes::apply_shadow_stack(prog, opts);
+  const GuestRun run = run_guest(prog);
+  ASSERT_EQ(run.faults.size(), 1u);
+  EXPECT_EQ(run.faults[0].cause, core::TrapCause::kStorePageFault);
+  EXPECT_FALSE(run.faults[0].pkey_fault);  // plain PTE denial
+}
+
+TEST(ShadowStack, DomainAndPageSealsAppliedBehindTheScenes) {
+  // With sealing on (default), even a *syscall-level* attack re-keying the
+  // shadow stack is rejected: the Func-B scenario against the shadow stack.
+  Program prog;
+  rt::add_crt0(prog);
+  Function& main_fn = prog.add_function("main");
+  main_fn.la(s0, "__ss_base");
+  main_fn.ld(s0, 0, s0);
+  main_fn.li(a0, 0);
+  main_fn.li(a1, 0);
+  rt::syscall(main_fn, os::sys::kPkeyAlloc);  // attacker's fresh RW key
+  main_fn.mv(a3, a0);
+  main_fn.mv(a0, s0);
+  main_fn.li(a1, 4096);
+  main_fn.li(a2, 3);
+  rt::syscall(main_fn, os::sys::kPkeyMprotect);
+  main_fn.neg(a0, a0);  // expect EPERM = 1
+  main_fn.ret();
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kSealPkRdWr;
+  passes::apply_shadow_stack(prog, opts);
+  EXPECT_EQ(run_guest(prog).exit_code, -os::err::kPerm);
+}
+
+TEST(ShadowStack, PermSealRestrictsWrpkrToPushHelper) {
+  // With perm_seal on, a WRPKR injected anywhere outside __ss_push traps —
+  // the Func-D scenario against the shadow stack.
+  Program prog;
+  rt::add_crt0(prog);
+  Function& main_fn = prog.add_function("main");
+  // The injected attack: grant ourselves write access to the SS domain.
+  main_fn.li(t0, 1);  // the shadow-stack pkey (first allocation)
+  main_fn.wrpkr(t0, zero);
+  main_fn.li(a0, 0);
+  main_fn.ret();
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kSealPkRdWr;
+  opts.perm_seal = true;
+  passes::apply_shadow_stack(prog, opts);
+  const GuestRun run = run_guest(prog);
+  ASSERT_EQ(run.faults.size(), 1u);
+  EXPECT_EQ(run.faults[0].cause, core::TrapCause::kSealViolation);
+}
+
+TEST(ShadowStack, PermSealStillAllowsNormalOperation) {
+  for (const auto kind :
+       {ShadowStackKind::kSealPkWr, ShadowStackKind::kSealPkRdWr}) {
+    Program prog = make_fib_program(12);
+    ShadowStackOptions opts;
+    opts.kind = kind;
+    opts.perm_seal = true;
+    passes::apply_shadow_stack(prog, opts);
+    const GuestRun run = run_guest(prog);
+    EXPECT_EQ(run.exit_code, 144) << passes::shadow_stack_kind_name(kind);
+    EXPECT_TRUE(run.faults.empty());
+  }
+}
+
+TEST(ShadowStack, OverheadOrderingMatchesFigure5) {
+  // Sanity for the Fig. 5 shape: baseline < Inline < Func < SealPK-WR <
+  // SealPK-RD+WR << mprotect, measured in simulated cycles on the same
+  // workload.
+  std::map<ShadowStackKind, u64> cycles;
+  for (const auto kind :
+       {ShadowStackKind::kNone, ShadowStackKind::kInline,
+        ShadowStackKind::kFunc, ShadowStackKind::kSealPkWr,
+        ShadowStackKind::kSealPkRdWr, ShadowStackKind::kMprotect}) {
+    Program prog = make_fib_program(16);
+    ShadowStackOptions opts;
+    opts.kind = kind;
+    passes::apply_shadow_stack(prog, opts);
+    const GuestRun run = run_guest(prog);
+    EXPECT_EQ(run.exit_code, 987);
+    cycles[kind] = run.cycles;
+  }
+  EXPECT_LT(cycles[ShadowStackKind::kNone],
+            cycles[ShadowStackKind::kInline]);
+  EXPECT_LT(cycles[ShadowStackKind::kInline],
+            cycles[ShadowStackKind::kFunc]);
+  EXPECT_LT(cycles[ShadowStackKind::kFunc],
+            cycles[ShadowStackKind::kSealPkWr]);
+  EXPECT_LT(cycles[ShadowStackKind::kSealPkWr],
+            cycles[ShadowStackKind::kSealPkRdWr]);
+  // mprotect is catastrophically slower (the paper's ~88x claim).
+  EXPECT_GT(cycles[ShadowStackKind::kMprotect],
+            10 * cycles[ShadowStackKind::kSealPkRdWr]);
+}
+
+TEST(ShadowStack, LeafSkipTradesCoverageForSpeed) {
+  // The vulnerable function in the ROP program is a leaf: with
+  // skip_leaf_functions the attack sails through (the documented
+  // trade-off), while the default all-functions pass catches it.
+  Program caught = make_rop_program();
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kSealPkRdWr;
+  opts.skip_leaf_functions = false;
+  passes::apply_shadow_stack(caught, opts);
+  EXPECT_EQ(run_guest(caught).exit_code, 139);
+
+  Program missed = make_rop_program();
+  opts.skip_leaf_functions = true;
+  passes::apply_shadow_stack(missed, opts);
+  EXPECT_EQ(run_guest(missed).exit_code, 666);
+}
+
+TEST(ShadowStack, LeafSkipPreservesCorrectness) {
+  Program prog = make_fib_program(14);
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kSealPkRdWr;
+  opts.skip_leaf_functions = true;  // fib calls itself: still instrumented
+  passes::apply_shadow_stack(prog, opts);
+  EXPECT_EQ(run_guest(prog).exit_code, 377);
+}
+
+TEST(ShadowStack, HelperFunctionsAreNotSelfInstrumented) {
+  Program prog = make_fib_program(5);
+  ShadowStackOptions opts;
+  opts.kind = ShadowStackKind::kFunc;
+  passes::apply_shadow_stack(prog, opts);
+  // __ss_push must not start with the instrumentation prologue (mv t5, ra).
+  const Function* push = prog.find_function("__ss_push");
+  ASSERT_NE(push, nullptr);
+  ASSERT_FALSE(push->items().empty());
+  const auto& first = push->items().front();
+  EXPECT_FALSE(first.kind == isa::Item::Kind::kInst &&
+               first.inst.op == isa::Op::kAddi &&
+               first.inst.rd == t5 && first.inst.rs1 == ra);
+}
+
+}  // namespace
+}  // namespace sealpk

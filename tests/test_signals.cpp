@@ -1,0 +1,246 @@
+// Guest SEGV-class signal handling: recovery from pkey faults — the
+// mechanism real MPK software (and libmpk itself) builds on. The handler
+// receives the pkey-augmented fault info of §III-B.2 and can either repair
+// the cause and retry the instruction or skip it (probe pattern).
+#include <gtest/gtest.h>
+
+#include "guest_test_util.h"
+
+namespace sealpk {
+namespace {
+
+using isa::Function;
+using isa::Label;
+using isa::Program;
+using namespace isa;
+using testutil::GuestRun;
+using testutil::make_main_program;
+using testutil::run_guest;
+
+// Shared fixture body: page in a read-only domain, handler registered.
+void emit_setup(Program& p, Function& f, const char* handler) {
+  rt::add_pkey_lib(p);
+  f.li(a0, 0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kMmap);
+  f.mv(s0, a0);
+  f.li(a0, 0);
+  f.li(a1, static_cast<i64>(os::pkeyperm::kReadOnly));
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.mv(s1, a0);
+  f.mv(a0, s0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  f.mv(a3, s1);
+  rt::syscall(f, os::sys::kPkeyMprotect);
+  f.la(a0, handler);
+  rt::syscall(f, os::sys::kSigaction);
+}
+
+TEST(Signals, HandlerSkipsFaultingInstruction) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    emit_setup(p, f, "handler");
+    f.li(t0, 0x11);
+    f.sd(t0, 0, s0);  // pkey fault -> handler -> skipped
+    f.li(t1, 0x22);   // resumes here
+    f.mv(a0, t1);
+    rt::syscall(f, os::sys::kReport);
+    f.ld(a0, 0, s0);  // read allowed: page untouched (store was skipped)
+    rt::syscall(f, os::sys::kReport);
+    f.li(a0, 0);
+
+    // handler(cause, addr, pkeyinfo): report the pkey info, then skip.
+    Function& h = p.add_function("handler");
+    h.instrumentable = false;
+    h.mv(t2, a2);
+    h.slli(t3, a2, 1);
+    h.srli(t3, t3, 1);  // clear bit 63 -> the pkey
+    h.mv(a0, t3);
+    rt::syscall(h, os::sys::kReport);
+    h.li(a0, 1);  // skip
+    rt::syscall(h, os::sys::kSigreturn);
+  });
+  const GuestRun run = run_guest(prog);
+  EXPECT_TRUE(run.outcome.completed);
+  EXPECT_EQ(run.exit_code, 0);
+  // Handler saw pkey 1; main resumed after the store; page still zero.
+  EXPECT_EQ(run.reports, (std::vector<u64>{1, 0x22, 0}));
+  // The fault was recorded but marked delivered, not fatal.
+  ASSERT_EQ(run.faults.size(), 1u);
+  EXPECT_TRUE(run.faults[0].delivered);
+  EXPECT_TRUE(run.faults[0].pkey_fault);
+}
+
+TEST(Signals, HandlerRepairsAndRetries) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    emit_setup(p, f, "handler");
+    f.li(t0, 0x33);
+    f.sd(t0, 0, s0);  // faults once; handler grants write; retried
+    f.ld(a0, 0, s0);
+    rt::syscall(f, os::sys::kReport);  // expect 0x33 (store succeeded)
+    f.li(a0, 0);
+
+    // handler: flip the faulting pkey to RW via user-space WRPKR, then
+    // re-execute the instruction.
+    Function& h = p.add_function("handler");
+    h.instrumentable = false;
+    h.slli(a0, a2, 1);
+    h.srli(a0, a0, 1);  // the pkey
+    h.li(a1, static_cast<i64>(os::pkeyperm::kRw));
+    h.call("__pkey_set");
+    h.li(a0, 0);  // no skip: retry
+    rt::syscall(h, os::sys::kSigreturn);
+  });
+  const GuestRun run = run_guest(prog);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.reports, (std::vector<u64>{0x33}));
+  ASSERT_EQ(run.faults.size(), 1u);
+  EXPECT_TRUE(run.faults[0].delivered);
+}
+
+TEST(Signals, DoubleFaultInHandlerKills) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    emit_setup(p, f, "handler");
+    f.sd(zero, 0, s0);  // first fault
+    f.li(a0, 0);
+
+    // handler faults again (stores to the same protected page).
+    Function& h = p.add_function("handler");
+    h.instrumentable = false;
+    h.sd(zero, 0, s0);
+    h.li(a0, 1);
+    rt::syscall(h, os::sys::kSigreturn);
+  });
+  const GuestRun run = run_guest(prog);
+  ASSERT_EQ(run.faults.size(), 2u);
+  EXPECT_TRUE(run.faults[0].delivered);
+  EXPECT_FALSE(run.faults[1].delivered);  // the second one is fatal
+  EXPECT_LT(run.exit_code, 0);
+}
+
+TEST(Signals, UnregisterRestoresDefaultKill) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    emit_setup(p, f, "handler");
+    f.li(a0, 0);
+    rt::syscall(f, os::sys::kSigaction);  // unregister
+    f.sd(zero, 0, s0);
+    f.li(a0, 0);
+
+    Function& h = p.add_function("handler");
+    h.instrumentable = false;
+    h.li(a0, 1);
+    rt::syscall(h, os::sys::kSigreturn);
+  });
+  const GuestRun run = run_guest(prog);
+  ASSERT_EQ(run.faults.size(), 1u);
+  EXPECT_FALSE(run.faults[0].delivered);
+  EXPECT_LT(run.exit_code, 0);
+}
+
+TEST(Signals, SigreturnOutsideHandlerKills) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    f.li(a0, 0);
+    rt::syscall(f, os::sys::kSigreturn);
+    f.li(a0, 0);
+  });
+  EXPECT_LT(run_guest(prog).exit_code, 0);
+}
+
+TEST(Signals, SealViolationIsDeliverable) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);
+    f.seal_start(0);
+    f.nop();
+    f.seal_end(0);
+    f.mv(a0, s1);
+    rt::syscall(f, os::sys::kPkeyPermSeal);
+    f.la(a0, "handler");
+    rt::syscall(f, os::sys::kSigaction);
+    f.wrpkr(s1, zero);  // out-of-range WRPKR: seal violation -> handler
+    f.li(a0, 0);
+
+    Function& h = p.add_function("handler");
+    h.instrumentable = false;
+    h.mv(a0, a0);  // cause already in a0
+    rt::syscall(h, os::sys::kReport);
+    h.li(a0, 1);  // skip the rogue WRPKR
+    rt::syscall(h, os::sys::kSigreturn);
+  });
+  const GuestRun run = run_guest(prog);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.reports,
+            (std::vector<u64>{
+                static_cast<u64>(core::TrapCause::kSealViolation)}));
+  ASSERT_EQ(run.faults.size(), 1u);
+  EXPECT_TRUE(run.faults[0].delivered);
+}
+
+TEST(Signals, ProbePatternScansProtectedRegions) {
+  // A realistic use: probe N pages, counting which are readable, without
+  // dying — the pattern libmpk-style libraries use to discover domain
+  // state.
+  auto prog = make_main_program([](Program& p, Function& f) {
+    rt::add_pkey_lib(p);
+    p.add_zero("hit_count", 8);
+    // Three pages: page 1 gets a no-access domain.
+    f.li(a0, 0);
+    f.li(a1, 3 * 4096);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.mv(s0, a0);
+    f.li(a0, 0);
+    f.li(a1, static_cast<i64>(os::pkeyperm::kNone));
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);
+    f.li(t0, 4096);
+    f.add(a0, s0, t0);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    f.mv(a3, s1);
+    rt::syscall(f, os::sys::kPkeyMprotect);
+    f.la(a0, "handler");
+    rt::syscall(f, os::sys::kSigaction);
+    // Probe all three pages.
+    f.li(s2, 0);  // page index
+    f.li(s3, 0);  // readable count
+    const Label loop = f.new_label(), done = f.new_label(),
+                next = f.new_label();
+    f.bind(loop);
+    f.li(t0, 3);
+    f.bgeu(s2, t0, done);
+    f.slli(t1, s2, 12);
+    f.add(t1, s0, t1);
+    f.la(t2, "hit_count");
+    f.sd(zero, 0, t2);
+    f.ld(t3, 0, t1);  // probe (faults on page 1; handler sets hit_count)
+    f.la(t2, "hit_count");
+    f.ld(t3, 0, t2);
+    f.bnez(t3, next);  // faulted: not readable
+    f.addi(s3, s3, 1);
+    f.bind(next);
+    f.addi(s2, s2, 1);
+    f.j(loop);
+    f.bind(done);
+    f.mv(a0, s3);
+    rt::syscall(f, os::sys::kReport);  // expect 2 readable pages
+    f.li(a0, 0);
+
+    Function& h = p.add_function("handler");
+    h.instrumentable = false;
+    h.la(t2, "hit_count");
+    h.li(t3, 1);
+    h.sd(t3, 0, t2);
+    h.li(a0, 1);  // skip the probe load
+    rt::syscall(h, os::sys::kSigreturn);
+  });
+  const GuestRun run = run_guest(prog);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.reports, (std::vector<u64>{2}));
+}
+
+}  // namespace
+}  // namespace sealpk

@@ -1,0 +1,263 @@
+// Machine-level tests: run-loop behaviour, instruction budgets,
+// multi-process isolation (separate address spaces, per-process SealReg /
+// PK-CAM state, pkey namespaces), and stats plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "guest_test_util.h"
+
+namespace sealpk {
+namespace {
+
+using isa::Function;
+using isa::Label;
+using isa::Program;
+using namespace isa;
+using testutil::make_main_program;
+
+TEST(Machine, RunStopsAtInstructionBudget) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    const Label spin = f.new_label();
+    f.bind(spin);
+    f.j(spin);  // never exits
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  const auto outcome = machine.run(10'000);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_GE(outcome.instructions, 10'000u);
+  EXPECT_LE(outcome.instructions, 10'010u);
+}
+
+TEST(Machine, RunIsResumable) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    f.li(s0, 0);
+    const Label loop = f.new_label(), done = f.new_label();
+    f.bind(loop);
+    f.li(t0, 50'000);
+    f.bgeu(s0, t0, done);
+    f.addi(s0, s0, 1);
+    f.j(loop);
+    f.bind(done);
+    f.li(a0, 9);
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  const int pid = machine.load(prog.link());
+  while (!machine.run(10'000).completed) {
+  }
+  EXPECT_EQ(machine.exit_code(pid), 9);
+}
+
+TEST(Machine, CyclesAdvanceMonotonically) {
+  auto prog = make_main_program([](Program&, Function& f) { f.li(a0, 0); });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  const auto outcome = machine.run();
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.cycles, outcome.instructions);  // traps/syscalls cost
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto build = [] {
+    return make_main_program([](Program& p, Function& f) {
+      rt::add_rand_lib(p);
+      p.add_zero("state", 8);
+      f.la(t0, "state");
+      f.li(t1, 123);
+      f.sd(t1, 0, t0);
+      f.la(a0, "state");
+      f.call("__rand");
+      rt::syscall(f, os::sys::kReport);
+      f.li(a0, 0);
+    });
+  };
+  const auto a = testutil::run_guest(build());
+  const auto b = testutil::run_guest(build());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.reports, b.reports);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process isolation.
+// ---------------------------------------------------------------------------
+
+// A process that allocates a key, maps a page into it, seals, reports its
+// own observations, then spins yielding until `rounds` yields pass.
+Program make_tenant(u64 tag, bool seal) {
+  Program prog;
+  rt::add_crt0(prog);
+  Function& f = prog.add_function("main");
+  f.addi(sp, sp, -16);
+  f.sd(ra, 0, sp);
+  f.li(a0, 0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kMmap);
+  f.mv(s0, a0);
+  f.li(a0, 0);
+  f.li(a1, 0);
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.mv(s1, a0);
+  rt::syscall(f, os::sys::kReport);  // [0] my first key
+  f.mv(a0, s0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  f.mv(a3, s1);
+  rt::syscall(f, os::sys::kPkeyMprotect);
+  if (seal) {
+    f.mv(a0, s1);
+    f.li(a1, 1);
+    f.li(a2, 1);
+    rt::syscall(f, os::sys::kPkeySeal);
+  }
+  // Write my tag, yield a few times (interleave with the other tenant),
+  // then verify my page is untouched and my key still works.
+  f.li(t0, static_cast<i64>(tag));
+  f.sd(t0, 0, s0);
+  for (int i = 0; i < 4; ++i) rt::syscall(f, os::sys::kSchedYield);
+  f.ld(a0, 0, s0);
+  rt::syscall(f, os::sys::kReport);  // [1] my tag back
+  // Second allocation: each process has its own key namespace, so both
+  // tenants should see the same sequence (1, then 2).
+  f.li(a0, 0);
+  f.li(a1, 0);
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  rt::syscall(f, os::sys::kReport);  // [2] my second key
+  f.ld(ra, 0, sp);
+  f.addi(sp, sp, 16);
+  f.li(a0, 0);
+  f.ret();
+  return prog;
+}
+
+TEST(MultiProcess, AddressSpacesAndKeyNamespacesAreIsolated) {
+  sim::MachineConfig cfg;
+  cfg.preempt_quantum = 1'000;
+  sim::Machine machine(cfg);
+  const int pid_a = machine.load(make_tenant(0xAAAA, true).link());
+  const int pid_b = machine.load(make_tenant(0xBBBB, false).link());
+  const auto outcome = machine.run(50'000'000);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(machine.exit_code(pid_a), 0);
+  EXPECT_EQ(machine.exit_code(pid_b), 0);
+  // Reports interleave, but each process must have reported
+  // key=1, its own tag, key=2 — in that per-process order.
+  const auto& reports = machine.kernel().reports();
+  ASSERT_EQ(reports.size(), 6u);
+  std::vector<u64> a_seq, b_seq;
+  for (const u64 r : reports) {
+    if (r == 0xAAAA) {
+      a_seq.push_back(r);
+    } else if (r == 0xBBBB) {
+      b_seq.push_back(r);
+    } else if (a_seq.size() <= b_seq.size() && a_seq.size() < 3) {
+      // key reports: attribute by arrival pattern — both sequences are
+      // (1, tag, 2), so just check multiset below instead.
+    }
+  }
+  EXPECT_EQ(a_seq, (std::vector<u64>{0xAAAA}));
+  EXPECT_EQ(b_seq, (std::vector<u64>{0xBBBB}));
+  // Both processes got key 1 first and key 2 second: count them.
+  EXPECT_EQ(std::count(reports.begin(), reports.end(), 1u), 2);
+  EXPECT_EQ(std::count(reports.begin(), reports.end(), 2u), 2);
+}
+
+TEST(MultiProcess, SealStateIsPerProcess) {
+  // Tenant A seals its domain; tenant B (unsealed) must still be able to
+  // re-key its own pages even though A's seal bitmap lives in the same
+  // hardware SealUnit (swapped on process switch).
+  Program prog_a = make_tenant(0x1, true);
+  // Tenant B re-keys its page after the yields — legal only if A's seal
+  // did not leak into B's process state.
+  Program prog_b;
+  rt::add_crt0(prog_b);
+  Function& f = prog_b.add_function("main");
+  f.addi(sp, sp, -16);
+  f.sd(ra, 0, sp);
+  f.li(a0, 0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kMmap);
+  f.mv(s0, a0);
+  f.li(a0, 0);
+  f.li(a1, 0);
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.mv(s1, a0);  // key 1 — the same numeric key A sealed in ITS process
+  f.mv(a0, s0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  f.mv(a3, s1);
+  rt::syscall(f, os::sys::kPkeyMprotect);
+  for (int i = 0; i < 4; ++i) rt::syscall(f, os::sys::kSchedYield);
+  // Re-key to a fresh domain: would be EPERM if A's domain seal leaked.
+  f.li(a0, 0);
+  f.li(a1, 0);
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  f.mv(a3, a0);
+  f.mv(a0, s0);
+  f.li(a1, 4096);
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kPkeyMprotect);
+  f.neg(a0, a0);
+  rt::syscall(f, os::sys::kReport);  // expect 0 (allowed)
+  f.li(a0, 0);
+  f.ld(ra, 0, sp);
+  f.addi(sp, sp, 16);
+  f.ret();
+
+  sim::MachineConfig cfg;
+  cfg.preempt_quantum = 1'000;
+  sim::Machine machine(cfg);
+  const int pid_a = machine.load(prog_a.link());
+  const int pid_b = machine.load(prog_b.link());
+  ASSERT_TRUE(machine.run(50'000'000).completed);
+  EXPECT_EQ(machine.exit_code(pid_a), 0);
+  EXPECT_EQ(machine.exit_code(pid_b), 0);
+  // B's re-key succeeded (reported 0).
+  const auto& reports = machine.kernel().reports();
+  EXPECT_EQ(std::count(reports.begin(), reports.end(), 0u), 1);
+}
+
+TEST(MultiProcess, FaultInOneProcessDoesNotKillTheOther) {
+  auto crasher = make_main_program([](Program&, Function& f) {
+    f.li(t0, 0x6000'0000);
+    f.ld(t1, 0, t0);  // unmapped: killed
+    f.li(a0, 0);
+  });
+  auto survivor = make_main_program([](Program&, Function& f) {
+    for (int i = 0; i < 3; ++i) rt::syscall(f, os::sys::kSchedYield);
+    f.li(a0, 5);
+  });
+  sim::MachineConfig cfg;
+  cfg.preempt_quantum = 500;
+  sim::Machine machine(cfg);
+  const int pid_crash = machine.load(crasher.link());
+  const int pid_ok = machine.load(survivor.link());
+  ASSERT_TRUE(machine.run(10'000'000).completed);
+  EXPECT_LT(machine.exit_code(pid_crash), 0);
+  EXPECT_EQ(machine.exit_code(pid_ok), 5);
+  ASSERT_EQ(machine.kernel().faults().size(), 1u);
+  EXPECT_EQ(machine.kernel().faults()[0].pid, pid_crash);
+}
+
+TEST(MachineStats, KernelCountsSyscalls) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    for (int i = 0; i < 3; ++i) {
+      f.li(a0, i);
+      rt::syscall(f, os::sys::kReport);
+    }
+    f.li(a0, 0);
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  machine.run();
+  const auto& stats = machine.kernel().stats();
+  EXPECT_EQ(stats.syscall_counts.at(os::sys::kReport), 3u);
+  EXPECT_EQ(stats.syscall_counts.at(os::sys::kExit), 1u);
+  EXPECT_GE(stats.syscalls, 4u);
+}
+
+}  // namespace
+}  // namespace sealpk

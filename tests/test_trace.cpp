@@ -1,0 +1,132 @@
+// Tracer tests: the per-instruction hook and the ring-buffer/stream
+// tracers built on it.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "guest_test_util.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace sealpk {
+namespace {
+
+using isa::Function;
+using isa::Program;
+using namespace isa;
+using testutil::make_main_program;
+
+TEST(Trace, RingBufferKeepsTail) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    for (int i = 0; i < 10; ++i) f.nop();
+    f.li(a0, 0);
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  sim::Tracer tracer(8);
+  tracer.attach(machine.hart());
+  machine.run();
+  EXPECT_GT(tracer.executed(), 10u);
+  EXPECT_EQ(tracer.entries().size(), 8u);
+  // The tail of the program is an exit ecall.
+  EXPECT_EQ(tracer.entries().back().inst.op, isa::Op::kEcall);
+}
+
+TEST(Trace, StreamTracerDisassembles) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    f.li(a0, 42);  // addi a0, zero, 42
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  std::ostringstream os;
+  sim::attach_stream_tracer(machine.hart(), os);
+  machine.run();
+  const std::string log = os.str();
+  EXPECT_NE(log.find("addi a0, zero, 42"), std::string::npos);
+  EXPECT_NE(log.find("ecall"), std::string::npos);
+  EXPECT_NE(log.find("U 0x"), std::string::npos);
+}
+
+TEST(Trace, DetachRestoresZeroOverheadPath) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    for (int i = 0; i < 100; ++i) f.nop();
+    f.li(a0, 0);
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  const int pid = machine.load(prog.link());
+  sim::Tracer tracer(4);
+  tracer.attach(machine.hart());
+  machine.run(50);
+  const u64 seen = tracer.executed();
+  EXPECT_GT(seen, 0u);
+  sim::Tracer::detach(machine.hart());
+  machine.run();
+  EXPECT_EQ(tracer.executed(), seen);  // no further callbacks
+  EXPECT_EQ(machine.exit_code(pid), 0);
+}
+
+TEST(Trace, DumpFormatsAllEntries) {
+  auto prog = make_main_program([](Program&, Function& f) { f.li(a0, 0); });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  sim::Tracer tracer(128);
+  tracer.attach(machine.hart());
+  machine.run();
+  std::ostringstream os;
+  tracer.dump(os);
+  // One line per buffered instruction.
+  const std::string log = os.str();
+  const size_t lines = static_cast<size_t>(
+      std::count(log.begin(), log.end(), '\n'));
+  EXPECT_EQ(lines, tracer.entries().size());
+}
+
+TEST(Stats, CollectsCoherentCounters) {
+  auto prog = make_main_program([](Program& p, Function& f) {
+    rt::add_pkey_lib(p);
+    f.li(a0, 0);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.mv(s0, a0);
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(a1, zero);
+    f.mv(a1, a0);
+    f.mv(a0, s0);
+    f.mv(a3, a1);
+    f.mv(a0, s0);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kPkeyMprotect);
+    f.ld(t0, 0, s0);
+    f.sd(t0, 0, s0);
+    f.li(a0, 5);
+    f.call("__pkey_get");
+    f.li(a0, 0);
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  const auto outcome = machine.run();
+  ASSERT_TRUE(outcome.completed);
+  const auto stats = sim::collect_stats(machine);
+  EXPECT_EQ(stats.instructions, machine.hart().instret());
+  EXPECT_GT(stats.cycles, stats.instructions);
+  EXPECT_LT(stats.ipc(), 1.0);
+  EXPECT_GT(stats.loads, 0u);
+  EXPECT_GT(stats.stores, 0u);
+  EXPECT_GT(stats.calls, 0u);          // crt0's call + __pkey_get
+  EXPECT_GT(stats.syscalls, 3u);
+  EXPECT_GT(stats.rdpkr, 0u);          // __pkey_get uses RDPKR
+  EXPECT_GT(stats.dtlb.hits + stats.dtlb.misses, 0u);
+  EXPECT_GT(stats.pkr.perm_lookups, 0u);
+  EXPECT_GT(stats.dtlb_hit_rate(), 0.2);
+  std::ostringstream os;
+  sim::print_stats(stats, os);
+  EXPECT_NE(os.str().find("dtlb hit rate"), std::string::npos);
+  EXPECT_NE(os.str().find("instructions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sealpk
