@@ -18,8 +18,10 @@
 // Each attack runs twice on a fresh machine: unsealed (the attack lands,
 // demonstrating that plain MPK-style keys are not enough) and sealed.
 #include <cstdio>
+#include <iostream>
 #include <string>
 
+#include "analysis/verifier.h"
 #include "runtime/guest.h"
 #include "sim/machine.h"
 
@@ -240,6 +242,37 @@ int main() {
                 blocked ? "blocks it" : "FAILED (?)");
     all_ok = all_ok && attack_landed && blocked;
   }
+  // --- Static layer: the same Func-D gadget is visible *before* run time.
+  // Permission sealing kills the injected WRPKR dynamically; the static
+  // verifier (ERIM-style occurrence scan, `sealpk-verify`) catches it at
+  // admission. Func-A's in-body WRPKR toggles are legitimate — its sealed
+  // region is the permissible WRPKR range — so it is registered as a
+  // trusted gate, exactly like --trust=func_a on the CLI.
+  analysis::VerifyOptions opts;
+  opts.trusted_gates.insert("func_a");
+  const analysis::Report report =
+      analysis::verify_program(build_scenario(Attack::kFuncD, true), opts);
+  std::printf("Static verification of the Func-D scenario:\n");
+  report.print(std::cout, "financial_log");
+  bool static_ok = !report.admissible();
+  for (const auto& finding : report.findings()) {
+    if (finding.severity == analysis::Severity::kError) {
+      static_ok = static_ok && finding.function == "func_d";
+    }
+  }
+
+  sim::MachineConfig strict;
+  strict.verify_policy = analysis::LoadVerifyPolicy::kEnforce;
+  strict.verify_options = opts;
+  sim::Machine gatekeeper{strict};
+  const bool refused =
+      gatekeeper.load(build_scenario(Attack::kFuncD, true).link()) ==
+      sim::Machine::kLoadRefused;
+  std::printf("strict loader (LoadVerifyPolicy::kEnforce): %s\n\n",
+              refused ? "image refused before a single instruction runs"
+                      : "image ADMITTED (?)");
+  all_ok = all_ok && static_ok && refused;
+
   std::printf(all_ok ? "All three sealing features behave as in the "
                        "paper's Figure 3.\n"
                      : "MISMATCH vs the paper's Figure 3!\n");

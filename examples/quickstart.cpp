@@ -7,6 +7,7 @@
 // __pkey_set helper) flips the permission without any syscall.
 #include <cstdio>
 
+#include "analysis/verifier.h"
 #include "runtime/guest.h"
 #include "sim/machine.h"
 
@@ -72,8 +73,16 @@ int main() {
   f.li(a0, 0);
   f.ret();
 
-  sim::Machine machine{sim::MachineConfig{}};
-  machine.load(prog.link());
+  // Load under the strict admission policy: the static verifier inspects
+  // the linked binary first (every WRPKR here lives inside the trusted
+  // __pkey_set gate, so the image is admitted — see `sealpk-verify`).
+  sim::MachineConfig config;
+  config.verify_policy = analysis::LoadVerifyPolicy::kEnforce;
+  sim::Machine machine{config};
+  if (machine.load(prog.link()) == sim::Machine::kLoadRefused) {
+    std::printf("static verifier refused the image!?\n");
+    return 1;
+  }
   const auto outcome = machine.run();
 
   std::printf("SealPK quickstart (simulated Rocket + SealPK, %llu cycles)\n\n",

@@ -1,0 +1,71 @@
+// Per-function control-flow graphs over a linked guest Image.
+//
+// The verifier operates on the *binary* (the linked Image), not the
+// assembler IR: that is the ERIM model — inspect exactly the bytes that
+// will execute, after every instrumentation pass and the linker have had
+// their say. Image::func_ranges partitions the text segments into
+// functions; each function is decoded and split into basic blocks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.h"
+#include "isa/program.h"
+
+namespace sealpk::analysis {
+
+struct Site {
+  u64 pc = 0;
+  isa::Inst inst;
+};
+
+// Kind of control transfer that terminates a basic block.
+enum class BlockExit : u8 {
+  kFallthrough,  // no terminator: runs into the next block
+  kBranch,       // conditional: taken target + fallthrough
+  kJump,         // unconditional jal inside the function
+  kCall,         // jal to another function; control returns to pc+4
+  kTailCall,     // unconditional transfer out of the function
+  kReturn,       // jalr zero, ra, 0
+  kIndirect,     // jalr through an arbitrary register: targets unknown
+  kTrap,         // ecall/ebreak fall through after the kernel returns
+  kIllegal,      // undecodable word: execution cannot continue
+};
+
+struct BasicBlock {
+  u64 start = 0;
+  std::vector<Site> insts;
+  BlockExit exit = BlockExit::kFallthrough;
+  std::vector<u32> succs;  // indices into FunctionCfg::blocks
+  bool reachable = false;  // from the function entry
+};
+
+struct FunctionCfg {
+  std::string name;
+  u64 start = 0;
+  u64 end = 0;  // exclusive
+  std::vector<BasicBlock> blocks;
+  std::map<u64, u32> block_at;  // block start pc -> index
+  // jal-call targets (absolute addresses) made by this function.
+  std::vector<u64> call_targets;
+  bool has_indirect_jump = false;
+};
+
+// Whole-image view: one FunctionCfg per entry of image.func_ranges plus a
+// synthetic "<unattributed>" function for executable bytes outside every
+// range (none are emitted by our linker, but hand-built images can).
+struct ImageCfg {
+  std::vector<FunctionCfg> functions;
+  // Sorted (start, index) pairs for pc -> function lookup.
+  std::vector<std::pair<u64, u32>> starts;
+
+  const FunctionCfg* function_at(u64 pc) const;
+  const FunctionCfg* function_named(const std::string& name) const;
+};
+
+// Decodes every executable segment of `image` and builds all CFGs.
+ImageCfg build_cfg(const isa::Image& image);
+
+}  // namespace sealpk::analysis

@@ -1,0 +1,222 @@
+#include "analysis/dataflow.h"
+
+#include <deque>
+
+#include "common/bits.h"
+
+namespace sealpk::analysis {
+
+namespace {
+
+constexpr u8 kCallerSaved[] = {
+    isa::ra, isa::t0, isa::t1, isa::t2, isa::a0, isa::a1, isa::a2,
+    isa::a3, isa::a4, isa::a5, isa::a6, isa::a7, isa::t3, isa::t4,
+    isa::t5, isa::t6};
+
+i64 sext32(u64 v) { return static_cast<i64>(static_cast<i32>(v)); }
+
+// Evaluates a binary/immediate ALU op on concrete operands, mirroring the
+// hart's semantics for the subset the verifier needs. Returns top for ops
+// it does not model (divisions, CSRs, ...).
+AbsVal eval_alu(isa::Op op, u64 a, u64 b) {
+  using isa::Op;
+  switch (op) {
+    case Op::kAddi:
+    case Op::kAdd: return AbsVal::constant(a + b);
+    case Op::kSub: return AbsVal::constant(a - b);
+    case Op::kAndi:
+    case Op::kAnd: return AbsVal::constant(a & b);
+    case Op::kOri:
+    case Op::kOr: return AbsVal::constant(a | b);
+    case Op::kXori:
+    case Op::kXor: return AbsVal::constant(a ^ b);
+    case Op::kSlti:
+    case Op::kSlt:
+      return AbsVal::constant(
+          static_cast<i64>(a) < static_cast<i64>(b) ? 1 : 0);
+    case Op::kSltiu:
+    case Op::kSltu: return AbsVal::constant(a < b ? 1 : 0);
+    case Op::kSlli:
+    case Op::kSll: return AbsVal::constant(a << (b & 63));
+    case Op::kSrli:
+    case Op::kSrl: return AbsVal::constant(a >> (b & 63));
+    case Op::kSrai:
+    case Op::kSra:
+      return AbsVal::constant(
+          static_cast<u64>(static_cast<i64>(a) >> (b & 63)));
+    case Op::kAddiw:
+    case Op::kAddw: return AbsVal::constant(static_cast<u64>(sext32(a + b)));
+    case Op::kSubw: return AbsVal::constant(static_cast<u64>(sext32(a - b)));
+    case Op::kSlliw:
+    case Op::kSllw:
+      return AbsVal::constant(static_cast<u64>(sext32(a << (b & 31))));
+    case Op::kSrliw:
+    case Op::kSrlw:
+      return AbsVal::constant(
+          static_cast<u64>(sext32(static_cast<u32>(a) >> (b & 31))));
+    case Op::kSraiw:
+    case Op::kSraw:
+      return AbsVal::constant(
+          static_cast<u64>(static_cast<i64>(static_cast<i32>(a)) >> (b & 31)));
+    case Op::kMul: return AbsVal::constant(a * b);
+    case Op::kMulw: return AbsVal::constant(static_cast<u64>(sext32(a * b)));
+    default: return AbsVal::top();
+  }
+}
+
+bool is_imm_alu(isa::Format fmt) {
+  return fmt == isa::Format::kI || fmt == isa::Format::kShift64 ||
+         fmt == isa::Format::kShift32;
+}
+
+}  // namespace
+
+AbsVal join(AbsVal a, AbsVal b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  if (a.is_const() && b.is_const() && a.value == b.value) return a;
+  return AbsVal::top();
+}
+
+RegState RegState::entry() {
+  RegState s;
+  for (auto& r : s.regs) r = AbsVal::top();
+  s.regs[0] = AbsVal::constant(0);
+  return s;
+}
+
+bool RegState::join_with(const RegState& other) {
+  bool changed = false;
+  for (unsigned i = 1; i < regs.size(); ++i) {
+    const AbsVal merged = join(regs[i], other.regs[i]);
+    if (!(merged == regs[i])) {
+      regs[i] = merged;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void transfer(const Site& site, RegState& state) {
+  using isa::Op;
+  const isa::Inst& inst = site.inst;
+  const isa::Format fmt =
+      inst.op == Op::kIllegal ? isa::Format::kSys : isa::op_info(inst.op).format;
+
+  switch (inst.op) {
+    case Op::kLui:
+      state.set(inst.rd, AbsVal::constant(static_cast<u64>(inst.imm)));
+      return;
+    case Op::kAuipc:
+      state.set(inst.rd,
+                AbsVal::constant(site.pc + static_cast<u64>(inst.imm)));
+      return;
+    case Op::kJal:
+      // Treated as a call by the caller when the target leaves the
+      // function; here only the link register effect matters.
+      if (inst.rd != isa::zero) {
+        state.set(inst.rd, AbsVal::constant(site.pc + 4));
+      }
+      return;
+    case Op::kJalr:
+      if (inst.rd != isa::zero) {
+        state.set(inst.rd, AbsVal::constant(site.pc + 4));
+      }
+      return;
+    case Op::kEcall:
+      // Kernel ABI: result in a0, every other register preserved.
+      state.set(isa::a0, AbsVal::top());
+      return;
+    default:
+      break;
+  }
+
+  if (isa::is_branch(inst.op) || isa::is_store(inst.op) ||
+      inst.op == Op::kFence || inst.op == Op::kFenceI ||
+      inst.op == Op::kEbreak || inst.op == Op::kIllegal ||
+      inst.op == Op::kWrpkr || inst.op == Op::kWrpkru ||
+      inst.op == Op::kSealStart || inst.op == Op::kSealEnd ||
+      inst.op == Op::kSpkRange || inst.op == Op::kSpkSeal) {
+    return;  // no register results
+  }
+
+  if (isa::is_load(inst.op) || isa::is_pkey_read(inst.op) ||
+      fmt == isa::Format::kCsr || fmt == isa::Format::kCsrI) {
+    state.set(inst.rd, AbsVal::top());
+    return;
+  }
+
+  // ALU forms.
+  const AbsVal lhs = state.get(inst.rs1);
+  const AbsVal rhs = is_imm_alu(fmt) ? AbsVal::constant(static_cast<u64>(inst.imm))
+                                     : state.get(inst.rs2);
+  if (lhs.is_const() && rhs.is_const()) {
+    state.set(inst.rd, eval_alu(inst.op, lhs.value, rhs.value));
+  } else {
+    state.set(inst.rd, AbsVal::top());
+  }
+}
+
+ConstProp::ConstProp(const FunctionCfg& cfg) {
+  if (cfg.blocks.empty()) return;
+  std::vector<RegState> in(cfg.blocks.size());
+  std::vector<bool> seeded(cfg.blocks.size(), false);
+  in[0] = RegState::entry();
+  seeded[0] = true;
+
+  std::deque<u32> work{0};
+  std::vector<bool> queued(cfg.blocks.size(), false);
+  queued[0] = true;
+
+  auto flow_block = [&](u32 bi, RegState state) {
+    const BasicBlock& bb = cfg.blocks[bi];
+    for (const Site& site : bb.insts) {
+      transfer(site, state);
+    }
+    // A call clobbers the caller-saved registers once the callee returns.
+    if (bb.exit == BlockExit::kCall || bb.exit == BlockExit::kIndirect ||
+        bb.exit == BlockExit::kTailCall) {
+      for (const u8 reg : kCallerSaved) state.set(reg, AbsVal::top());
+    }
+    return state;
+  };
+
+  while (!work.empty()) {
+    const u32 bi = work.front();
+    work.pop_front();
+    queued[bi] = false;
+    const RegState out = flow_block(bi, in[bi]);
+    for (const u32 succ : cfg.blocks[bi].succs) {
+      bool changed;
+      if (!seeded[succ]) {
+        in[succ] = out;
+        seeded[succ] = true;
+        changed = true;
+      } else {
+        changed = in[succ].join_with(out);
+      }
+      if (changed && !queued[succ]) {
+        work.push_back(succ);
+        queued[succ] = true;
+      }
+    }
+  }
+
+  // Final pass: record the state before every instruction of every seeded
+  // (reached) block.
+  for (u32 bi = 0; bi < cfg.blocks.size(); ++bi) {
+    if (!seeded[bi]) continue;
+    RegState state = in[bi];
+    for (const Site& site : cfg.blocks[bi].insts) {
+      before_.emplace(site.pc, state);
+      transfer(site, state);
+    }
+  }
+}
+
+const RegState* ConstProp::state_before(u64 pc) const {
+  auto it = before_.find(pc);
+  return it == before_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sealpk::analysis

@@ -1,0 +1,70 @@
+// Constant-propagation dataflow over a FunctionCfg.
+//
+// A three-level lattice per register (bottom = unreached, a single 64-bit
+// constant, top = unknown) propagated with a block worklist. This is what
+// lets the verifier resolve, where possible, which pkey a WRPKR names and
+// which syscall number an ecall carries — the abstract-interpretation half
+// of the ERIM inspection (occurrence scanning alone cannot tell a write to
+// a sealed row from a benign one).
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "analysis/cfg.h"
+
+namespace sealpk::analysis {
+
+struct AbsVal {
+  enum class Kind : u8 { kBottom, kConst, kTop };
+  Kind kind = Kind::kBottom;
+  u64 value = 0;
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal top() { return {Kind::kTop, 0}; }
+  static AbsVal constant(u64 v) { return {Kind::kConst, v}; }
+
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_bottom() const { return kind == Kind::kBottom; }
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+AbsVal join(AbsVal a, AbsVal b);
+
+// Abstract register file. regs[0] (the zero register) is pinned to 0.
+struct RegState {
+  std::array<AbsVal, 32> regs{};
+
+  static RegState entry();  // all top except zero
+
+  AbsVal get(u8 reg) const {
+    return reg == 0 ? AbsVal::constant(0) : regs[reg];
+  }
+  void set(u8 reg, AbsVal v) {
+    if (reg != 0) regs[reg] = v;
+  }
+  // Returns true when `other` changed this state.
+  bool join_with(const RegState& other);
+};
+
+// Applies one instruction's transfer function in place (AUIPC/JAL use the
+// site's pc). Call-shaped instructions clobber the RISC-V caller-saved
+// registers; anything the model does not evaluate precisely goes to top.
+void transfer(const Site& site, RegState& state);
+
+// Runs the analysis to fixpoint and records the register state *before*
+// every reachable instruction.
+class ConstProp {
+ public:
+  explicit ConstProp(const FunctionCfg& cfg);
+
+  // State before the instruction at `pc`; nullptr when the instruction is
+  // unreachable (treat every register as unknown).
+  const RegState* state_before(u64 pc) const;
+
+ private:
+  std::map<u64, RegState> before_;
+};
+
+}  // namespace sealpk::analysis

@@ -1,0 +1,73 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace sealpk::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* check_name(Check check) {
+  switch (check) {
+    case Check::kGadget: return "wrpkr-gadget";
+    case Check::kPkeyRead: return "rdpkr-outside-gate";
+    case Check::kSealMarker: return "seal-marker-outside-gate";
+    case Check::kSealedRange: return "sealed-range-violation";
+    case Check::kSealedRangeMaybe: return "sealed-range-unresolved";
+    case Check::kReachableIllegal: return "reachable-illegal";
+    case Check::kReservedReg: return "reserved-reg";
+    case Check::kUnknownSyscall: return "unknown-syscall";
+    case Check::kUnresolvedSyscall: return "unresolved-syscall";
+    case Check::kSegmentPerm: return "segment-perm";
+  }
+  return "?";
+}
+
+size_t Report::count(Severity severity) const {
+  return static_cast<size_t>(
+      std::count_if(findings_.begin(), findings_.end(),
+                    [severity](const Finding& f) {
+                      return f.severity == severity;
+                    }));
+}
+
+size_t Report::count(Check check) const {
+  return static_cast<size_t>(std::count_if(
+      findings_.begin(), findings_.end(),
+      [check](const Finding& f) { return f.check == check; }));
+}
+
+void Report::print(std::ostream& os, const std::string& program) const {
+  if (!program.empty()) {
+    os << program << ": ";
+  }
+  if (findings_.empty()) {
+    os << "clean (no findings)\n";
+    return;
+  }
+  os << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
+     << " warning(s), " << count(Severity::kInfo) << " note(s)\n";
+  // Errors first, then warnings, then notes; stable within a severity.
+  std::vector<const Finding*> order;
+  order.reserve(findings_.size());
+  for (const auto& f : findings_) order.push_back(&f);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Finding* a, const Finding* b) {
+                     return static_cast<int>(a->severity) >
+                            static_cast<int>(b->severity);
+                   });
+  for (const Finding* f : order) {
+    os << "  [" << severity_name(f->severity) << "] " << check_name(f->check)
+       << " " << f->function << " (pc 0x" << std::hex << f->pc << std::dec
+       << "): " << f->message << "\n";
+  }
+}
+
+}  // namespace sealpk::analysis

@@ -133,20 +133,9 @@ Op decode_op32(u32 f3, u32 f7) {
   }
 }
 
-Op decode_custom0(u32 f3, u32 f7) {
-  if (f3 != 0) return Op::kIllegal;
-  switch (f7) {
-    case 0x00: return Op::kRdpkr;
-    case 0x01: return Op::kWrpkr;
-    case 0x02: return Op::kSealStart;
-    case 0x03: return Op::kSealEnd;
-    case 0x04: return Op::kSpkRange;
-    case 0x05: return Op::kSpkSeal;
-    case 0x10: return Op::kWrpkru;
-    case 0x11: return Op::kRdpkru;
-    default: return Op::kIllegal;
-  }
-}
+// Custom-0 decode is table-driven (custom0_op in op.cpp): every
+// (funct3, funct7) combination that does not name an op in SEALPK_OP_LIST
+// yields kIllegal, so the decoder cannot desync from the op table.
 
 }  // namespace
 
@@ -212,7 +201,7 @@ Inst decode(u32 raw) {
       inst.rd = inst.rs1 = inst.rs2 = 0;
       break;
     case 0x0B:
-      inst.op = decode_custom0(f3, f7);
+      inst.op = custom0_op(f3, f7);
       break;
     case 0x73:
       if (f3 == 0) {

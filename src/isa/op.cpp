@@ -21,4 +21,15 @@ const OpInfo& op_info(Op op) {
   return kOpTable[idx];
 }
 
+Op custom0_op(u32 funct3, u32 funct7) {
+  for (unsigned idx = 0; idx + 1 < kNumOps; ++idx) {
+    const OpInfo& oi = kOpTable[idx];
+    if (oi.opcode == kCustom0Opcode && oi.funct3 == funct3 &&
+        oi.funct7 == funct7) {
+      return static_cast<Op>(idx);
+    }
+  }
+  return Op::kIllegal;
+}
+
 }  // namespace sealpk::isa

@@ -142,4 +142,88 @@ const OpInfo& op_info(Op op);
 
 constexpr unsigned kNumOps = static_cast<unsigned>(Op::kIllegal) + 1;
 
+// The custom-0 (RoCC) major opcode carrying the SealPK / MPK extensions.
+constexpr u8 kCustom0Opcode = 0x0B;
+
+// Table-driven custom-0 decode: returns the unique op whose metadata matches
+// (funct3, funct7), or kIllegal for every unknown combination. Derived from
+// SEALPK_OP_LIST so a newly added custom instruction can never desync the
+// decoder from the op table.
+Op custom0_op(u32 funct3, u32 funct7);
+
+// --- classification helpers (shared by the decoder, the tracer and the ---
+// --- static verifier in src/analysis/) -----------------------------------
+constexpr bool is_custom0(Op op) {
+  switch (op) {
+    case Op::kRdpkr:
+    case Op::kWrpkr:
+    case Op::kSealStart:
+    case Op::kSealEnd:
+    case Op::kSpkRange:
+    case Op::kSpkSeal:
+    case Op::kWrpkru:
+    case Op::kRdpkru:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Instructions that (attempt to) rewrite pkey permissions — the gadget class
+// ERIM-style binary inspection must confine to trusted call gates.
+constexpr bool is_pkey_write(Op op) {
+  return op == Op::kWrpkr || op == Op::kWrpkru;
+}
+
+constexpr bool is_pkey_read(Op op) {
+  return op == Op::kRdpkr || op == Op::kRdpkru;
+}
+
+// seal.start / seal.end latch the permissible-WRPKR range CSRs; occurrences
+// outside trusted gates can re-stage the range before pkey_perm_seal fires.
+constexpr bool is_seal_marker(Op op) {
+  return op == Op::kSealStart || op == Op::kSealEnd;
+}
+
+constexpr bool is_branch(Op op) {
+  switch (op) {
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_load(Op op) {
+  switch (op) {
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLd:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLwu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_store(Op op) {
+  switch (op) {
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kSd:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace sealpk::isa

@@ -72,7 +72,11 @@ Function& Function::li(u8 rd, i64 imm) {
   // 64-bit constant: materialise the upper chunk recursively, then shift in
   // the low 12 bits (LLVM's RISCVMatInt strategy).
   const i64 lo12 = sext(static_cast<u64>(imm), 12);
-  i64 hi52 = (imm - lo12) >> 12;
+  // The subtraction must wrap: for imm near INT64_MAX the difference only
+  // exists mod 2^64, which is fine because the materialisation sequence
+  // below (li + slli + addi) is itself mod-2^64 arithmetic.
+  i64 hi52 =
+      static_cast<i64>(static_cast<u64>(imm) - static_cast<u64>(lo12)) >> 12;
   const unsigned tz = std::countr_zero(static_cast<u64>(hi52));
   const unsigned shift = 12 + tz;
   hi52 >>= tz;

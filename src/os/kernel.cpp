@@ -31,6 +31,13 @@ PkeyPageDelta Kernel::page_delta_hook() {
 }
 
 int Kernel::load_process(const isa::Image& image) {
+  if (config_.admission_gate) {
+    admission_error_.clear();
+    if (!config_.admission_gate(image, &admission_error_)) {
+      if (admission_error_.empty()) admission_error_ = "admission gate refused";
+      return kLoadRefused;
+    }
+  }
   const int pid = next_pid_++;
   auto proc = std::make_unique<Process>();
   proc->pid = pid;

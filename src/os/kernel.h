@@ -10,6 +10,7 @@
 // costs from the TimingModel for each software path it models.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +22,12 @@
 
 namespace sealpk::os {
 
+// Pre-admission hook consulted by load_process: return false (optionally
+// filling *reason) to refuse the image. sim::Machine installs the static
+// SealPK verifier here; embedders can plug in their own policy.
+using AdmissionGate =
+    std::function<bool(const isa::Image& image, std::string* reason)>;
+
 struct KernelConfig {
   // §III-B.2 footnote: maintaining PKR across context switches costs < 1 %.
   // The context-switch bench toggles this to measure exactly that.
@@ -29,6 +36,8 @@ struct KernelConfig {
   // Sv48 instead of Sv39 (paper footnote 1: the Sv48 PTE has the same 10
   // reserved bits, so the pkey field is unchanged; only the walk deepens).
   bool sv48 = false;
+  // Optional static-verification gate; empty = admit everything.
+  AdmissionGate admission_gate;
 };
 
 struct FaultRecord {
@@ -57,8 +66,12 @@ class Kernel {
   Kernel(core::Hart& hart, KernelConfig config = {});
 
   // Creates a process from a linked image plus its main thread; the first
-  // loaded process is scheduled onto the hart immediately. Returns the pid.
+  // loaded process is scheduled onto the hart immediately. Returns the pid,
+  // or kLoadRefused when the admission gate rejects the image (the refusal
+  // reason is kept in admission_error()).
+  static constexpr int kLoadRefused = -1;
   int load_process(const isa::Image& image);
+  const std::string& admission_error() const { return admission_error_; }
 
   // Adds a thread to an existing process (host-side spawn; the guest-side
   // path is the clone syscall). Returns the tid.
@@ -128,6 +141,7 @@ class Kernel {
   int next_pid_ = 1;
   int next_tid_ = 1;
   FrameAllocator frames_;
+  std::string admission_error_;
   std::vector<FaultRecord> faults_;
   std::string console_;
   std::vector<u64> reports_;

@@ -2,6 +2,17 @@
 
 namespace sealpk::sim {
 
+int Machine::load(const isa::Image& image) {
+  if (config_.verify_policy != analysis::LoadVerifyPolicy::kOff) {
+    verify_report_ = analysis::verify_image(image, config_.verify_options);
+    if (config_.verify_policy == analysis::LoadVerifyPolicy::kEnforce &&
+        !verify_report_.admissible()) {
+      return kLoadRefused;
+    }
+  }
+  return kernel_.load_process(image);
+}
+
 RunOutcome Machine::run(u64 max_instructions) {
   RunOutcome outcome;
   const u64 start_instret = hart_.instret();

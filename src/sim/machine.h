@@ -3,6 +3,7 @@
 // point of the public API: load a linked guest image and run it.
 #pragma once
 
+#include "analysis/verifier.h"
 #include "core/hart.h"
 #include "isa/program.h"
 #include "mem/phys_mem.h"
@@ -17,6 +18,12 @@ struct MachineConfig {
   // Timer-preemption quantum in instructions (0 disables preemption; the
   // scheduler then only switches on sched_yield / exit).
   u64 preempt_quantum = 50'000;
+  // Static-verification loader gate (src/analysis): kOff admits anything
+  // (legacy behaviour), kWarn records the report but still admits, kEnforce
+  // refuses images with error-severity findings. The report of the last
+  // load() is available via verify_report().
+  analysis::LoadVerifyPolicy verify_policy = analysis::LoadVerifyPolicy::kOff;
+  analysis::VerifyOptions verify_options;
 };
 
 struct RunOutcome {
@@ -33,8 +40,14 @@ class Machine {
         hart_(mem_, config.hart),
         kernel_(hart_, config.kernel) {}
 
-  // Loads a linked image as a new process; returns the pid.
-  int load(const isa::Image& image) { return kernel_.load_process(image); }
+  // Loads a linked image as a new process; returns the pid, or kLoadRefused
+  // when the verify policy (or the kernel's own admission gate) rejects it.
+  static constexpr int kLoadRefused = os::Kernel::kLoadRefused;
+  int load(const isa::Image& image);
+
+  // Findings of the most recent load() under kWarn/kEnforce (empty under
+  // kOff or when no load has happened yet).
+  const analysis::Report& verify_report() const { return verify_report_; }
 
   // Runs until every process exits or `max_instructions` retire.
   RunOutcome run(u64 max_instructions = 4'000'000'000ULL);
@@ -51,6 +64,7 @@ class Machine {
   mem::PhysMem mem_;
   core::Hart hart_;
   os::Kernel kernel_;
+  analysis::Report verify_report_;
 };
 
 }  // namespace sealpk::sim

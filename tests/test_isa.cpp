@@ -134,6 +134,70 @@ TEST(Decode, CustomZeroExtension) {
   EXPECT_EQ(decode(static_cast<u32>(bogus)).op, Op::kIllegal);
 }
 
+// Every (funct3, funct7) point of the custom-0 space decodes to exactly the
+// op the SEALPK_OP_LIST table claims — and everything else to kIllegal. This
+// pins the table-driven decoder: adding a custom instruction to the op list
+// without a distinct (funct3, funct7) pair, or decoding a stale pair, fails
+// here rather than silently aliasing.
+TEST(Decode, CustomZeroExhaustive) {
+  for (u32 f3 = 0; f3 < 8; ++f3) {
+    for (u32 f7 = 0; f7 < 128; ++f7) {
+      u32 word = kCustom0Opcode;
+      word = static_cast<u32>(deposit(word, 11, 7, a0));   // rd
+      word = static_cast<u32>(deposit(word, 14, 12, f3));
+      word = static_cast<u32>(deposit(word, 19, 15, a1));  // rs1
+      word = static_cast<u32>(deposit(word, 24, 20, a2));  // rs2
+      word = static_cast<u32>(deposit(word, 31, 25, f7));
+      const Op expected = custom0_op(f3, f7);
+      const Inst decoded = decode(word);
+      ASSERT_EQ(decoded.op, expected)
+          << "f3=" << f3 << " f7=" << f7 << " word 0x" << std::hex << word;
+      if (expected != Op::kIllegal) {
+        // The decode agrees with the op's own metadata.
+        const OpInfo& oi = op_info(expected);
+        EXPECT_EQ(oi.opcode, kCustom0Opcode);
+        EXPECT_EQ(oi.funct3, f3);
+        EXPECT_EQ(oi.funct7, f7);
+        EXPECT_EQ(decoded.rd, a0);
+        EXPECT_EQ(decoded.rs1, a1);
+        EXPECT_EQ(decoded.rs2, a2);
+      } else {
+        // Illegal decodes are fully normalised (no operand leakage).
+        EXPECT_EQ(decoded.rd, 0);
+        EXPECT_EQ(decoded.rs1, 0);
+        EXPECT_EQ(decoded.rs2, 0);
+      }
+    }
+  }
+}
+
+// Encode -> decode -> disassemble over every custom-0 op in the table.
+TEST(Decode, CustomZeroRoundTripAllOps) {
+  size_t custom_ops = 0;
+  for (unsigned idx = 0; idx < static_cast<unsigned>(Op::kIllegal); ++idx) {
+    const Op op = static_cast<Op>(idx);
+    const OpInfo& oi = op_info(op);
+    if (oi.opcode != kCustom0Opcode) continue;
+    ++custom_ops;
+    SCOPED_TRACE(oi.name);
+    // custom0_op is the inverse of the table row.
+    EXPECT_EQ(custom0_op(oi.funct3, oi.funct7), op);
+    Inst inst;
+    inst.op = op;
+    inst.rd = t0;
+    inst.rs1 = s1;
+    inst.rs2 = t1;
+    Inst decoded = decode(encode(inst));
+    decoded.raw = 0;
+    EXPECT_EQ(decoded, inst);
+    // The disassembly leads with the table mnemonic.
+    EXPECT_EQ(disassemble(decoded).rfind(oi.name, 0), 0u);
+  }
+  // All eight SealPK/MPK custom instructions are present: rdpkr, wrpkr,
+  // seal.start, seal.end, spk.range, spk.seal, wrpkru, rdpkru.
+  EXPECT_EQ(custom_ops, 8u);
+}
+
 TEST(Encode, RejectsOutOfRangeImmediates) {
   EXPECT_THROW(
       encode(Inst{.op = Op::kAddi, .rd = 1, .rs1 = 1, .imm = 5000}),

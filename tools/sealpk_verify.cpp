@@ -1,0 +1,132 @@
+// sealpk-verify — static SealPK policy verifier CLI.
+//
+// Builds guest programs from the workload registry (optionally applying a
+// shadow-stack instrumentation variant first, exactly as the Figure-5
+// harness would), links them, and runs the src/analysis verifier over the
+// resulting binaries. Exit status: 0 when every inspected program is
+// admissible (no error-severity findings), 1 otherwise, 2 on usage errors.
+//
+// Usage:
+//   sealpk-verify --all                      # inspect all 17 workloads
+//   sealpk-verify qsort sha gzip             # inspect a subset
+//   sealpk-verify --all --ss=sealpk-rdwr     # instrumented flavour
+//   sealpk-verify --all --ss=sealpk-wr --seal
+//   sealpk-verify --list                     # list known workload names
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "passes/shadow_stack.h"
+#include "workloads/workload.h"
+
+using namespace sealpk;
+
+namespace {
+
+struct CliOptions {
+  bool all = false;
+  bool list = false;
+  bool quiet = false;
+  bool perm_seal = false;
+  passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
+  std::vector<std::string> names;
+  analysis::VerifyOptions verify;
+};
+
+bool parse_ss_kind(const std::string& text, passes::ShadowStackKind* out) {
+  if (text == "none") *out = passes::ShadowStackKind::kNone;
+  else if (text == "inline") *out = passes::ShadowStackKind::kInline;
+  else if (text == "func") *out = passes::ShadowStackKind::kFunc;
+  else if (text == "sealpk-wr") *out = passes::ShadowStackKind::kSealPkWr;
+  else if (text == "sealpk-rdwr") *out = passes::ShadowStackKind::kSealPkRdWr;
+  else if (text == "mprotect") *out = passes::ShadowStackKind::kMprotect;
+  else return false;
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sealpk-verify [--all | <workload>...] [--list] [-q]\n"
+      "                     [--ss=none|inline|func|sealpk-wr|sealpk-rdwr|"
+      "mprotect]\n"
+      "                     [--seal] [--trust=<function>]...\n");
+  return 2;
+}
+
+// One verified program; returns the number of error-severity findings.
+size_t verify_one(const wl::Workload& w, const CliOptions& cli) {
+  isa::Program prog = w.build(w.test_scale);
+  std::string label = std::string(wl::suite_name(w.suite)) + "/" + w.name;
+  if (cli.ss != passes::ShadowStackKind::kNone) {
+    passes::ShadowStackOptions ss;
+    ss.kind = cli.ss;
+    ss.perm_seal = cli.perm_seal;
+    passes::apply_shadow_stack(prog, ss);
+    label += std::string(" [") + passes::shadow_stack_kind_name(cli.ss) +
+             (cli.perm_seal ? ", perm-sealed]" : "]");
+  }
+  const analysis::Report report = analysis::verify_program(prog, cli.verify);
+  if (!cli.quiet || !report.clean()) {
+    report.print(std::cout, label);
+  }
+  return report.count(analysis::Severity::kError);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      cli.all = true;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--seal") {
+      cli.perm_seal = true;
+    } else if (arg.rfind("--ss=", 0) == 0) {
+      if (!parse_ss_kind(arg.substr(5), &cli.ss)) return usage();
+    } else if (arg.rfind("--trust=", 0) == 0) {
+      cli.verify.trusted_gates.insert(arg.substr(8));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      cli.names.push_back(arg);
+    }
+  }
+
+  if (cli.list) {
+    for (const auto& w : wl::all_workloads()) {
+      std::printf("%-10s (%s)\n", w.name, wl::suite_name(w.suite));
+    }
+    return 0;
+  }
+  if (!cli.all && cli.names.empty()) return usage();
+
+  size_t programs = 0;
+  size_t errors = 0;
+  for (const auto& w : wl::all_workloads()) {
+    bool wanted = cli.all;
+    for (const auto& name : cli.names) {
+      if (name == w.name) wanted = true;
+    }
+    if (!wanted) continue;
+    ++programs;
+    errors += verify_one(w, cli);
+  }
+  if (programs == 0) {
+    std::fprintf(stderr, "no matching workload; try --list\n");
+    return 2;
+  }
+  if (!cli.quiet || errors != 0) {
+    std::printf("%zu program(s) inspected, %zu error finding(s)\n", programs,
+                errors);
+  }
+  return errors == 0 ? 0 : 1;
+}
