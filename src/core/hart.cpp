@@ -22,6 +22,8 @@ const char* trap_cause_name(TrapCause cause) {
     case TrapCause::kStorePageFault: return "store page fault";
     case TrapCause::kSealViolation: return "sealed-pkey WRPKR violation";
     case TrapCause::kPkCamMiss: return "PK-CAM miss";
+    case TrapCause::kMachineCheck:
+      return "machine check (corrupted hardware state)";
   }
   return "unknown";
 }
@@ -68,6 +70,15 @@ void Hart::raise(TrapCause cause, u64 tval) {
   priv_ = Priv::kSupervisor;
   next_pc_ = csrs_.stvec & ~u64{3};
   cycles_ += config_.timing.trap_enter_cycles;
+}
+
+void Hart::inject_trap(TrapCause cause, u64 tval) {
+  // raise() leaves the redirect in next_pc_ because in-pipeline traps are
+  // committed at the end of step(); an injected trap happens between steps,
+  // so commit the redirect here.
+  raise(cause, tval);
+  pc_ = next_pc_;
+  trapped_ = false;
 }
 
 void Hart::flush_tlbs() {
@@ -748,6 +759,7 @@ bool Hart::exec_custom(const Inst& inst) {
         }
       }
       pkr_.write_row(row, next);
+      if (pkr_write_hook_) pkr_write_hook_(row, next);
       return true;
     }
     case Op::kSealStart:

@@ -103,6 +103,23 @@ class Hart {
   using TraceHook = std::function<void(Priv priv, u64 pc, const isa::Inst&)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  // Optional PKR write-through hook: invoked after every successful WRPKR
+  // with the final row value actually committed to the SRAM
+  // (sealed-neighbour preservation already applied). The kernel uses it to
+  // keep a live per-thread software shadow of the PKR so a corrupted row
+  // can be scrubbed back. Zero cost when unset.
+  using PkrWriteHook = std::function<void(u32 row, u64 value)>;
+  void set_pkr_write_hook(PkrWriteHook hook) {
+    pkr_write_hook_ = std::move(hook);
+  }
+
+  // Fault-injection port: take `cause` as if the *current* instruction had
+  // trapped (scause/sepc/stval/SPP set, redirect to stvec, trap cycles
+  // charged). Unlike in-pipeline raises the PC advances immediately — the
+  // caller dispatches the kernel handler itself rather than re-running
+  // step().
+  void inject_trap(TrapCause cause, u64 tval);
+
   // Translation without architectural side effects (no TLB, no A/D update,
   // no fault) — the kernel's copy_{to,from}_user path.
   std::optional<u64> translate_debug(u64 vaddr, mem::Access access) const;
@@ -147,6 +164,7 @@ class Hart {
   u64 instret_ = 0;
   HartStats stats_;
   TraceHook trace_hook_;
+  PkrWriteHook pkr_write_hook_;
   bool trapped_ = false;      // set by raise() during the current step
   TrapCause trap_cause_ = TrapCause::kIllegalInst;
   u64 next_pc_ = 0;

@@ -24,6 +24,11 @@ enum class TrapCause : u64 {
   // SealPK custom causes.
   kSealViolation = 24,  // WRPKR on a sealed pkey with PC outside the range
   kPkCamMiss = 25,      // WRPKR on a sealed pkey whose range is not cached
+  // Modelled machine-check: detected hardware-state corruption (PKR parity,
+  // injected spurious events, contained host errors). The kernel attempts a
+  // scrub-from-shadow recovery and kills the affected process when the
+  // corruption is unrecoverable.
+  kMachineCheck = 26,
 };
 
 const char* trap_cause_name(TrapCause cause);

@@ -1,0 +1,229 @@
+#include "fault/auditor.h"
+
+#include <set>
+
+#include "mem/pte.h"
+
+namespace sealpk::fault {
+
+const char* audit_check_name(AuditCheck check) {
+  switch (check) {
+    case AuditCheck::kPkrParity: return "pkr-parity";
+    case AuditCheck::kPkrShadow: return "pkr-shadow";
+    case AuditCheck::kTlbCoherence: return "tlb-coherence";
+    case AuditCheck::kCamDuplicates: return "cam-duplicates";
+    case AuditCheck::kKeyCounters: return "key-counters";
+    case AuditCheck::kPteVsVma: return "pte-vs-vma";
+    case AuditCheck::kScheduler: return "scheduler";
+  }
+  return "unknown";
+}
+
+size_t AuditReport::count(AuditCheck check) const {
+  size_t n = 0;
+  for (const auto& finding : findings) {
+    if (finding.check == check) ++n;
+  }
+  return n;
+}
+
+AuditReport MachineAuditor::audit() const {
+  AuditReport report;
+  check_pkr(report);
+  check_tlbs(report);
+  check_cam(report);
+  check_processes(report);
+  check_scheduler(report);
+  return report;
+}
+
+void MachineAuditor::check_pkr(AuditReport& report) const {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return;
+  const hw::Pkr& pkr = hart_.pkr();
+  std::array<bool, hw::kPkrRows> parity_bad{};
+  for (u32 row = 0; row < hw::kPkrRows; ++row) {
+    if (!pkr.parity_ok(row)) {
+      parity_bad[row] = true;
+      report.findings.push_back(
+          {AuditCheck::kPkrParity, row, pkr.peek_row(row)});
+    }
+  }
+  // The shadow compare catches even-weight corruption the parity misses.
+  // Only meaningful when the kernel maintains per-thread PKR state: with
+  // save_pkr_on_switch off the hardware rows are shared mutable state and
+  // the thread context is stale by design.
+  if (!kernel_.config().save_pkr_on_switch || !kernel_.has_current_thread()) {
+    return;
+  }
+  const hw::Pkr::Snapshot& shadow =
+      kernel_.thread(kernel_.current_tid()).ctx.pkr;
+  for (u32 row = 0; row < hw::kPkrRows; ++row) {
+    if (!parity_bad[row] && pkr.peek_row(row) != shadow[row]) {
+      report.findings.push_back(
+          {AuditCheck::kPkrShadow, row, pkr.peek_row(row)});
+    }
+  }
+}
+
+void MachineAuditor::check_tlbs(AuditReport& report) const {
+  // TLB contents cache the *current* address space (both TLBs are flushed
+  // on process switch, munmap and mprotect), so there is nothing to check
+  // against without a running thread.
+  if (!kernel_.has_current_thread()) return;
+  const os::AddressSpace& as =
+      *kernel_.process(kernel_.thread(kernel_.current_tid()).pid).aspace;
+  const bool data_side[] = {true, false};
+  for (const bool is_data : data_side) {
+    const mem::Tlb& tlb = is_data ? hart_.dtlb() : hart_.itlb();
+    for (size_t i = 0; i < tlb.capacity(); ++i) {
+      const mem::TlbEntry* cached = tlb.peek_slot(i);
+      if (cached == nullptr) continue;
+      const u64 vaddr = cached->vpn << mem::kPageShift;
+      const auto leaf = as.leaf_pte(vaddr);
+      if (!leaf.has_value() || !mem::pte::valid(*leaf)) {
+        report.findings.push_back({AuditCheck::kTlbCoherence, i, vaddr});
+        continue;
+      }
+      const u64 pte = *leaf;
+      const bool same =
+          cached->ppn == mem::pte::ppn_of(pte) &&
+          cached->r == ((pte & mem::pte::kR) != 0) &&
+          cached->w == ((pte & mem::pte::kW) != 0) &&
+          cached->x == ((pte & mem::pte::kX) != 0) &&
+          cached->user == ((pte & mem::pte::kU) != 0) &&
+          (!is_data ||
+           cached->pkey == mem::pte::pkey_of(pte, as.pkey_bits())) &&
+          // The cached dirty bit may lag the PTE's D (flush-then-load
+          // refill), never lead it.
+          !(cached->dirty && (pte & mem::pte::kD) == 0);
+      if (!same) {
+        report.findings.push_back({AuditCheck::kTlbCoherence, i, vaddr});
+      }
+    }
+  }
+}
+
+void MachineAuditor::check_cam(AuditReport& report) const {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return;
+  const hw::SealUnit& unit = hart_.seal_unit();
+  std::set<u32> flagged;
+  for (size_t i = 0; i < hw::kPkCamEntries; ++i) {
+    const hw::CamEntry* entry = unit.cam_slot(i);
+    if (entry == nullptr || flagged.count(entry->pkey)) continue;
+    const size_t n = unit.cam_count_of(entry->pkey);
+    if (n > 1) {
+      flagged.insert(entry->pkey);
+      report.findings.push_back({AuditCheck::kCamDuplicates, entry->pkey, n});
+    }
+  }
+}
+
+void MachineAuditor::check_processes(AuditReport& report) const {
+  const bool sealpk = hart_.config().flavor == core::IsaFlavor::kSealPk;
+  for (const int pid : kernel_.pids()) {
+    const os::Process& proc = kernel_.process(pid);
+    if (proc.exited) continue;
+    const os::AddressSpace& as = *proc.aspace;
+    // Every leaf PTE must carry exactly the permission bits and pkey its
+    // owning VMA prescribes (A/D excluded: the hardware walker sets them).
+    std::map<u32, u64> actual_pages;
+    for (const auto& [start, vma] : as.vmas()) {
+      actual_pages[vma.pkey] += vma.pages();
+      for (u64 va = vma.start; va < vma.end; va += mem::kPageSize) {
+        const auto leaf = as.leaf_pte(va);
+        bool ok = leaf.has_value() && mem::pte::valid(*leaf);
+        if (ok) {
+          const u64 ad = *leaf & (mem::pte::kA | mem::pte::kD);
+          const u64 want = mem::pte::make(
+              mem::pte::ppn_of(*leaf),
+              os::AddressSpace::leaf_flags_for_prot(vma.prot) | ad, vma.pkey,
+              as.pkey_bits());
+          ok = *leaf == want;
+        }
+        if (!ok) {
+          report.findings.push_back(
+              {AuditCheck::kPteVsVma, static_cast<u64>(pid), va});
+        }
+      }
+    }
+    if (!sealpk) continue;
+    // KeyManager bitmaps vs. the per-pkey page counts recomputed above.
+    const os::KeyManager& keys = *proc.keys;
+    for (u32 k = 0; k < keys.num_keys(); ++k) {
+      const auto it = actual_pages.find(k);
+      const u64 want = it == actual_pages.end() ? 0 : it->second;
+      const bool count_drift = keys.page_count(k) != want;
+      // A dirty (lazily de-allocated) key with no pages should have been
+      // drained; a key can never be both allocated and dirty.
+      const bool dirty_bad =
+          keys.dirty(k) && (keys.page_count(k) == 0 || keys.allocated(k));
+      if (count_drift || dirty_bad) {
+        report.findings.push_back(
+            {AuditCheck::kKeyCounters, static_cast<u64>(pid), k});
+      }
+    }
+  }
+}
+
+void MachineAuditor::check_scheduler(AuditReport& report) const {
+  std::set<int> seen;
+  for (const int tid : kernel_.run_queue()) {
+    const bool bogus = !kernel_.has_thread(tid) ||
+                       kernel_.thread(tid).exited ||
+                       tid == kernel_.current_tid() || seen.count(tid) != 0;
+    if (bogus) {
+      report.findings.push_back(
+          {AuditCheck::kScheduler, static_cast<u64>(tid)});
+    }
+    seen.insert(tid);
+  }
+  if (kernel_.has_current_thread() &&
+      kernel_.thread(kernel_.current_tid()).exited) {
+    report.findings.push_back({AuditCheck::kScheduler,
+                               static_cast<u64>(kernel_.current_tid()), 1});
+  }
+}
+
+AuditReport MachineAuditor::audit_and_recover() {
+  AuditReport report = audit();
+  kernel_.note_audit(report.findings.size());
+  if (report.clean()) return report;
+
+  if (report.count(AuditCheck::kPkrParity) > 0 ||
+      report.count(AuditCheck::kPkrShadow) > 0) {
+    bool unrecoverable = false;
+    kernel_.scrub_pkr_from_shadow(&unrecoverable);
+    if (unrecoverable) {
+      kernel_.kill_current(os::kExitMachineCheck,
+                           os::Kernel::KillOrigin::kMachineCheck);
+    }
+  }
+  if (report.count(AuditCheck::kPteVsVma) > 0) {
+    std::set<int> pids;
+    for (const auto& finding : report.findings) {
+      if (finding.check == AuditCheck::kPteVsVma) {
+        pids.insert(static_cast<int>(finding.detail0));
+      }
+    }
+    for (const int pid : pids) kernel_.repair_ptes(pid);
+  }
+  // After PTE repair so the rewalk picks up the corrected entries; also
+  // fired for PTE repairs of the current process by repair_ptes itself.
+  if (report.count(AuditCheck::kTlbCoherence) > 0) {
+    kernel_.recover_tlb_flush();
+  }
+  if (report.count(AuditCheck::kCamDuplicates) > 0) kernel_.dedup_cam();
+  if (report.count(AuditCheck::kKeyCounters) > 0) {
+    std::set<int> pids;
+    for (const auto& finding : report.findings) {
+      if (finding.check == AuditCheck::kKeyCounters) {
+        pids.insert(static_cast<int>(finding.detail0));
+      }
+    }
+    for (const int pid : pids) kernel_.reconcile_key_counters(pid);
+  }
+  if (report.count(AuditCheck::kScheduler) > 0) kernel_.scrub_run_queue();
+  return report;
+}
+
+}  // namespace sealpk::fault

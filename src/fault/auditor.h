@@ -1,0 +1,82 @@
+// Cross-checks the machine's hardware state against the kernel's software
+// truth — the dynamic complement to the static SealPK policy verifier.
+//
+// Invariants checked (each a typed AuditCheck):
+//   - PKR parity: every SRAM row's stored parity matches its contents.
+//   - PKR shadow: the hardware rows equal the running thread's saved PKR
+//     context (only meaningful when the kernel swaps PKR on switch).
+//   - TLB coherence: every valid DTLB/ITLB line agrees with the live leaf
+//     PTE it caches (permissions, ppn, pkey; dirty may lag, never lead).
+//   - PK-CAM duplicates: at most one CAM line per pkey.
+//   - Key counters: the KeyManager's per-pkey page counters equal the page
+//     counts recomputed from the VMAs, and the dirty bitmap only marks
+//     keys that still have pages.
+//   - PTE vs VMA: every leaf PTE carries the permission bits and pkey its
+//     owning VMA prescribes (A/D bits excluded).
+//   - Scheduler: run-queue tids exist, are not exited, are not duplicated,
+//     and do not include the running thread.
+//
+// audit() is detection-only and uses exclusively peek-style accessors, so
+// it never perturbs statistics or architectural state — safe to run in
+// bit-identity-sensitive clean runs. audit_and_recover() additionally
+// invokes the kernel's recovery paths for whatever it found.
+#pragma once
+
+#include <vector>
+
+#include "core/hart.h"
+#include "os/kernel.h"
+
+namespace sealpk::fault {
+
+enum class AuditCheck : u8 {
+  kPkrParity = 0,
+  kPkrShadow,
+  kTlbCoherence,
+  kCamDuplicates,
+  kKeyCounters,
+  kPteVsVma,
+  kScheduler,
+};
+
+const char* audit_check_name(AuditCheck check);
+
+struct AuditFinding {
+  AuditCheck check = AuditCheck::kPkrParity;
+  u64 detail0 = 0;  // check-specific: row / vpn / pid / pkey / tid
+  u64 detail1 = 0;  // check-specific: value / vaddr
+};
+
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+
+  bool clean() const { return findings.empty(); }
+  size_t count(AuditCheck check) const;
+};
+
+class MachineAuditor {
+ public:
+  MachineAuditor(core::Hart& hart, os::Kernel& kernel)
+      : hart_(hart), kernel_(kernel) {}
+
+  // Detection only: peeks, no side effects.
+  AuditReport audit() const;
+
+  // Detection plus repair through the kernel's recovery API. Findings are
+  // counted into KernelStats (audit_runs / audit_findings); repairs bump
+  // the matching recovery counters. An unrecoverable PKR parity error
+  // (no trustworthy shadow) kills the current process as a machine check.
+  AuditReport audit_and_recover();
+
+ private:
+  void check_pkr(AuditReport& report) const;
+  void check_tlbs(AuditReport& report) const;
+  void check_cam(AuditReport& report) const;
+  void check_processes(AuditReport& report) const;
+  void check_scheduler(AuditReport& report) const;
+
+  core::Hart& hart_;
+  os::Kernel& kernel_;
+};
+
+}  // namespace sealpk::fault

@@ -1,0 +1,221 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+namespace sealpk::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPkrBitFlip: return "pkr-bit-flip";
+    case FaultKind::kTlbCorrupt: return "tlb-corrupt";
+    case FaultKind::kPteCorrupt: return "pte-corrupt";
+    case FaultKind::kCamDropRefill: return "cam-drop-refill";
+    case FaultKind::kCamDupRefill: return "cam-dup-refill";
+    case FaultKind::kSpuriousTrap: return "spurious-trap";
+    case FaultKind::kNumKinds: break;
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {
+  for (const FaultKind kind :
+       {FaultKind::kPkrBitFlip, FaultKind::kTlbCorrupt,
+        FaultKind::kPteCorrupt, FaultKind::kSpuriousTrap}) {
+    if (plan_.has(kind)) step_kinds_.push_back(kind);
+  }
+  if (plan_.enabled && !step_kinds_.empty()) schedule_next(0);
+}
+
+// Geometric-ish gap sampling: uniform in [1, 2/rate] has the right mean, is
+// O(1) per fault, and stays bit-reproducible for a given seed.
+void FaultInjector::schedule_next(u64 now) {
+  if (plan_.rate <= 0.0) {
+    next_fire_ = ~u64{0};
+    return;
+  }
+  const u64 mean = std::max<u64>(1, static_cast<u64>(1.0 / plan_.rate));
+  next_fire_ = now + 1 + rng_.below(2 * mean);
+}
+
+void FaultInjector::record(FaultKind kind, u64 instret, u64 detail0,
+                           u64 detail1) {
+  events_.push_back({kind, instret, detail0, detail1,
+                     FaultResolution::kOutstanding});
+}
+
+void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
+  if (!plan_.enabled || hart.instret() < next_fire_) return;
+  if (!budget_left()) {
+    next_fire_ = ~u64{0};
+    return;
+  }
+  // Only strike while a thread is actually running user code: the injected
+  // state is per-process, and a spurious trap needs a victim to resume.
+  if (hart.priv() != core::Priv::kUser || !kernel.has_current_thread()) {
+    return;
+  }
+  const bool sealpk = hart.config().flavor == core::IsaFlavor::kSealPk;
+  const FaultKind kind = step_kinds_[rng_.below(step_kinds_.size())];
+  switch (kind) {
+    case FaultKind::kPkrBitFlip: {
+      if (!sealpk) break;  // no PKR SRAM in the MPK flavour
+      const u32 row = static_cast<u32>(rng_.below(hw::kPkrRows));
+      const u32 bit = static_cast<u32>(rng_.below(64));
+      hart.pkr().corrupt_bit(row, bit);
+      record(kind, hart.instret(), row, bit);
+      break;
+    }
+    case FaultKind::kTlbCorrupt: {
+      mem::Tlb& tlb = hart.dtlb();
+      const size_t cap = tlb.capacity();
+      const size_t start = rng_.below(cap);
+      for (size_t i = 0; i < cap; ++i) {
+        const size_t slot = (start + i) % cap;
+        if (tlb.peek_slot(slot) == nullptr) continue;
+        u16 pkey_xor = 0;
+        u8 perm_xor = 0;
+        bool flip_dirty = false;
+        const u32 max_pkey =
+            sealpk ? hw::kNumPkeys : (u32{1} << mem::pte::kMpkPkeyBits);
+        switch (rng_.below(3)) {
+          case 0:
+            pkey_xor = static_cast<u16>(1 + rng_.below(max_pkey - 1));
+            break;
+          case 1:
+            perm_xor = static_cast<u8>(1 + rng_.below(15));
+            break;
+          default:
+            flip_dirty = true;
+            break;
+        }
+        tlb.corrupt_slot(slot, pkey_xor, perm_xor, flip_dirty);
+        record(kind, hart.instret(), slot,
+               (static_cast<u64>(pkey_xor) << 16) |
+                   (static_cast<u64>(perm_xor) << 1) |
+                   (flip_dirty ? 1 : 0));
+        break;
+      }
+      break;
+    }
+    case FaultKind::kPteCorrupt: {
+      os::Process& proc =
+          kernel.process(kernel.thread(kernel.current_tid()).pid);
+      os::AddressSpace& as = *proc.aspace;
+      const auto& vmas = as.vmas();
+      if (vmas.empty()) break;
+      auto it = vmas.begin();
+      std::advance(it, rng_.below(vmas.size()));
+      const os::Vma& vma = it->second;
+      const u64 page =
+          vma.start + (rng_.below(vma.pages()) << mem::kPageShift);
+      const u64 slot = as.leaf_pte_addr(page);
+      if (slot == 0) break;
+      const u32 bit = static_cast<u32>(mem::pte::kPkeyShift +
+                                       rng_.below(as.pkey_bits()));
+      hart.mem().write_u64(slot,
+                           hart.mem().read_u64(slot) ^ (u64{1} << bit));
+      record(kind, hart.instret(), page, bit);
+      break;
+    }
+    case FaultKind::kSpuriousTrap: {
+      record(kind, hart.instret(), hart.pc(), 0);
+      const int pid = kernel.thread(kernel.current_tid()).pid;
+      hart.inject_trap(core::TrapCause::kMachineCheck, 0);
+      kernel.handle_trap();
+      resolve(kind, kernel.process(pid).exited
+                        ? FaultResolution::kProcessKilled
+                        : FaultResolution::kRecovered);
+      break;
+    }
+    case FaultKind::kCamDropRefill:
+    case FaultKind::kCamDupRefill:
+    case FaultKind::kNumKinds:
+      break;  // never in step_kinds_
+  }
+  schedule_next(hart.instret());
+}
+
+bool FaultInjector::should_drop_refill(const core::Hart& hart) {
+  if (!plan_.enabled || !plan_.has(FaultKind::kCamDropRefill)) return false;
+  if (budget_left() && rng_.chance(plan_.cam_rate)) {
+    record(FaultKind::kCamDropRefill, hart.instret(), 0, 0);
+    return true;
+  }
+  // This refill goes through, completing the retry of any earlier drop.
+  resolve(FaultKind::kCamDropRefill, FaultResolution::kRecovered);
+  return false;
+}
+
+bool FaultInjector::should_dup_refill(const core::Hart& hart) {
+  if (!plan_.enabled || !plan_.has(FaultKind::kCamDupRefill)) return false;
+  if (!budget_left() || !rng_.chance(plan_.cam_rate)) return false;
+  record(FaultKind::kCamDupRefill, hart.instret(), 0, 0);
+  return true;
+}
+
+void FaultInjector::note_recoveries(const os::KernelStats& stats) {
+  if (stats.pkr_scrubs > seen_pkr_scrubs_) {
+    resolve(FaultKind::kPkrBitFlip, FaultResolution::kRecovered);
+  }
+  if (stats.tlb_flush_recoveries > seen_tlb_flushes_) {
+    resolve(FaultKind::kTlbCorrupt, FaultResolution::kRecovered);
+  }
+  if (stats.pte_repairs > seen_pte_repairs_) {
+    resolve(FaultKind::kPteCorrupt, FaultResolution::kRecovered);
+  }
+  if (stats.cam_dedups > seen_cam_dedups_) {
+    resolve(FaultKind::kCamDupRefill, FaultResolution::kRecovered);
+  }
+  // spurious_fault_fixes needs no kind mapping of its own: each fix bumps
+  // one of the per-kind counters above as well (pte_repairs / pkr_scrubs /
+  // tlb_flush_recoveries), which attributes the event.
+  seen_pkr_scrubs_ = stats.pkr_scrubs;
+  seen_tlb_flushes_ = stats.tlb_flush_recoveries;
+  seen_pte_repairs_ = stats.pte_repairs;
+  seen_cam_dedups_ = stats.cam_dedups;
+}
+
+void FaultInjector::resolve(FaultKind kind, FaultResolution resolution) {
+  for (auto& event : events_) {
+    if (event.kind == kind &&
+        event.resolution == FaultResolution::kOutstanding) {
+      event.resolution = resolution;
+    }
+  }
+}
+
+void FaultInjector::resolve_all_outstanding(FaultResolution resolution) {
+  for (auto& event : events_) {
+    if (event.resolution == FaultResolution::kOutstanding) {
+      event.resolution = resolution;
+    }
+  }
+}
+
+u64 FaultInjector::injected(FaultKind kind) const {
+  u64 n = 0;
+  for (const auto& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+u64 FaultInjector::resolved(FaultKind kind,
+                            FaultResolution resolution) const {
+  u64 n = 0;
+  for (const auto& event : events_) {
+    if (event.kind == kind && event.resolution == resolution) ++n;
+  }
+  return n;
+}
+
+u64 FaultInjector::outstanding() const {
+  u64 n = 0;
+  for (const auto& event : events_) {
+    if (event.resolution == FaultResolution::kOutstanding) ++n;
+  }
+  return n;
+}
+
+}  // namespace sealpk::fault

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 
 #include "common/bits.h"
 #include "common/check.h"
@@ -53,6 +54,7 @@ class Pkr {
     SEALPK_CHECK(row < kPkrRows);
     ++stats_.row_writes;
     rows_[row] = value;
+    parity_[row] = row_parity(value);
   }
 
   u64 peek_row(u32 row) const {
@@ -84,6 +86,7 @@ class Pkr {
     const u32 row = pkr_row_of(pkey);
     rows_[row] = deposit(rows_[row], 2 * pkr_slot_of(pkey) + 1,
                          2 * pkr_slot_of(pkey), perm);
+    parity_[row] = row_parity(rows_[row]);
   }
 
   bool read_disabled(u32 pkey) { return (perm_of(pkey) & 0b10) != 0; }
@@ -92,14 +95,50 @@ class Pkr {
   // Context-switch support (§III-B.2): the kernel saves/restores all 32
   // rows per thread.
   Snapshot save() const { return rows_; }
-  void restore(const Snapshot& snapshot) { rows_ = snapshot; }
-  void reset() { rows_.fill(0); }
+  void restore(const Snapshot& snapshot) {
+    rows_ = snapshot;
+    for (u32 row = 0; row < kPkrRows; ++row)
+      parity_[row] = row_parity(rows_[row]);
+  }
+  void reset() {
+    rows_.fill(0);
+    parity_.fill(false);
+  }
+
+  // --- SRAM fault model ----------------------------------------------------
+  // Every legitimate write path above refreshes a per-row parity bit (one
+  // even-parity bit per 64-bit word, the usual SRAM soft-error detector).
+  // A fault injector flips *data only*, so a single-bit upset leaves the
+  // stored parity stale and `parity_ok` reports the row as corrupt until a
+  // kernel scrub rewrites it.
+
+  // Flip one data bit without updating parity (models a particle strike).
+  void corrupt_bit(u32 row, u32 bit) {
+    SEALPK_CHECK(row < kPkrRows && bit < 64);
+    rows_[row] ^= u64{1} << bit;
+  }
+
+  bool parity_ok(u32 row) const {
+    SEALPK_CHECK(row < kPkrRows);
+    return parity_[row] == row_parity(rows_[row]);
+  }
+
+  // Kernel scrub path: rewrite a row from the software shadow, restoring
+  // data and parity together. Does not count as an architectural WRPKR.
+  void scrub_row(u32 row, u64 value) {
+    SEALPK_CHECK(row < kPkrRows);
+    rows_[row] = value;
+    parity_[row] = row_parity(value);
+  }
 
   const PkrStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
  private:
+  static bool row_parity(u64 value) { return (std::popcount(value) & 1) != 0; }
+
   Snapshot rows_{};
+  std::array<bool, kPkrRows> parity_{};
   PkrStats stats_;
 };
 

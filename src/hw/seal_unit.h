@@ -91,6 +91,47 @@ class SealUnit {
     fifo_next_ = (fifo_next_ + 1) % kPkCamEntries;
   }
 
+  // Fault-model port: a refill that skips the replace-in-place scan and
+  // unconditionally consumes the FIFO slot, leaving two CAM entries for the
+  // same pkey. Models a glitched refill handshake. check_wrpkr matches the
+  // first valid entry, so the stale duplicate shadows the fresh one until
+  // clear_key or an eviction removes it.
+  void refill_duplicate(u32 pkey, u64 addr_start, u64 addr_end) {
+    SEALPK_CHECK(pkey < kNumPkeys);
+    SEALPK_CHECK(addr_start <= addr_end);
+    ++stats_.refills;
+    cam_[fifo_next_] = {
+        {static_cast<u16>(pkey), addr_start, addr_end}, true};
+    fifo_next_ = (fifo_next_ + 1) % kPkCamEntries;
+  }
+
+  // Auditor port: count valid CAM entries naming `pkey` (> 1 after a
+  // duplicated refill).
+  size_t cam_count_of(u32 pkey) const {
+    size_t n = 0;
+    for (const auto& slot : cam_)
+      if (slot.valid && slot.entry.pkey == pkey) ++n;
+    return n;
+  }
+
+  // Kernel scrub path for duplicated refills: invalidate every entry for
+  // `pkey` beyond the first (match order equals check_wrpkr's search order,
+  // so behaviour is unchanged and the wasted slots are reclaimed). Returns
+  // the number of entries dropped.
+  size_t drop_duplicates(u32 pkey) {
+    size_t dropped = 0;
+    bool seen = false;
+    for (auto& slot : cam_) {
+      if (!slot.valid || slot.entry.pkey != pkey) continue;
+      if (seen) {
+        slot.valid = false;
+        ++dropped;
+      }
+      seen = true;
+    }
+    return dropped;
+  }
+
   // Kernel drain path: when a freed pkey's last page disappears, its seal
   // dissolves so a future owner of the key starts unsealed (§IV).
   void clear_key(u32 pkey) {
@@ -99,6 +140,12 @@ class SealUnit {
     for (auto& slot : cam_) {
       if (slot.valid && slot.entry.pkey == pkey) slot.valid = false;
     }
+  }
+
+  // Auditor port: the valid entry in CAM slot `i`, or nullptr when empty.
+  const CamEntry* cam_slot(size_t i) const {
+    SEALPK_CHECK(i < kPkCamEntries);
+    return cam_[i].valid ? &cam_[i].entry : nullptr;
   }
 
   std::optional<CamEntry> cam_lookup(u32 pkey) const {

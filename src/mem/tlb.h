@@ -99,6 +99,31 @@ class Tlb {
     return n;
   }
 
+  // --- fault-model ports ---------------------------------------------------
+  // Slot-indexed peek for the machine auditor (no stats side effects).
+  const TlbEntry* peek_slot(size_t i) const {
+    SEALPK_CHECK(i < entries_.size());
+    return entries_[i].valid ? &entries_[i].entry : nullptr;
+  }
+
+  // XOR-corrupt a cached entry's pkey / permission / dirty bits in place,
+  // modelling a soft error in the TLB array. PPN and VPN are left alone:
+  // the fault model covers the SealPK-added fields and permission bits, not
+  // wild translations. perm_xor bits: 1 = r, 2 = w, 4 = x, 8 = user.
+  // Returns false if the slot is empty (nothing to corrupt).
+  bool corrupt_slot(size_t i, u16 pkey_xor, u8 perm_xor, bool flip_dirty) {
+    SEALPK_CHECK(i < entries_.size());
+    if (!entries_[i].valid) return false;
+    TlbEntry& e = entries_[i].entry;
+    e.pkey ^= pkey_xor;
+    if (perm_xor & 1) e.r = !e.r;
+    if (perm_xor & 2) e.w = !e.w;
+    if (perm_xor & 4) e.x = !e.x;
+    if (perm_xor & 8) e.user = !e.user;
+    if (flip_dirty) e.dirty = !e.dirty;
+    return true;
+  }
+
   const TlbStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 

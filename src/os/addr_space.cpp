@@ -7,8 +7,9 @@ namespace sealpk::os {
 
 namespace {
 constexpr u64 kMmapBase = 0x10'0000'0000;  // 64 GiB, well inside Sv39
+}  // namespace
 
-u64 prot_to_pte_flags(u64 prot) {
+u64 AddressSpace::leaf_flags_for_prot(u64 prot) {
   u64 flags = mem::pte::kV | mem::pte::kU;
   if (prot & prot::kRead) flags |= mem::pte::kR;
   if (prot & prot::kExec) flags |= mem::pte::kX;
@@ -18,7 +19,6 @@ u64 prot_to_pte_flags(u64 prot) {
   // (paper §III-A).
   return flags;
 }
-}  // namespace
 
 AddressSpace::AddressSpace(mem::PhysMem& mem, FrameAllocator& frames,
                            unsigned pkey_bits, unsigned levels)
@@ -124,7 +124,7 @@ i64 AddressSpace::map(u64 addr, u64 len, u64 prot, u32 pkey,
   // guest-driven exhaustion must surface as ENOMEM, not a host error.
   const u64 pages = len >> mem::kPageShift;
   if (frames_.frames_left() < pages + 8) return err::kNoMem;
-  const u64 flags = prot_to_pte_flags(prot);
+  const u64 flags = leaf_flags_for_prot(prot);
   for (u64 page = addr; page < addr + len; page += mem::kPageSize) {
     const u64 ppn = frames_.alloc_ppn();
     mem_.fill(ppn << mem::kPageShift, 0, mem::kPageSize);
@@ -184,7 +184,7 @@ i64 AddressSpace::protect(
   split_at(addr);
   split_at(addr + len);
   i64 pages = 0;
-  const u64 flags = prot_to_pte_flags(prot);
+  const u64 flags = leaf_flags_for_prot(prot);
   for (auto it = vmas_.lower_bound(addr);
        it != vmas_.end() && it->second.start < addr + len; ++it) {
     Vma& vma = it->second;
@@ -222,7 +222,7 @@ i64 AddressSpace::protect_pkey(
   split_at(addr);
   split_at(addr + len);
   i64 pages = 0;
-  const u64 flags = prot_to_pte_flags(prot);
+  const u64 flags = leaf_flags_for_prot(prot);
   for (auto it = vmas_.lower_bound(addr);
        it != vmas_.end() && it->second.start < addr + len; ++it) {
     Vma& vma = it->second;
@@ -259,6 +259,23 @@ std::optional<u64> AddressSpace::leaf_pte(u64 vaddr) const {
   const u64 entry = mem_.read_u64(slot);
   if (!mem::pte::valid(entry)) return std::nullopt;
   return entry;
+}
+
+bool AddressSpace::repair_page(u64 vaddr) {
+  const Vma* vma = find_vma(vaddr);
+  if (vma == nullptr) return false;
+  const u64 slot = lookup_pte_slot(vaddr);
+  if (slot == 0) return false;
+  const u64 entry = mem_.read_u64(slot);
+  if (!mem::pte::valid(entry)) return false;
+  const u64 ad = entry & (mem::pte::kA | mem::pte::kD);
+  const u64 want =
+      mem::pte::make(mem::pte::ppn_of(entry),
+                     leaf_flags_for_prot(vma->prot) | ad, vma->pkey,
+                     pkey_bits_);
+  if (want == entry) return false;
+  mem_.write_u64(slot, want);
+  return true;
 }
 
 bool AddressSpace::copy_out(u64 vaddr, const u8* src, u64 len) {

@@ -70,6 +70,21 @@ class AddressSpace {
   std::optional<u32> page_pkey(u64 vaddr) const;
   std::optional<u64> leaf_pte(u64 vaddr) const;
 
+  // Physical address of the leaf PTE slot for `vaddr`, or 0 when the page
+  // tables don't reach it. Fault-injection and audit port: lets callers
+  // flip or inspect the raw PTE word in DRAM.
+  u64 leaf_pte_addr(u64 vaddr) const { return lookup_pte_slot(vaddr); }
+
+  // The leaf PTE bits `prot` should produce (V|U plus R/W/X with the
+  // W-implies-R fixup). Exposed so the auditor can recompute a PTE's
+  // expected permission bits from the owning VMA.
+  static u64 leaf_flags_for_prot(u64 prot);
+
+  // Recovery port: rewrite the leaf PTE for `vaddr` from the owning VMA
+  // (the software source of truth), preserving the PPN and the A/D bits.
+  // Returns true only when the stored PTE actually changed.
+  bool repair_page(u64 vaddr);
+
   // Kernel copy helpers (loader, write(2), fault reporting).
   bool copy_out(u64 vaddr, const u8* src, u64 len);
   bool copy_in(u64 vaddr, u8* dst, u64 len) const;

@@ -23,6 +23,12 @@ Kernel::Kernel(core::Hart& hart, KernelConfig config)
       frames_(kKernelReserve, hart.mem().size() - kKernelReserve) {
   hart_.csrs().stvec = kStvec;
   hart_.set_priv(core::Priv::kSupervisor);
+  // Keep a live per-thread software shadow of the PKR: every user-mode
+  // WRPKR is mirrored into the running thread's saved context, so a
+  // corrupted SRAM row can always be scrubbed back from software.
+  hart_.set_pkr_write_hook([this](u32 row, u64 value) {
+    if (has_current_thread()) thread(current_tid_).ctx.pkr[row] = value;
+  });
 }
 
 PkeyPageDelta Kernel::page_delta_hook() {
@@ -31,14 +37,14 @@ PkeyPageDelta Kernel::page_delta_hook() {
 }
 
 int Kernel::load_process(const isa::Image& image) {
+  admission_error_.clear();
   if (config_.admission_gate) {
-    admission_error_.clear();
     if (!config_.admission_gate(image, &admission_error_)) {
       if (admission_error_.empty()) admission_error_ = "admission gate refused";
       return kLoadRefused;
     }
   }
-  const int pid = next_pid_++;
+  const int pid = next_pid_;
   auto proc = std::make_unique<Process>();
   proc->pid = pid;
   const unsigned pkey_bits =
@@ -65,7 +71,22 @@ int Kernel::load_process(const isa::Image& image) {
     proc->keys = std::make_unique<mpk::MpkKeyManager>();
   }
 
-  // Map the image segments with their natural permissions.
+  // Map the image segments with their natural permissions. Any mid-load
+  // failure (overlapping/non-canonical segments, frame exhaustion, copy
+  // into an unmapped hole) refuses the image instead of escaping as a host
+  // error — a hostile or oversized image must not take the machine down.
+  const auto refuse = [&](const std::string& reason) {
+    admission_error_ = reason;
+    // Best-effort unwind: release the data frames of everything mapped so
+    // far. Page-table frames follow the same lifetime rule as those of
+    // exited processes (held until machine teardown).
+    std::vector<std::pair<u64, u64>> mapped;
+    for (const auto& [start, vma] : proc->aspace->vmas()) {
+      mapped.emplace_back(vma.start, vma.end - vma.start);
+    }
+    for (const auto& [start, len] : mapped) proc->aspace->unmap(start, len);
+    return kLoadRefused;
+  };
   for (const auto& seg : image.segments) {
     const u64 start = align_down(seg.addr, mem::kPageSize);
     const u64 end = align_up(seg.addr + seg.bytes.size(), mem::kPageSize);
@@ -75,9 +96,14 @@ int Kernel::load_process(const isa::Image& image) {
     const i64 rc = proc->aspace->map(
         start, end - start, prot, /*pkey=*/0,
         [&proc](u32 pkey, i64 pages) { proc->keys->page_delta(pkey, pages); });
-    SEALPK_CHECK_MSG(rc >= 0, "image segment map failed");
-    SEALPK_CHECK(proc->aspace->copy_out(seg.addr, seg.bytes.data(),
-                                        seg.bytes.size()));
+    if (rc < 0) {
+      return refuse(rc == err::kNoMem ? "image segment map failed: no memory"
+                                      : "image segment map failed");
+    }
+    if (!proc->aspace->copy_out(seg.addr, seg.bytes.data(),
+                                seg.bytes.size())) {
+      return refuse("image segment copy failed");
+    }
   }
 
   // Main-thread stack at the top of the user VA range.
@@ -85,7 +111,11 @@ int Kernel::load_process(const isa::Image& image) {
   const i64 rc = proc->aspace->map(
       kStackTop - stack_len, stack_len, prot::kRead | prot::kWrite, 0,
       [&proc](u32 pkey, i64 pages) { proc->keys->page_delta(pkey, pages); });
-  SEALPK_CHECK(rc >= 0);
+  if (rc < 0) {
+    return refuse(rc == err::kNoMem ? "stack map failed: no memory"
+                                    : "stack map failed");
+  }
+  ++next_pid_;
 
   auto main_thread = std::make_unique<Thread>();
   const int tid = next_tid_++;
@@ -148,6 +178,19 @@ Thread& Kernel::thread(int tid) {
   return *it->second;
 }
 
+const Thread& Kernel::thread(int tid) const {
+  auto it = threads_.find(tid);
+  SEALPK_CHECK_MSG(it != threads_.end(), "unknown tid " << tid);
+  return *it->second;
+}
+
+std::vector<int> Kernel::pids() const {
+  std::vector<int> out;
+  out.reserve(processes_.size());
+  for (const auto& [pid, proc] : processes_) out.push_back(pid);
+  return out;
+}
+
 bool Kernel::all_exited() const {
   for (const auto& [pid, proc] : processes_) {
     if (!proc->exited) return false;
@@ -162,6 +205,14 @@ size_t Kernel::runnable_threads() const {
 void Kernel::set_hw_pkey_perm(u32 pkey, u8 perm) {
   if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
     hart_.pkr().set_perm(pkey, perm);
+    // Mirror the kernel-path write into the running thread's PKR shadow so
+    // the shadow stays a faithful scrub source.
+    if (has_current_thread()) {
+      auto& pkr = thread(current_tid_).ctx.pkr;
+      const u32 row = hw::pkr_row_of(pkey);
+      const u32 slot = hw::pkr_slot_of(pkey);
+      pkr[row] = deposit(pkr[row], 2 * slot + 1, 2 * slot, perm);
+    }
   } else {
     hart_.pkru().set_perm(pkey, (perm & 0b01) != 0, (perm & 0b10) != 0);
   }
@@ -250,6 +301,9 @@ void Kernel::handle_trap() {
     case core::TrapCause::kPkCamMiss:
       handle_cam_miss();
       return;
+    case core::TrapCause::kMachineCheck:
+      handle_machine_check();
+      return;
     case core::TrapCause::kSealViolation:
       ++stats_.seal_violations;
       fatal_fault(cause);
@@ -277,12 +331,96 @@ void Kernel::handle_page_fault(core::TrapCause cause) {
     rec.pkey = static_cast<u32>(hart_.csrs().spkinfo & 0x3FF);
   }
   hart_.csrs().spkinfo = 0;
+  // Before treating the fault as the guest's fault, check whether corrupted
+  // hardware state produced it: a PTE disagreeing with its VMA, a stale TLB
+  // line, or a flipped PKR row. If repair changed anything, re-execute the
+  // access instead of signalling.
+  switch (try_fault_recovery(rec)) {
+    case Recovery::kRecovered:
+      ++stats_.spurious_fault_fixes;
+      return_to_user(rec.pc);
+      return;
+    case Recovery::kKilled:
+      return;
+    case Recovery::kNone:
+      break;
+  }
   if (deliver_signal(rec)) {
     faults_.push_back(rec);
     return;
   }
   faults_.push_back(rec);
   sys_exit(-static_cast<i64>(cause));
+}
+
+// Inspects the machine state behind a page fault and repairs anything that
+// disagrees with the kernel's software truth. Only fires when the owning
+// VMA actually grants the attempted access — otherwise the fault is
+// architecturally correct and must surface to the guest. In clean runs
+// nothing ever mismatches, so the checks below are read-only and the
+// outcome is always kNone.
+Kernel::Recovery Kernel::try_fault_recovery(const FaultRecord& rec) {
+  if (!has_current_thread()) return Recovery::kNone;
+  AddressSpace& as = current_aspace();
+  const Vma* vma = as.find_vma(rec.addr);
+  if (vma == nullptr) return Recovery::kNone;
+  const bool want_exec = rec.cause == core::TrapCause::kInstPageFault;
+  const bool want_write = rec.cause == core::TrapCause::kStorePageFault;
+  const u64 need =
+      want_exec ? prot::kExec : (want_write ? prot::kWrite : prot::kRead);
+  if ((vma->prot & need) == 0) return Recovery::kNone;
+
+  bool changed = false;
+  // 1. Leaf PTE vs. VMA (a flipped pkey or permission bit in DRAM).
+  if (as.repair_page(rec.addr)) {
+    ++stats_.pte_repairs;
+    hart_.add_cycles(hart_.timing().pte_update_cycles);
+    changed = true;
+  }
+  // 2. Cached translation vs. the (now repaired) live PTE.
+  const auto leaf = as.leaf_pte(rec.addr);
+  if (leaf.has_value()) {
+    const u64 vpn = mem::svxx::vpn_of(rec.addr, as.levels());
+    const auto cached =
+        want_exec ? hart_.itlb().peek(vpn) : hart_.dtlb().peek(vpn);
+    if (cached.has_value()) {
+      const u64 pte = *leaf;
+      const bool same =
+          cached->ppn == mem::pte::ppn_of(pte) &&
+          cached->r == ((pte & mem::pte::kR) != 0) &&
+          cached->w == ((pte & mem::pte::kW) != 0) &&
+          cached->x == ((pte & mem::pte::kX) != 0) &&
+          cached->user == ((pte & mem::pte::kU) != 0) &&
+          (want_exec ||
+           cached->pkey == mem::pte::pkey_of(pte, as.pkey_bits())) &&
+          // The TLB's dirty bit may legitimately lag behind the PTE's D
+          // (a flush-then-load refill), never the other way around.
+          !(cached->dirty && (pte & mem::pte::kD) == 0);
+      if (!same) {
+        recover_tlb_flush();
+        changed = true;
+      }
+    }
+  }
+  // 3. On a pkey denial, the PKR row itself may be corrupt.
+  if (rec.pkey_fault &&
+      hart_.config().flavor == core::IsaFlavor::kSealPk) {
+    const u32 row = hw::pkr_row_of(rec.pkey);
+    if (config_.save_pkr_on_switch) {
+      const u64 shadow = thread(current_tid_).ctx.pkr[row];
+      if (!hart_.pkr().parity_ok(row) ||
+          hart_.pkr().peek_row(row) != shadow) {
+        hart_.pkr().scrub_row(row, shadow);
+        ++stats_.pkr_scrubs;
+        changed = true;
+      }
+    } else if (!hart_.pkr().parity_ok(row)) {
+      // No trustworthy shadow to scrub from: unrecoverable corruption.
+      kill_current(kExitMachineCheck, KillOrigin::kMachineCheck);
+      return Recovery::kKilled;
+    }
+  }
+  return changed ? Recovery::kRecovered : Recovery::kNone;
 }
 
 void Kernel::fatal_fault(core::TrapCause cause) {
@@ -353,11 +491,154 @@ void Kernel::handle_cam_miss() {
     fatal_fault(core::TrapCause::kSealViolation);
     return;
   }
-  ++stats_.cam_refills;
   hart_.add_cycles(hart_.timing().cam_refill_handler_cycles);
+  if (config_.cam_refill_drop && config_.cam_refill_drop()) {
+    // Injected drop: the handler "loses" the refill; the re-executed WRPKR
+    // misses again and retries. A permanent storm is the watchdog's job.
+    ++stats_.cam_refills_dropped;
+    return_to_user(hart_.csrs().sepc);
+    return;
+  }
+  ++stats_.cam_refills;
   hart_.seal_unit().refill(pkey, range->start, range->end);
+  if (config_.cam_refill_dup && config_.cam_refill_dup()) {
+    // Injected duplicate: the entry lands a second time in the FIFO slot,
+    // wasting a CAM line until the auditor dedups it.
+    ++stats_.cam_refills_duplicated;
+    hart_.seal_unit().refill_duplicate(pkey, range->start, range->end);
+  }
   // Re-execute the faulting WRPKR.
   return_to_user(hart_.csrs().sepc);
+}
+
+void Kernel::handle_machine_check() {
+  ++stats_.machine_checks;
+  hart_.add_cycles(hart_.timing().fault_handler_cycles);
+  if (!has_current_thread()) return;
+  const u64 resume = hart_.csrs().sepc;
+  bool unrecoverable = false;
+  scrub_pkr_from_shadow(&unrecoverable);
+  if (unrecoverable) {
+    kill_current(kExitMachineCheck, KillOrigin::kMachineCheck);
+    return;
+  }
+  // Whatever raised the check may have left stale translations behind;
+  // flush-and-rewalk restores TLB/PTE coherence wholesale.
+  recover_tlb_flush();
+  return_to_user(resume);
+}
+
+u64 Kernel::scrub_pkr_from_shadow(bool* unrecoverable) {
+  if (unrecoverable != nullptr) *unrecoverable = false;
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return 0;
+  // Without PKR save/restore on switch the per-thread shadow does not track
+  // the shared hardware rows, so it is not a valid scrub source.
+  const bool trusted = config_.save_pkr_on_switch && has_current_thread();
+  u64 scrubbed = 0;
+  for (u32 row = 0; row < hw::kPkrRows; ++row) {
+    const bool parity_bad = !hart_.pkr().parity_ok(row);
+    if (trusted) {
+      const u64 shadow = thread(current_tid_).ctx.pkr[row];
+      if (parity_bad || hart_.pkr().peek_row(row) != shadow) {
+        hart_.pkr().scrub_row(row, shadow);
+        hart_.add_cycles(hart_.timing().pkr_row_swap_cycles);
+        ++stats_.pkr_scrubs;
+        ++scrubbed;
+      }
+    } else if (parity_bad && unrecoverable != nullptr) {
+      *unrecoverable = true;
+    }
+  }
+  return scrubbed;
+}
+
+void Kernel::recover_tlb_flush() {
+  hart_.flush_tlbs();
+  hart_.add_cycles(hart_.timing().tlb_flush_cycles);
+  ++stats_.tlb_flush_recoveries;
+}
+
+u64 Kernel::repair_ptes(int pid) {
+  if (!has_process(pid)) return 0;
+  Process& proc = process(pid);
+  u64 repaired = 0;
+  std::vector<u64> pages;
+  for (const auto& [start, vma] : proc.aspace->vmas()) {
+    for (u64 page = vma.start; page < vma.end; page += mem::kPageSize) {
+      pages.push_back(page);
+    }
+  }
+  for (const u64 page : pages) {
+    if (proc.aspace->repair_page(page)) ++repaired;
+  }
+  if (repaired > 0) {
+    stats_.pte_repairs += repaired;
+    hart_.add_cycles(repaired * hart_.timing().pte_update_cycles);
+    // Drop any cached copies of the bad translations.
+    if (has_current_thread() && thread(current_tid_).pid == pid) {
+      recover_tlb_flush();
+    }
+  }
+  return repaired;
+}
+
+u64 Kernel::reconcile_key_counters(int pid) {
+  if (!has_process(pid)) return 0;
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return 0;
+  Process& proc = process(pid);
+  // Recompute the true per-pkey page counts from the VMAs (the counters'
+  // source of truth) and force the key manager to match.
+  std::map<u32, u64> actual;
+  for (const auto& [start, vma] : proc.aspace->vmas()) {
+    actual[vma.pkey] += vma.pages();
+  }
+  u64 fixed = 0;
+  for (u32 k = 0; k < proc.keys->num_keys(); ++k) {
+    const auto it = actual.find(k);
+    const u64 want = it == actual.end() ? 0 : it->second;
+    if (proc.keys->page_count(k) != want) {
+      proc.keys->reconcile_page_count(k, want);
+      ++fixed;
+    }
+  }
+  stats_.key_counter_repairs += fixed;
+  return fixed;
+}
+
+u64 Kernel::scrub_run_queue() {
+  const size_t before = run_queue_.size();
+  run_queue_.erase(
+      std::remove_if(run_queue_.begin(), run_queue_.end(),
+                     [this](int tid) {
+                       return !has_thread(tid) || thread(tid).exited;
+                     }),
+      run_queue_.end());
+  const u64 removed = before - run_queue_.size();
+  stats_.run_queue_scrubs += removed;
+  return removed;
+}
+
+u64 Kernel::dedup_cam() {
+  auto& unit = hart_.seal_unit();
+  u64 dropped = 0;
+  for (size_t i = 0; i < hw::kPkCamEntries; ++i) {
+    const auto* entry = unit.cam_slot(i);
+    if (entry != nullptr && unit.cam_count_of(entry->pkey) > 1) {
+      dropped += unit.drop_duplicates(entry->pkey);
+    }
+  }
+  stats_.cam_dedups += dropped;
+  return dropped;
+}
+
+void Kernel::kill_current(i64 code, KillOrigin origin) {
+  if (!has_current_thread()) return;  // nothing to kill: don't count one
+  if (origin == KillOrigin::kMachineCheck) {
+    ++stats_.machine_check_kills;
+  } else {
+    ++stats_.watchdog_kills;
+  }
+  sys_exit(code);
 }
 
 void Kernel::do_syscall() {

@@ -38,6 +38,14 @@ struct KernelConfig {
   bool sv48 = false;
   // Optional static-verification gate; empty = admit everything.
   AdmissionGate admission_gate;
+  // Fault-injection hooks on the PK-CAM refill path. Consulted (when set)
+  // once per refill: `cam_refill_drop` returning true makes the handler
+  // return without refilling (the WRPKR re-faults and retries);
+  // `cam_refill_dup` returning true makes the handler write the entry twice
+  // (a glitched handshake leaving a duplicate CAM line). Wired up by the
+  // fault injector; unset in normal runs.
+  std::function<bool()> cam_refill_drop;
+  std::function<bool()> cam_refill_dup;
 };
 
 struct FaultRecord {
@@ -59,16 +67,53 @@ struct KernelStats {
   u64 seal_violations = 0;
   u64 pte_pages_updated = 0;
   std::map<u64, u64> syscall_counts;
+
+  // --- robustness: fault detection and recovery ---------------------------
+  u64 cam_refills_dropped = 0;     // refills the injector made the OS drop
+  u64 cam_refills_duplicated = 0;  // refills committed twice
+  u64 pkr_scrubs = 0;              // PKR rows rewritten from the shadow
+  u64 tlb_flush_recoveries = 0;    // flush-and-rewalk recoveries
+  u64 pte_repairs = 0;             // leaf PTEs rewritten from the VMA
+  u64 key_counter_repairs = 0;     // pkey page counters reconciled
+  u64 run_queue_scrubs = 0;        // bogus/dead tids dropped from the queue
+  u64 cam_dedups = 0;              // duplicate PK-CAM lines invalidated
+  u64 spurious_fault_fixes = 0;    // page faults resolved by state repair
+  u64 machine_checks = 0;          // modelled machine-check traps taken
+  u64 machine_check_kills = 0;     // processes killed as unrecoverable
+  u64 watchdog_kills = 0;          // trap-storm / livelock kills
+  u64 audit_runs = 0;              // MachineAuditor invocations
+  u64 audit_findings = 0;          // invariant violations the auditor saw
+  u64 host_errors_contained = 0;   // host exceptions converted to kills
+
+  // Total successful recovery actions — the acceptance counter: every
+  // injected fault must show up here or in a kill counter.
+  u64 recoveries() const {
+    return pkr_scrubs + tlb_flush_recoveries + pte_repairs +
+           key_counter_repairs + run_queue_scrubs + cam_dedups +
+           spurious_fault_fixes;
+  }
 };
+
+// Exit codes for robustness kills, distinct from the -TrapCause codes of
+// ordinary fatal faults (watchdog codes sit below any trap cause).
+constexpr i64 kExitMachineCheck =
+    -static_cast<i64>(core::TrapCause::kMachineCheck);   // -26
+constexpr i64 kExitTrapStorm = -120;
+constexpr i64 kExitLivelock = -121;
 
 class Kernel {
  public:
+  // Which subsystem decided to kill a process (routes the kill counter).
+  enum class KillOrigin : u8 { kMachineCheck, kWatchdog };
+
   Kernel(core::Hart& hart, KernelConfig config = {});
 
   // Creates a process from a linked image plus its main thread; the first
   // loaded process is scheduled onto the hart immediately. Returns the pid,
-  // or kLoadRefused when the admission gate rejects the image (the refusal
-  // reason is kept in admission_error()).
+  // or kLoadRefused when the admission gate rejects the image *or* a
+  // mid-load failure occurs (segment map/copy failure, frame exhaustion,
+  // stack map failure) — the reason is kept in admission_error() and any
+  // partially-mapped memory is released.
   static constexpr int kLoadRefused = -1;
   int load_process(const isa::Image& image);
   const std::string& admission_error() const { return admission_error_; }
@@ -90,7 +135,17 @@ class Kernel {
   Process& process(int pid);
   const Process& process(int pid) const;
   Thread& thread(int tid);
+  const Thread& thread(int tid) const;
+  bool has_process(int pid) const { return processes_.count(pid) != 0; }
+  bool has_thread(int tid) const { return threads_.count(tid) != 0; }
+  bool has_current_thread() const {
+    return current_tid_ >= 0 && has_thread(current_tid_);
+  }
+  std::vector<int> pids() const;
   int current_tid() const { return current_tid_; }
+  const std::vector<int>& run_queue() const { return run_queue_; }
+  // Mutable run-queue access for planted-inconsistency tests only.
+  std::vector<int>& run_queue_for_test() { return run_queue_; }
   core::Hart& hart() { return hart_; }
 
   const std::vector<FaultRecord>& faults() const { return faults_; }
@@ -98,6 +153,39 @@ class Kernel {
   const std::vector<u64>& reports() const { return reports_; }
   const KernelStats& stats() const { return stats_; }
   const KernelConfig& config() const { return config_; }
+
+  // --- fault recovery (used by the machine-check handler, the spurious-
+  // --- fault path and the MachineAuditor) ---------------------------------
+  // Rewrites PKR rows whose parity is bad or whose content disagrees with
+  // the current thread's live software shadow. Returns rows scrubbed. When
+  // the shadow is untrustworthy (save_pkr_on_switch off) a parity error
+  // cannot be repaired and *unrecoverable is set instead.
+  u64 scrub_pkr_from_shadow(bool* unrecoverable = nullptr);
+  // Flush-and-rewalk: drop both TLBs so stale entries re-walk the live
+  // page tables. Counted as a recovery (unlike the plain sfence path).
+  void recover_tlb_flush();
+  // Rewrites every leaf PTE of `pid` from its owning VMA (the software
+  // source of truth). Returns pages repaired.
+  u64 repair_ptes(int pid);
+  // Recomputes per-pkey page counts from the VMAs and forces the key
+  // manager's counters to match. Returns counters fixed.
+  u64 reconcile_key_counters(int pid);
+  // Drops dead or unknown tids from the run queue. Returns entries removed.
+  u64 scrub_run_queue();
+  // Invalidates duplicate PK-CAM lines. Returns entries dropped.
+  u64 dedup_cam();
+  // Kills the current process with `code` (no-op without a current thread).
+  void kill_current(i64 code, KillOrigin origin);
+
+  void note_audit(u64 findings) {
+    ++stats_.audit_runs;
+    stats_.audit_findings += findings;
+  }
+  void note_host_error(const std::string& what) {
+    ++stats_.host_errors_contained;
+    host_errors_.push_back(what);
+  }
+  const std::vector<std::string>& host_errors() const { return host_errors_; }
 
  private:
   Process& current_process() { return *processes_.at(thread(current_tid_).pid); }
@@ -122,7 +210,12 @@ class Kernel {
 
   void handle_page_fault(core::TrapCause cause);
   void handle_cam_miss();
+  void handle_machine_check();
   void fatal_fault(core::TrapCause cause);
+
+  // Outcome of the spurious-fault repair attempt inside handle_page_fault.
+  enum class Recovery : u8 { kNone, kRecovered, kKilled };
+  Recovery try_fault_recovery(const FaultRecord& rec);
 
   void save_current_context();
   void restore_context(Thread& next, int prev_pid);
@@ -145,6 +238,7 @@ class Kernel {
   std::vector<FaultRecord> faults_;
   std::string console_;
   std::vector<u64> reports_;
+  std::vector<std::string> host_errors_;
   KernelStats stats_;
 };
 

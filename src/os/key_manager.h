@@ -42,6 +42,10 @@ class KeyManager {
   // Page-counter maintenance, driven by mmap/munmap/pkey_mprotect.
   virtual void page_delta(u32 pkey, i64 pages) = 0;
   virtual u64 page_count(u32 /*pkey*/) const { return 0; }
+  // Recovery port: force a counter to the recomputed truth after detected
+  // drift (the MachineAuditor's bitmap/counter cross-check). Flavours with
+  // no counts ignore it.
+  virtual void reconcile_page_count(u32 /*pkey*/, u64 /*pages*/) {}
 
   // --- sealing (SealPK only; the MPK flavour returns -ENOSYS) -------------
   virtual i64 seal(u32 /*pkey*/, bool /*domain*/, bool /*page*/) {
@@ -126,6 +130,17 @@ class SealPkKeyManager : public KeyManager {
   u64 page_count(u32 pkey) const override {
     SEALPK_CHECK(pkey < hw::kNumPkeys);
     return counter_[pkey];
+  }
+
+  void reconcile_page_count(u32 pkey, u64 pages) override {
+    SEALPK_CHECK(pkey < hw::kNumPkeys);
+    counter_[pkey] = pages;
+    // The reconciled truth may complete a pending lazy-free drain.
+    if (counter_[pkey] == 0 && dirty_[pkey]) {
+      dirty_.reset(pkey);
+      scrub(pkey);
+      if (drained_) drained_(pkey);
+    }
   }
 
   i64 seal(u32 pkey, bool domain, bool page) override {

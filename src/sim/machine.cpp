@@ -1,5 +1,7 @@
 #include "sim/machine.h"
 
+#include <exception>
+
 namespace sealpk::sim {
 
 int Machine::load(const isa::Image& image) {
@@ -19,17 +21,106 @@ RunOutcome Machine::run(u64 max_instructions) {
   const u64 start_cycles = hart_.cycles();
   u64 since_switch = 0;
 
+  const bool faults = injector_ != nullptr;
+  const u64 audit_every =
+      config_.audit_interval != 0
+          ? config_.audit_interval
+          : (faults ? kDefaultAuditInterval : 0);
+  u64 next_audit = audit_every != 0 ? hart_.instret() + audit_every : ~u64{0};
+
+  // Watchdog state. Trap storm: consecutive traps pinned to one PC (the
+  // handler is not making forward progress — e.g. a CAM refill that keeps
+  // being dropped re-faults the same WRPKR forever). Livelock: consecutive
+  // steps that retire nothing, the backstop for storms the same-PC check
+  // cannot see (alternating fault PCs).
+  u64 trap_streak = 0;
+  u64 last_trap_pc = ~u64{0};
+  u64 stall_streak = 0;
+
   while (!kernel_.all_exited()) {
     if (hart_.instret() - start_instret >= max_instructions) break;
-    const core::StepResult r = hart_.step();
-    if (r.kind == core::StepKind::kTrap) {
-      kernel_.handle_trap();
-      since_switch = 0;
-    } else if (config_.preempt_quantum != 0 &&
-               ++since_switch >= config_.preempt_quantum) {
-      if (kernel_.runnable_threads() > 1) kernel_.preempt();
+    const u64 before = hart_.instret();
+    try {
+      if (hart_.instret() >= next_audit) {
+        auditor_->audit_and_recover();
+        if (faults) injector_->note_recoveries(kernel_.stats());
+        next_audit = hart_.instret() + audit_every;
+      }
+
+      const core::StepResult r = hart_.step();
+      if (r.kind == core::StepKind::kTrap) {
+        const u64 trap_pc = hart_.csrs().sepc;
+        kernel_.handle_trap();
+        since_switch = 0;
+        if (faults) injector_->note_recoveries(kernel_.stats());
+        trap_streak = trap_pc == last_trap_pc ? trap_streak + 1 : 1;
+        last_trap_pc = trap_pc;
+        if (config_.watchdog_trap_storm != 0 &&
+            trap_streak >= config_.watchdog_trap_storm) {
+          kernel_.kill_current(os::kExitTrapStorm,
+                               os::Kernel::KillOrigin::kWatchdog);
+          if (faults) {
+            // The storm was the visible face of whatever is outstanding on
+            // the refill path; the kill is its resolution.
+            injector_->resolve(fault::FaultKind::kCamDropRefill,
+                               fault::FaultResolution::kProcessKilled);
+          }
+          trap_streak = 0;
+          last_trap_pc = ~u64{0};
+          stall_streak = 0;
+        }
+      } else {
+        trap_streak = 0;
+        last_trap_pc = ~u64{0};
+        if (config_.preempt_quantum != 0 &&
+            ++since_switch >= config_.preempt_quantum) {
+          if (kernel_.runnable_threads() > 1) kernel_.preempt();
+          since_switch = 0;
+        }
+      }
+
+      if (hart_.instret() != before) {
+        stall_streak = 0;
+      } else if (config_.watchdog_livelock != 0 &&
+                 ++stall_streak >= config_.watchdog_livelock) {
+        kernel_.kill_current(os::kExitLivelock,
+                             os::Kernel::KillOrigin::kWatchdog);
+        stall_streak = 0;
+        trap_streak = 0;
+        last_trap_pc = ~u64{0};
+      }
+
+      if (faults) injector_->maybe_inject(hart_, kernel_);
+    } catch (const std::exception& e) {
+      // A host-level exception (CheckError from a torn invariant, bad_alloc,
+      // ...) must never escape the simulated machine: contain it as a
+      // modelled machine check against the process that triggered it. If
+      // even the kill path is broken the machine stops instead of rethrowing.
+      kernel_.note_host_error(e.what());
+      bool contained = false;
+      try {
+        if (kernel_.has_current_thread()) {
+          kernel_.kill_current(os::kExitMachineCheck,
+                               os::Kernel::KillOrigin::kMachineCheck);
+          contained = true;
+        }
+      } catch (const std::exception&) {
+      }
+      if (!contained) break;
       since_switch = 0;
     }
+  }
+
+  if (faults) {
+    // Final reckoning: repair whatever is still inconsistent, then classify
+    // any injected fault that never became architecturally visible.
+    try {
+      auditor_->audit_and_recover();
+      injector_->note_recoveries(kernel_.stats());
+    } catch (const std::exception& e) {
+      kernel_.note_host_error(e.what());
+    }
+    injector_->resolve_all_outstanding(fault::FaultResolution::kMaskedBenign);
   }
 
   outcome.completed = kernel_.all_exited();

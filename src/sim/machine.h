@@ -1,10 +1,24 @@
 // Machine — the facade wiring DRAM + hart + kernel into the equivalent of
 // the paper's FPGA board (Rocket + SealPK + Linux). This is the main entry
 // point of the public API: load a linked guest image and run it.
+//
+// Robustness layer: the machine optionally carries a seeded FaultInjector
+// (MachineConfig::fault_plan) that corrupts PKR/TLB/PTE/CAM state while the
+// guest runs, a MachineAuditor that cross-checks hardware state against the
+// kernel's software truth every `audit_interval` instructions, and a
+// run-loop watchdog that converts same-PC trap storms and zero-retirement
+// livelock into process kills with distinct exit codes. Host exceptions
+// (CheckError etc.) never escape run(): they are contained as modelled
+// machine checks against the offending process.
 #pragma once
+
+#include <limits>
+#include <memory>
 
 #include "analysis/verifier.h"
 #include "core/hart.h"
+#include "fault/auditor.h"
+#include "fault/fault.h"
 #include "isa/program.h"
 #include "mem/phys_mem.h"
 #include "os/kernel.h"
@@ -24,6 +38,18 @@ struct MachineConfig {
   // load() is available via verify_report().
   analysis::LoadVerifyPolicy verify_policy = analysis::LoadVerifyPolicy::kOff;
   analysis::VerifyOptions verify_options;
+
+  // --- robustness ----------------------------------------------------------
+  // Seeded fault injection (disabled by default: fault_plan.enabled).
+  fault::FaultPlan fault_plan;
+  // MachineAuditor cadence in retired instructions. 0 = automatic: audit
+  // every kDefaultAuditInterval instructions when fault injection is on,
+  // never otherwise (keeping injection-disabled runs byte-identical).
+  u64 audit_interval = 0;
+  // Watchdog thresholds (0 disables the respective check): consecutive
+  // traps pinned to one PC, and consecutive steps retiring nothing.
+  u64 watchdog_trap_storm = 64;
+  u64 watchdog_livelock = 4096;
 };
 
 struct RunOutcome {
@@ -34,11 +60,18 @@ struct RunOutcome {
 
 class Machine {
  public:
+  static constexpr u64 kDefaultAuditInterval = 10'000;
+
   explicit Machine(const MachineConfig& config = {})
       : config_(config),
         mem_(config.mem_bytes),
         hart_(mem_, config.hart),
-        kernel_(hart_, config.kernel) {}
+        kernel_(hart_, wired_kernel_config()) {
+    if (config_.fault_plan.enabled) {
+      injector_ = std::make_unique<fault::FaultInjector>(config_.fault_plan);
+    }
+    auditor_ = std::make_unique<fault::MachineAuditor>(hart_, kernel_);
+  }
 
   // Loads a linked image as a new process; returns the pid, or kLoadRefused
   // when the verify policy (or the kernel's own admission gate) rejects it.
@@ -57,13 +90,41 @@ class Machine {
   mem::PhysMem& mem() { return mem_; }
   const MachineConfig& config() const { return config_; }
 
-  i64 exit_code(int pid) { return kernel_.process(pid).exit_code; }
+  // nullptr when fault injection is disabled.
+  fault::FaultInjector* injector() { return injector_.get(); }
+  fault::MachineAuditor& auditor() { return *auditor_; }
+
+  // Sentinel returned by exit_code() for a pid that never existed — callers
+  // probing unknown pids get this instead of a host exception.
+  static constexpr i64 kNoExitCode = std::numeric_limits<i64>::min();
+  bool has_process(int pid) const { return kernel_.has_process(pid); }
+  i64 exit_code(int pid) const {
+    return kernel_.has_process(pid) ? kernel_.process(pid).exit_code
+                                    : kNoExitCode;
+  }
 
  private:
+  // The kernel's config is derived from ours: the CAM-refill fault hooks
+  // close over `this` so they can consult the injector created afterwards.
+  os::KernelConfig wired_kernel_config() {
+    os::KernelConfig cfg = config_.kernel;
+    if (config_.fault_plan.enabled) {
+      cfg.cam_refill_drop = [this] {
+        return injector_ != nullptr && injector_->should_drop_refill(hart_);
+      };
+      cfg.cam_refill_dup = [this] {
+        return injector_ != nullptr && injector_->should_dup_refill(hart_);
+      };
+    }
+    return cfg;
+  }
+
   MachineConfig config_;
   mem::PhysMem mem_;
   core::Hart hart_;
   os::Kernel kernel_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::MachineAuditor> auditor_;
   analysis::Report verify_report_;
 };
 

@@ -27,6 +27,15 @@ MachineStats collect_stats(Machine& machine) {
   s.cam_refills = k.cam_refills;
   s.seal_violations = k.seal_violations;
   s.pte_pages_updated = k.pte_pages_updated;
+  s.faults_injected =
+      machine.injector() != nullptr ? machine.injector()->total_injected() : 0;
+  s.recoveries = k.recoveries();
+  s.machine_checks = k.machine_checks;
+  s.machine_check_kills = k.machine_check_kills;
+  s.watchdog_kills = k.watchdog_kills;
+  s.audit_runs = k.audit_runs;
+  s.audit_findings = k.audit_findings;
+  s.host_errors_contained = k.host_errors_contained;
   return s;
 }
 
@@ -55,6 +64,15 @@ void print_stats(const MachineStats& s, std::ostream& os) {
   os << "  pkey denials      " << s.pkey_denials << "\n";
   os << "  context switches  " << s.context_switches << "\n";
   os << "  pte updates       " << s.pte_pages_updated << " pages\n";
+  if (s.faults_injected != 0 || s.audit_runs != 0 ||
+      s.host_errors_contained != 0) {
+    os << "  faults injected   " << s.faults_injected << "  (recoveries "
+       << s.recoveries << ", machine checks " << s.machine_checks
+       << ", kills " << s.machine_check_kills + s.watchdog_kills << ")\n";
+    os << "  audits            " << s.audit_runs << " runs, "
+       << s.audit_findings << " findings, " << s.host_errors_contained
+       << " host errors contained\n";
+  }
 }
 
 }  // namespace sealpk::sim

@@ -33,6 +33,15 @@ struct MachineStats {
   u64 cam_refills = 0;
   u64 seal_violations = 0;
   u64 pte_pages_updated = 0;
+  // robustness (zero in injection-disabled runs)
+  u64 faults_injected = 0;
+  u64 recoveries = 0;
+  u64 machine_checks = 0;
+  u64 machine_check_kills = 0;
+  u64 watchdog_kills = 0;
+  u64 audit_runs = 0;
+  u64 audit_findings = 0;
+  u64 host_errors_contained = 0;
 
   double ipc() const {
     return cycles == 0 ? 0.0

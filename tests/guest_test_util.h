@@ -19,6 +19,7 @@ struct GuestRun {
   std::vector<os::FaultRecord> faults;
   u64 cycles = 0;
   u64 instructions = 0;
+  os::KernelStats kstats;  // recovery/robustness counters for chaos tests
 };
 
 // Links `prog`, loads it into a fresh machine and runs to completion.
@@ -35,6 +36,7 @@ inline GuestRun run_guest(const isa::Program& prog,
   result.faults = machine.kernel().faults();
   result.cycles = result.outcome.cycles;
   result.instructions = result.outcome.instructions;
+  result.kstats = machine.kernel().stats();
   return result;
 }
 

@@ -202,27 +202,35 @@ Op random_op(Rng& rng) {
   return op;
 }
 
-class FuzzOracleTest : public ::testing::TestWithParam<u64> {};
-
-TEST_P(FuzzOracleTest, KernelMatchesOracleOnRandomOpSequences) {
-  Rng rng(GetParam());
+// Builds the random-op guest for `seed` and returns it with the oracle's
+// per-op return-value predictions.
+Program build_fuzz_program(u64 seed, std::vector<i64>* expected,
+                           std::vector<Op>* ops) {
+  Rng rng(seed);
   Oracle oracle;
   Program prog;
   rt::add_crt0(prog);
   Function& f = prog.add_function("main");
   f.addi(sp, sp, -16);
   f.sd(ra, 0, sp);
-  std::vector<i64> expected;
-  std::vector<Op> ops;
   for (int i = 0; i < 300; ++i) {
     const Op op = random_op(rng);
-    ops.push_back(op);
-    expected.push_back(emit_and_predict(f, oracle, op));
+    ops->push_back(op);
+    expected->push_back(emit_and_predict(f, oracle, op));
   }
   f.ld(ra, 0, sp);
   f.addi(sp, sp, 16);
   f.li(a0, 0);
   f.ret();
+  return prog;
+}
+
+class FuzzOracleTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzOracleTest, KernelMatchesOracleOnRandomOpSequences) {
+  std::vector<i64> expected;
+  std::vector<Op> ops;
+  const Program prog = build_fuzz_program(GetParam(), &expected, &ops);
 
   const auto run = testutil::run_guest(prog);
   ASSERT_TRUE(run.outcome.completed);
@@ -237,6 +245,45 @@ TEST_P(FuzzOracleTest, KernelMatchesOracleOnRandomOpSequences) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 1234u));
+
+// The same differential oracle under seeded fault injection: fault recovery
+// must be transparent to syscall semantics — every return code still matches
+// the host-side model — unless an unrecoverable fault kills the process,
+// which must then use a distinct robustness exit code.
+class FuzzOracleChaosTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzOracleChaosTest, RecoveryIsTransparentToSyscallSemantics) {
+  std::vector<i64> expected;
+  std::vector<Op> ops;
+  const Program prog = build_fuzz_program(GetParam(), &expected, &ops);
+
+  sim::MachineConfig config;
+  config.fault_plan.enabled = true;
+  config.fault_plan.seed = GetParam() * 977 + 13;
+  config.fault_plan.rate = 2e-4;
+  const auto run = testutil::run_guest(prog, config);
+  ASSERT_TRUE(run.outcome.completed);
+
+  if (run.exit_code != 0) {
+    const u64 kills =
+        run.kstats.machine_check_kills + run.kstats.watchdog_kills;
+    EXPECT_GE(kills, 1u) << "nonzero exit without a recorded kill";
+    EXPECT_TRUE(run.exit_code == os::kExitMachineCheck ||
+                run.exit_code == os::kExitTrapStorm ||
+                run.exit_code == os::kExitLivelock)
+        << "killed with non-distinct exit code " << run.exit_code;
+    return;  // a kill truncates the report stream; nothing more to compare
+  }
+  ASSERT_EQ(run.reports.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(static_cast<i64>(run.reports[i]), expected[i])
+        << "op " << i << " kind=" << static_cast<int>(ops[i].kind)
+        << " region=" << ops[i].region << " key=" << ops[i].key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOracleChaosTest,
                          ::testing::Values(1u, 2u, 3u, 17u, 99u, 1234u));
 
 }  // namespace

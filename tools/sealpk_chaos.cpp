@@ -1,0 +1,238 @@
+// sealpk-chaos — differential fault-injection oracle harness.
+//
+// Runs each selected workload twice: once clean and once under a seeded
+// fault plan (PKR bit flips, TLB/PTE corruption, CAM refill drops and
+// duplicates, spurious machine-check traps). The oracle then requires, per
+// workload, that either
+//   (a) the chaos run's guest-visible output (reports, console, exit code)
+//       is identical to the clean run's — every fault recovered or masked; or
+//   (b) the machine recorded an explicit recovery or killed the affected
+//       process with a distinct robustness exit code.
+// In addition every injected fault event must be resolved by the end of the
+// run (recovered / killed / masked-benign — never unaccounted), and no host
+// exception may escape Machine::run.
+//
+// Exit status: 0 when every workload satisfies the oracle, 1 otherwise,
+// 2 on usage errors.
+//
+// Usage:
+//   sealpk-chaos --all --chaos-seed=7 --chaos-rate=2e-5
+//   sealpk-chaos qsort sha --chaos-rate=1e-4 -q
+//   sealpk-chaos --all --ss=sealpk-wr --seal --cam-rate=0.3
+//   sealpk-chaos --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "passes/shadow_stack.h"
+#include "sim/machine.h"
+#include "sim/stats.h"
+#include "workloads/workload.h"
+
+using namespace sealpk;
+
+namespace {
+
+struct CliOptions {
+  bool all = false;
+  bool list = false;
+  bool quiet = false;
+  bool perm_seal = false;
+  passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
+  std::vector<std::string> names;
+  fault::FaultPlan plan;
+};
+
+struct RunResult {
+  bool completed = false;
+  i64 exit_code = 0;
+  std::string console;
+  std::vector<u64> reports;
+  os::KernelStats stats;
+  u64 injected = 0;
+  u64 outstanding = 0;
+};
+
+bool parse_ss_kind(const std::string& text, passes::ShadowStackKind* out) {
+  if (text == "none") *out = passes::ShadowStackKind::kNone;
+  else if (text == "inline") *out = passes::ShadowStackKind::kInline;
+  else if (text == "func") *out = passes::ShadowStackKind::kFunc;
+  else if (text == "sealpk-wr") *out = passes::ShadowStackKind::kSealPkWr;
+  else if (text == "sealpk-rdwr") *out = passes::ShadowStackKind::kSealPkRdWr;
+  else if (text == "mprotect") *out = passes::ShadowStackKind::kMprotect;
+  else return false;
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sealpk-chaos [--all | <workload>...] [--list] [-q]\n"
+      "                    [--chaos-seed=<n>] [--chaos-rate=<p>]\n"
+      "                    [--cam-rate=<p>] [--max-faults=<n>]\n"
+      "                    [--ss=none|inline|func|sealpk-wr|sealpk-rdwr|"
+      "mprotect] [--seal]\n");
+  return 2;
+}
+
+RunResult run_image(const isa::Image& image, const fault::FaultPlan& plan) {
+  sim::MachineConfig config;
+  config.fault_plan = plan;
+  sim::Machine machine(config);
+  const int pid = machine.load(image);
+  RunResult result;
+  if (pid == sim::Machine::kLoadRefused) {
+    result.exit_code = sim::Machine::kNoExitCode;
+    return result;
+  }
+  result.completed = machine.run(400'000'000).completed;
+  result.exit_code = machine.exit_code(pid);
+  result.console = machine.kernel().console();
+  result.reports = machine.kernel().reports();
+  result.stats = machine.kernel().stats();
+  if (machine.injector() != nullptr) {
+    result.injected = machine.injector()->total_injected();
+    result.outstanding = machine.injector()->outstanding();
+  }
+  return result;
+}
+
+// Returns true when the chaos run satisfies the differential oracle.
+bool check_one(const wl::Workload& w, const CliOptions& cli, u64* injected) {
+  isa::Program prog = w.build(w.test_scale);
+  std::string label = std::string(wl::suite_name(w.suite)) + "/" + w.name;
+  if (cli.ss != passes::ShadowStackKind::kNone) {
+    passes::ShadowStackOptions ss;
+    ss.kind = cli.ss;
+    ss.perm_seal = cli.perm_seal;
+    passes::apply_shadow_stack(prog, ss);
+    label += std::string(" [") + passes::shadow_stack_kind_name(cli.ss) +
+             (cli.perm_seal ? ", perm-sealed]" : "]");
+  }
+  const isa::Image image = prog.link();
+
+  RunResult clean;
+  RunResult chaos;
+  try {
+    clean = run_image(image, {});
+    chaos = run_image(image, cli.plan);
+  } catch (const std::exception& e) {
+    std::printf("%-28s FAIL: host exception escaped: %s\n", label.c_str(),
+                e.what());
+    return false;
+  }
+  *injected = chaos.injected;
+
+  const bool identical = chaos.completed == clean.completed &&
+                         chaos.exit_code == clean.exit_code &&
+                         chaos.console == clean.console &&
+                         chaos.reports == clean.reports;
+  const u64 kills =
+      chaos.stats.machine_check_kills + chaos.stats.watchdog_kills;
+  const u64 recoveries = chaos.stats.recoveries();
+
+  const char* verdict = nullptr;
+  bool ok = true;
+  if (!clean.completed) {
+    verdict = "FAIL: clean run did not complete";
+    ok = false;
+  } else if (chaos.outstanding != 0) {
+    verdict = "FAIL: unaccounted fault events";
+    ok = false;
+  } else if (identical) {
+    verdict = chaos.injected == 0 ? "ok (no faults fired)"
+                                  : "ok (output identical)";
+  } else if (kills > 0) {
+    verdict = "ok (process killed, distinct exit code)";
+    ok = chaos.exit_code == os::kExitMachineCheck ||
+         chaos.exit_code == os::kExitTrapStorm ||
+         chaos.exit_code == os::kExitLivelock ||
+         chaos.exit_code == clean.exit_code;  // kill hit a since-respawned run
+    if (!ok) verdict = "FAIL: killed without a distinct exit code";
+  } else if (recoveries > 0) {
+    verdict = "ok (divergence, recovery recorded)";
+  } else {
+    verdict = "FAIL: output diverged with no recovery or kill recorded";
+    ok = false;
+  }
+
+  if (!cli.quiet || !ok) {
+    std::printf("%-28s %-40s faults=%llu recoveries=%llu kills=%llu\n",
+                label.c_str(), verdict,
+                static_cast<unsigned long long>(chaos.injected),
+                static_cast<unsigned long long>(recoveries),
+                static_cast<unsigned long long>(kills));
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  cli.plan.enabled = true;
+  cli.plan.seed = 7;
+  cli.plan.rate = 2e-5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      cli.all = true;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--seal") {
+      cli.perm_seal = true;
+    } else if (arg.rfind("--ss=", 0) == 0) {
+      if (!parse_ss_kind(arg.substr(5), &cli.ss)) return usage();
+    } else if (arg.rfind("--chaos-seed=", 0) == 0) {
+      cli.plan.seed = std::strtoull(arg.c_str() + 13, nullptr, 0);
+    } else if (arg.rfind("--chaos-rate=", 0) == 0) {
+      cli.plan.rate = std::strtod(arg.c_str() + 13, nullptr);
+    } else if (arg.rfind("--cam-rate=", 0) == 0) {
+      cli.plan.cam_rate = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--max-faults=", 0) == 0) {
+      cli.plan.max_faults = std::strtoull(arg.c_str() + 13, nullptr, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      cli.names.push_back(arg);
+    }
+  }
+
+  if (cli.list) {
+    for (const auto& w : wl::all_workloads()) {
+      std::printf("%-10s (%s)\n", w.name, wl::suite_name(w.suite));
+    }
+    return 0;
+  }
+  if (!cli.all && cli.names.empty()) return usage();
+
+  size_t programs = 0;
+  size_t failures = 0;
+  u64 total_faults = 0;
+  for (const auto& w : wl::all_workloads()) {
+    bool wanted = cli.all;
+    for (const auto& name : cli.names) {
+      if (name == w.name) wanted = true;
+    }
+    if (!wanted) continue;
+    ++programs;
+    u64 injected = 0;
+    if (!check_one(w, cli, &injected)) ++failures;
+    total_faults += injected;
+  }
+  if (programs == 0) {
+    std::fprintf(stderr, "no matching workload; try --list\n");
+    return 2;
+  }
+  if (!cli.quiet || failures != 0) {
+    std::printf(
+        "%zu program(s) checked, %llu fault(s) injected, %zu failure(s)\n",
+        programs, static_cast<unsigned long long>(total_faults), failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
