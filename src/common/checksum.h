@@ -1,0 +1,45 @@
+// FNV-1a 64-bit checksum — the snapshot format's integrity check.
+//
+// Not cryptographic: the threat model is a torn write or bit rot in a
+// checkpoint file, not an adversary. FNV-1a is a single multiply-xor per
+// byte, has no tables, and is trivially portable, which keeps the snapshot
+// layer dependency-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sealpk {
+
+class Checksum64 {
+ public:
+  static constexpr u64 kOffsetBasis = 0xCBF29CE484222325ULL;
+  static constexpr u64 kPrime = 0x00000100000001B3ULL;
+
+  void update(const u8* data, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      state_ ^= data[i];
+      state_ *= kPrime;
+    }
+  }
+  void update(const std::vector<u8>& data) { update(data.data(), data.size()); }
+
+  u64 value() const { return state_; }
+
+ private:
+  u64 state_ = kOffsetBasis;
+};
+
+inline u64 checksum64(const u8* data, size_t len) {
+  Checksum64 sum;
+  sum.update(data, len);
+  return sum.value();
+}
+
+inline u64 checksum64(const std::vector<u8>& data) {
+  return checksum64(data.data(), data.size());
+}
+
+}  // namespace sealpk

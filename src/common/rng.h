@@ -29,6 +29,12 @@ class Rng {
     return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
   }
 
+  // Snapshot support: the full generator state is the single xorshift word,
+  // so every seeded stream (workloads, fuzzers, the fault injector) can be
+  // checkpointed and resumed bit-identically.
+  u64 state() const { return state_; }
+  void set_state(u64 state) { state_ = state; }
+
  private:
   static u64 splitmix(u64 x) {
     x += 0x9E3779B97F4A7C15ULL;

@@ -93,6 +93,12 @@ class Hart {
   u64 instret() const { return instret_; }
   const HartStats& stats() const { return stats_; }
 
+  // Snapshot ports: restore overwrites the performance counters so a
+  // resumed hart continues the exact counter stream of the saved one.
+  void set_cycles(u64 cycles) { cycles_ = cycles; }
+  void set_instret(u64 instret) { instret_ = instret; }
+  void set_stats(const HartStats& stats) { stats_ = stats; }
+
   // Flushes both TLBs (the kernel's sfence.vma after PTE updates).
   void flush_tlbs();
 

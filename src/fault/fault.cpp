@@ -40,6 +40,7 @@ void FaultInjector::schedule_next(u64 now) {
 
 void FaultInjector::record(FaultKind kind, u64 instret, u64 detail0,
                            u64 detail1) {
+  ++lifetime_injected_;
   events_.push_back({kind, instret, detail0, detail1,
                      FaultResolution::kOutstanding});
 }
@@ -53,6 +54,13 @@ void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
   // Only strike while a thread is actually running user code: the injected
   // state is per-process, and a spurious trap needs a victim to resume.
   if (hart.priv() != core::Priv::kUser || !kernel.has_current_thread()) {
+    return;
+  }
+  if (suppress_ > 0) {
+    // Post-rollback replay: swallow the firing that doomed the previous
+    // attempt. The fire point is consumed so the window re-executes clean.
+    --suppress_;
+    schedule_next(hart.instret());
     return;
   }
   const bool sealpk = hart.config().flavor == core::IsaFlavor::kSealPk;
@@ -139,8 +147,12 @@ void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
 bool FaultInjector::should_drop_refill(const core::Hart& hart) {
   if (!plan_.enabled || !plan_.has(FaultKind::kCamDropRefill)) return false;
   if (budget_left() && rng_.chance(plan_.cam_rate)) {
-    record(FaultKind::kCamDropRefill, hart.instret(), 0, 0);
-    return true;
+    if (suppress_ > 0) {
+      --suppress_;  // swallowed: the refill goes through after all
+    } else {
+      record(FaultKind::kCamDropRefill, hart.instret(), 0, 0);
+      return true;
+    }
   }
   // This refill goes through, completing the retry of any earlier drop.
   resolve(FaultKind::kCamDropRefill, FaultResolution::kRecovered);
@@ -150,6 +162,10 @@ bool FaultInjector::should_drop_refill(const core::Hart& hart) {
 bool FaultInjector::should_dup_refill(const core::Hart& hart) {
   if (!plan_.enabled || !plan_.has(FaultKind::kCamDupRefill)) return false;
   if (!budget_left() || !rng_.chance(plan_.cam_rate)) return false;
+  if (suppress_ > 0) {
+    --suppress_;
+    return false;
+  }
   record(FaultKind::kCamDupRefill, hart.instret(), 0, 0);
   return true;
 }
@@ -216,6 +232,46 @@ u64 FaultInjector::outstanding() const {
     if (event.resolution == FaultResolution::kOutstanding) ++n;
   }
   return n;
+}
+
+void FaultInjector::save_state(ByteWriter& w) const {
+  w.put_u64(rng_.state());
+  w.put_u64(next_fire_);
+  w.put_u64(suppress_);
+  w.put_u64(events_.size());
+  for (const auto& event : events_) {
+    w.put_u8(static_cast<u8>(event.kind));
+    w.put_u64(event.instret);
+    w.put_u64(event.detail0);
+    w.put_u64(event.detail1);
+    w.put_u8(static_cast<u8>(event.resolution));
+  }
+  w.put_u64(seen_pkr_scrubs_);
+  w.put_u64(seen_tlb_flushes_);
+  w.put_u64(seen_pte_repairs_);
+  w.put_u64(seen_cam_dedups_);
+}
+
+void FaultInjector::load_state(ByteReader& r) {
+  rng_.set_state(r.get_u64());
+  next_fire_ = r.get_u64();
+  suppress_ = r.get_u64();
+  events_.resize(r.get_u64());
+  for (auto& event : events_) {
+    event.kind = static_cast<FaultKind>(r.get_u8());
+    event.instret = r.get_u64();
+    event.detail0 = r.get_u64();
+    event.detail1 = r.get_u64();
+    event.resolution = static_cast<FaultResolution>(r.get_u8());
+  }
+  seen_pkr_scrubs_ = r.get_u64();
+  seen_tlb_flushes_ = r.get_u64();
+  seen_pte_repairs_ = r.get_u64();
+  seen_cam_dedups_ = r.get_u64();
+  // Deliberately NOT restored: across a rollback the lifetime count keeps
+  // every firing of the doomed attempt, so max_faults stays a hard budget.
+  // A fresh restore (new injector) starts from the recorded history.
+  lifetime_injected_ = std::max<u64>(lifetime_injected_, events_.size());
 }
 
 }  // namespace sealpk::fault

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serial.h"
 #include "core/hart.h"
 #include "os/kernel.h"
 
@@ -102,9 +103,27 @@ class FaultInjector {
   u64 resolved(FaultKind kind, FaultResolution resolution) const;
   u64 outstanding() const;
 
+  // --- rollback support ----------------------------------------------------
+  // Arms the injector to swallow the next `n` would-be firings: the fire
+  // point is consumed (and the next one rescheduled) but no corruption is
+  // applied and no event recorded. The machine calls this after restoring a
+  // checkpoint, with n = events injected since that checkpoint, so the
+  // re-execution replays the doomed window fault-free.
+  void suppress(u64 n) { suppress_ += n; }
+  u64 suppressed_pending() const { return suppress_; }
+  // Lifetime firings across every rollback attempt. NOT restored by
+  // load_state (a rollback must not refill the max_faults budget, or an
+  // aggressive plan could fire faults forever across retries).
+  u64 lifetime_injected() const { return lifetime_injected_; }
+
+  // Snapshot ports: RNG stream, fire schedule, event log and the
+  // note_recoveries watermarks, so a restored run injects bit-identically.
+  void save_state(ByteWriter& w) const;
+  void load_state(ByteReader& r);
+
  private:
   bool budget_left() const {
-    return plan_.max_faults == 0 || events_.size() < plan_.max_faults;
+    return plan_.max_faults == 0 || lifetime_injected_ < plan_.max_faults;
   }
   void record(FaultKind kind, u64 instret, u64 detail0, u64 detail1);
   void schedule_next(u64 now);
@@ -114,6 +133,8 @@ class FaultInjector {
   std::vector<FaultKind> step_kinds_;  // kinds fired from the step loop
   u64 next_fire_ = ~u64{0};
   std::vector<FaultEvent> events_;
+  u64 suppress_ = 0;
+  u64 lifetime_injected_ = 0;  // survives rollback; see lifetime_injected()
   // Last-seen kernel recovery counters for note_recoveries deltas.
   u64 seen_pkr_scrubs_ = 0;
   u64 seen_tlb_flushes_ = 0;

@@ -15,6 +15,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/serial.h"
 #include "hw/pkr.h"
 
 namespace sealpk::hw {
@@ -201,6 +202,39 @@ class SealUnit {
 
   const SealUnitStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  // Snapshot port: everything save()/restore() covers plus the stats, so a
+  // resumed run's counters match an uninterrupted one.
+  void save_state(ByteWriter& w) const {
+    w.put_bitset(seal_reg_);
+    for (const auto& slot : cam_) {
+      w.put_u16(slot.entry.pkey);
+      w.put_u64(slot.entry.addr_start);
+      w.put_u64(slot.entry.addr_end);
+      w.put_bool(slot.valid);
+    }
+    w.put_u32(fifo_next_);
+    w.put_u64(stats_.checks);
+    w.put_u64(stats_.cam_hits);
+    w.put_u64(stats_.cam_misses);
+    w.put_u64(stats_.violations);
+    w.put_u64(stats_.refills);
+  }
+  void load_state(ByteReader& r) {
+    seal_reg_ = r.get_bitset<kNumPkeys>();
+    for (auto& slot : cam_) {
+      slot.entry.pkey = r.get_u16();
+      slot.entry.addr_start = r.get_u64();
+      slot.entry.addr_end = r.get_u64();
+      slot.valid = r.get_bool();
+    }
+    fifo_next_ = r.get_u32();
+    stats_.checks = r.get_u64();
+    stats_.cam_hits = r.get_u64();
+    stats_.cam_misses = r.get_u64();
+    stats_.violations = r.get_u64();
+    stats_.refills = r.get_u64();
+  }
 
  private:
   struct Slot {

@@ -1,13 +1,16 @@
 // Sparse simulated physical memory (the FPGA board's DRAM).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/serial.h"
 
 namespace sealpk::mem {
 
@@ -53,6 +56,43 @@ class PhysMem {
 
   bool contains(u64 addr, u64 len = 1) const {
     return addr < size_ && len <= size_ - addr;
+  }
+
+  size_t materialized_pages() const { return pages_.size(); }
+
+  // Snapshot port. Pages are emitted in ascending index order and all-zero
+  // pages are elided, so the encoding is canonical: two memories with equal
+  // contents produce byte-identical streams regardless of materialisation
+  // history. That property is what lets tests compare whole snapshots.
+  void save_state(ByteWriter& w) const {
+    w.put_u64(size_);
+    std::vector<u64> indices;
+    indices.reserve(pages_.size());
+    static const Page kZero{};
+    for (const auto& [index, page] : pages_) {
+      if (*page != kZero) indices.push_back(index);
+    }
+    std::sort(indices.begin(), indices.end());
+    w.put_u64(indices.size());
+    for (u64 index : indices) {
+      w.put_u64(index);
+      w.put_bytes(pages_.at(index)->data(), kPageSize);
+    }
+  }
+  void load_state(ByteReader& r) {
+    const u64 size = r.get_u64();
+    SEALPK_CHECK_MSG(size == size_, "phys size mismatch: snapshot has "
+                                        << size << ", machine has " << size_);
+    pages_.clear();
+    const u64 count = r.get_u64();
+    for (u64 i = 0; i < count; ++i) {
+      const u64 index = r.get_u64();
+      SEALPK_CHECK_MSG(index < (size_ >> kPageShift),
+                       "snapshot page index out of range: " << index);
+      auto page = std::make_unique<Page>();
+      r.get_bytes(page->data(), kPageSize);
+      pages_[index] = std::move(page);
+    }
   }
 
  private:

@@ -12,6 +12,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/serial.h"
 
 namespace sealpk::mem {
 
@@ -126,6 +127,50 @@ class Tlb {
 
   const TlbStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  // Snapshot port: slots verbatim (including any injector-corrupted entry),
+  // the round-robin cursor, and the stats.
+  void save_state(ByteWriter& w) const {
+    w.put_u64(entries_.size());
+    for (const auto& slot : entries_) {
+      w.put_u64(slot.entry.vpn);
+      w.put_u64(slot.entry.ppn);
+      w.put_bool(slot.entry.r);
+      w.put_bool(slot.entry.w);
+      w.put_bool(slot.entry.x);
+      w.put_bool(slot.entry.user);
+      w.put_bool(slot.entry.dirty);
+      w.put_u16(slot.entry.pkey);
+      w.put_bool(slot.valid);
+    }
+    w.put_u64(next_victim_);
+    w.put_u64(stats_.hits);
+    w.put_u64(stats_.misses);
+    w.put_u64(stats_.flushes);
+    w.put_u64(stats_.evictions);
+  }
+  void load_state(ByteReader& r) {
+    const u64 n = r.get_u64();
+    SEALPK_CHECK_MSG(n == entries_.size(),
+                     "TLB capacity mismatch: snapshot has "
+                         << n << " slots, machine has " << entries_.size());
+    for (auto& slot : entries_) {
+      slot.entry.vpn = r.get_u64();
+      slot.entry.ppn = r.get_u64();
+      slot.entry.r = r.get_bool();
+      slot.entry.w = r.get_bool();
+      slot.entry.x = r.get_bool();
+      slot.entry.user = r.get_bool();
+      slot.entry.dirty = r.get_bool();
+      slot.entry.pkey = r.get_u16();
+      slot.valid = r.get_bool();
+    }
+    next_victim_ = static_cast<size_t>(r.get_u64());
+    stats_.hits = r.get_u64();
+    stats_.misses = r.get_u64();
+    stats_.flushes = r.get_u64();
+    stats_.evictions = r.get_u64();
+  }
 
  private:
   struct Slot {

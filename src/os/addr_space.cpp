@@ -32,6 +32,42 @@ AddressSpace::AddressSpace(mem::PhysMem& mem, FrameAllocator& frames,
   mem_.fill(root_ppn_ << mem::kPageShift, 0, mem::kPageSize);
 }
 
+AddressSpace::AddressSpace(mem::PhysMem& mem, FrameAllocator& frames,
+                           ByteReader& r)
+    : mem_(mem), frames_(frames) {
+  pkey_bits_ = r.get_u32();
+  levels_ = r.get_u32();
+  SEALPK_CHECK(levels_ == 3 || levels_ == 4);
+  root_ppn_ = r.get_u64();
+  mmap_next_ = r.get_u64();
+  pages_mapped_ = r.get_u64();
+  const u64 num_vmas = r.get_u64();
+  for (u64 i = 0; i < num_vmas; ++i) {
+    Vma vma;
+    vma.start = r.get_u64();
+    vma.end = r.get_u64();
+    vma.prot = r.get_u64();
+    vma.pkey = r.get_u32();
+    vmas_.emplace(vma.start, vma);
+  }
+}
+
+void AddressSpace::save_state(ByteWriter& w) const {
+  w.put_u32(pkey_bits_);
+  w.put_u32(levels_);
+  w.put_u64(root_ppn_);
+  w.put_u64(mmap_next_);
+  w.put_u64(pages_mapped_);
+  w.put_u64(vmas_.size());
+  // std::map iterates in key order, so the encoding is canonical.
+  for (const auto& [start, vma] : vmas_) {
+    w.put_u64(vma.start);
+    w.put_u64(vma.end);
+    w.put_u64(vma.prot);
+    w.put_u32(vma.pkey);
+  }
+}
+
 u64 AddressSpace::satp() const {
   return (levels_ == 4 ? core::csr::kSatpModeSv48
                        : core::csr::kSatpModeSv39) |

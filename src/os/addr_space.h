@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/bits.h"
+#include "common/serial.h"
 #include "mem/phys_mem.h"
 #include "mem/pte.h"
 #include "os/frame_alloc.h"
@@ -32,6 +33,14 @@ class AddressSpace {
   // levels: 3 = Sv39 (the paper's platform), 4 = Sv48 (footnote 1).
   AddressSpace(mem::PhysMem& mem, FrameAllocator& frames,
                unsigned pkey_bits, unsigned levels = mem::sv39::kLevels);
+
+  // Snapshot restore constructor: rebuilds the bookkeeping from a
+  // serialized stream WITHOUT allocating a root table — the page tables
+  // themselves live in PhysMem, which the snapshot layer restores
+  // wholesale, and the frame allocator's state is restored separately.
+  AddressSpace(mem::PhysMem& mem, FrameAllocator& frames, ByteReader& r);
+
+  void save_state(ByteWriter& w) const;
 
   u64 root_ppn() const { return root_ppn_; }
   u64 satp() const;

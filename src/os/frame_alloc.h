@@ -6,6 +6,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/serial.h"
 #include "mem/phys_mem.h"
 
 namespace sealpk::os {
@@ -56,6 +57,24 @@ class FrameAllocator {
   }
 
   u64 allocated_frames() const { return allocated_; }
+
+  // Snapshot port: the free list is a LIFO, so its order is part of the
+  // deterministic allocation stream and travels verbatim.
+  void save_state(ByteWriter& w) const {
+    w.put_u64(next_);
+    w.put_u64(end_);
+    w.put_u64(allocated_);
+    w.put_u64(free_.size());
+    for (u64 ppn : free_) w.put_u64(ppn);
+  }
+  void load_state(ByteReader& r) {
+    next_ = r.get_u64();
+    const u64 end = r.get_u64();
+    SEALPK_CHECK_MSG(end == end_, "frame allocator range mismatch");
+    allocated_ = r.get_u64();
+    free_.resize(r.get_u64());
+    for (u64& ppn : free_) ppn = r.get_u64();
+  }
 
  private:
   u64 next_;

@@ -31,6 +31,19 @@ Kernel::Kernel(core::Hart& hart, KernelConfig config)
   });
 }
 
+void Kernel::install_drained_hook(SealPkKeyManager& keys, int pid) {
+  keys.set_drained_hook([this, pid](u32 pkey) {
+    // The key fully drained: dissolve its hardware seal state so a future
+    // owner starts fresh.
+    auto it = processes_.find(pid);
+    if (it == processes_.end()) return;
+    if (current_tid_ >= 0 && thread(current_tid_).pid == pid) {
+      hart_.seal_unit().clear_key(pkey);
+    }
+    set_hw_pkey_perm(pkey, 0);
+  });
+}
+
 PkeyPageDelta Kernel::page_delta_hook() {
   KeyManager* keys = &current_keys();
   return [keys](u32 pkey, i64 pages) { keys->page_delta(pkey, pages); };
@@ -56,16 +69,7 @@ int Kernel::load_process(const isa::Image& image) {
       config_.sv48 ? mem::sv48::kLevels : mem::sv39::kLevels);
   if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
     auto keys = std::make_unique<SealPkKeyManager>();
-    keys->set_drained_hook([this, pid](u32 pkey) {
-      // The key fully drained: dissolve its hardware seal state so a future
-      // owner starts fresh.
-      auto it = processes_.find(pid);
-      if (it == processes_.end()) return;
-      if (current_tid_ >= 0 && thread(current_tid_).pid == pid) {
-        hart_.seal_unit().clear_key(pkey);
-      }
-      set_hw_pkey_perm(pkey, 0);
-    });
+    install_drained_hook(*keys, pid);
     proc->keys = std::move(keys);
   } else {
     proc->keys = std::make_unique<mpk::MpkKeyManager>();
@@ -633,6 +637,13 @@ u64 Kernel::dedup_cam() {
 
 void Kernel::kill_current(i64 code, KillOrigin origin) {
   if (!has_current_thread()) return;  // nothing to kill: don't count one
+  if (origin == KillOrigin::kMachineCheck && config_.machine_check_escalation &&
+      config_.machine_check_escalation()) {
+    // The machine claimed the failure for snapshot rollback: the process
+    // survives, so no kill is counted. Whatever half-handled state the
+    // kernel is in right now is irrelevant — the rollback overwrites it.
+    return;
+  }
   if (origin == KillOrigin::kMachineCheck) {
     ++stats_.machine_check_kills;
   } else {
@@ -866,6 +877,230 @@ void Kernel::sys_exit(i64 code) {
     restore_context(thread(next_tid), prev_pid);
     return_to_user(thread(next_tid).ctx.pc);
   }
+}
+
+// --- snapshot serialization --------------------------------------------------
+
+namespace {
+
+void save_context(ByteWriter& w, const ThreadContext& ctx) {
+  for (u64 reg : ctx.regs) w.put_u64(reg);
+  w.put_u64(ctx.pc);
+  for (u64 row : ctx.pkr) w.put_u64(row);
+  w.put_u32(ctx.pkru);
+  w.put_u64(ctx.seal_start);
+  w.put_u64(ctx.seal_end);
+}
+
+void load_context(ByteReader& r, ThreadContext& ctx) {
+  for (u64& reg : ctx.regs) reg = r.get_u64();
+  ctx.pc = r.get_u64();
+  for (u64& row : ctx.pkr) row = r.get_u64();
+  ctx.pkru = r.get_u32();
+  ctx.seal_start = r.get_u64();
+  ctx.seal_end = r.get_u64();
+}
+
+void save_seal_snapshot(ByteWriter& w, const hw::SealUnit::Snapshot& s) {
+  w.put_bitset(s.seal_reg);
+  for (unsigned i = 0; i < hw::kPkCamEntries; ++i) {
+    w.put_u16(s.cam_entries[i].pkey);
+    w.put_u64(s.cam_entries[i].addr_start);
+    w.put_u64(s.cam_entries[i].addr_end);
+    w.put_bool(s.cam_valid[i]);
+  }
+  w.put_u32(s.fifo_next);
+}
+
+void load_seal_snapshot(ByteReader& r, hw::SealUnit::Snapshot& s) {
+  s.seal_reg = r.get_bitset<hw::kNumPkeys>();
+  for (unsigned i = 0; i < hw::kPkCamEntries; ++i) {
+    s.cam_entries[i].pkey = r.get_u16();
+    s.cam_entries[i].addr_start = r.get_u64();
+    s.cam_entries[i].addr_end = r.get_u64();
+    s.cam_valid[i] = r.get_bool();
+  }
+  s.fifo_next = r.get_u32();
+}
+
+}  // namespace
+
+void Kernel::save_state(ByteWriter& w) const {
+  // Process table. std::map iteration order makes the stream canonical.
+  w.put_u64(processes_.size());
+  for (const auto& [pid, proc] : processes_) {
+    w.put_u32(static_cast<u32>(pid));
+    w.put_u64(proc->signal_handler);
+    proc->aspace->save_state(w);
+    proc->keys->save_state(w);
+    save_seal_snapshot(w, proc->seal_hw);
+    w.put_u64(proc->thread_tids.size());
+    for (int tid : proc->thread_tids) w.put_u32(static_cast<u32>(tid));
+    w.put_bool(proc->exited);
+    w.put_i64(proc->exit_code);
+  }
+
+  w.put_u64(threads_.size());
+  for (const auto& [tid, th] : threads_) {
+    w.put_u32(static_cast<u32>(tid));
+    w.put_u32(static_cast<u32>(th->pid));
+    save_context(w, th->ctx);
+    w.put_bool(th->exited);
+    w.put_bool(th->in_signal);
+    save_context(w, th->signal_saved);
+  }
+
+  w.put_u64(run_queue_.size());
+  for (int tid : run_queue_) w.put_u32(static_cast<u32>(tid));
+  w.put_i64(current_tid_);
+  w.put_i64(next_pid_);
+  w.put_i64(next_tid_);
+  frames_.save_state(w);
+  w.put_str(admission_error_);
+
+  w.put_u64(faults_.size());
+  for (const auto& rec : faults_) {
+    w.put_u32(static_cast<u32>(rec.pid));
+    w.put_u32(static_cast<u32>(rec.tid));
+    w.put_u8(static_cast<u8>(rec.cause));
+    w.put_u64(rec.addr);
+    w.put_u64(rec.pc);
+    w.put_bool(rec.pkey_fault);
+    w.put_u32(rec.pkey);
+    w.put_bool(rec.delivered);
+  }
+  w.put_str(console_);
+  w.put_u64(reports_.size());
+  for (u64 rep : reports_) w.put_u64(rep);
+  w.put_u64(host_errors_.size());
+  for (const auto& err : host_errors_) w.put_str(err);
+
+  w.put_u64(stats_.syscalls);
+  w.put_u64(stats_.context_switches);
+  w.put_u64(stats_.cam_refills);
+  w.put_u64(stats_.page_faults);
+  w.put_u64(stats_.seal_violations);
+  w.put_u64(stats_.pte_pages_updated);
+  w.put_u64(stats_.syscall_counts.size());
+  for (const auto& [nr, count] : stats_.syscall_counts) {
+    w.put_u64(nr);
+    w.put_u64(count);
+  }
+  w.put_u64(stats_.cam_refills_dropped);
+  w.put_u64(stats_.cam_refills_duplicated);
+  w.put_u64(stats_.pkr_scrubs);
+  w.put_u64(stats_.tlb_flush_recoveries);
+  w.put_u64(stats_.pte_repairs);
+  w.put_u64(stats_.key_counter_repairs);
+  w.put_u64(stats_.run_queue_scrubs);
+  w.put_u64(stats_.cam_dedups);
+  w.put_u64(stats_.spurious_fault_fixes);
+  w.put_u64(stats_.machine_checks);
+  w.put_u64(stats_.machine_check_kills);
+  w.put_u64(stats_.watchdog_kills);
+  w.put_u64(stats_.audit_runs);
+  w.put_u64(stats_.audit_findings);
+  w.put_u64(stats_.host_errors_contained);
+}
+
+void Kernel::load_state(ByteReader& r) {
+  processes_.clear();
+  threads_.clear();
+  run_queue_.clear();
+  faults_.clear();
+  reports_.clear();
+  host_errors_.clear();
+  stats_ = {};
+
+  const u64 num_procs = r.get_u64();
+  for (u64 i = 0; i < num_procs; ++i) {
+    auto proc = std::make_unique<Process>();
+    proc->pid = static_cast<int>(r.get_u32());
+    proc->signal_handler = r.get_u64();
+    proc->aspace =
+        std::make_unique<AddressSpace>(hart_.mem(), frames_, r);
+    if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
+      auto keys = std::make_unique<SealPkKeyManager>();
+      keys->load_state(r);
+      install_drained_hook(*keys, proc->pid);
+      proc->keys = std::move(keys);
+    } else {
+      proc->keys = std::make_unique<mpk::MpkKeyManager>();
+      proc->keys->load_state(r);
+    }
+    load_seal_snapshot(r, proc->seal_hw);
+    proc->thread_tids.resize(r.get_u64());
+    for (int& tid : proc->thread_tids) tid = static_cast<int>(r.get_u32());
+    proc->exited = r.get_bool();
+    proc->exit_code = r.get_i64();
+    const int pid = proc->pid;
+    processes_.emplace(pid, std::move(proc));
+  }
+
+  const u64 num_threads = r.get_u64();
+  for (u64 i = 0; i < num_threads; ++i) {
+    auto th = std::make_unique<Thread>();
+    th->tid = static_cast<int>(r.get_u32());
+    th->pid = static_cast<int>(r.get_u32());
+    load_context(r, th->ctx);
+    th->exited = r.get_bool();
+    th->in_signal = r.get_bool();
+    load_context(r, th->signal_saved);
+    const int tid = th->tid;
+    threads_.emplace(tid, std::move(th));
+  }
+
+  run_queue_.resize(r.get_u64());
+  for (int& tid : run_queue_) tid = static_cast<int>(r.get_u32());
+  current_tid_ = static_cast<int>(r.get_i64());
+  next_pid_ = static_cast<int>(r.get_i64());
+  next_tid_ = static_cast<int>(r.get_i64());
+  frames_.load_state(r);
+  admission_error_ = r.get_str();
+
+  faults_.resize(r.get_u64());
+  for (auto& rec : faults_) {
+    rec.pid = static_cast<int>(r.get_u32());
+    rec.tid = static_cast<int>(r.get_u32());
+    rec.cause = static_cast<core::TrapCause>(r.get_u8());
+    rec.addr = r.get_u64();
+    rec.pc = r.get_u64();
+    rec.pkey_fault = r.get_bool();
+    rec.pkey = r.get_u32();
+    rec.delivered = r.get_bool();
+  }
+  console_ = r.get_str();
+  reports_.resize(r.get_u64());
+  for (u64& rep : reports_) rep = r.get_u64();
+  host_errors_.resize(r.get_u64());
+  for (auto& err : host_errors_) err = r.get_str();
+
+  stats_.syscalls = r.get_u64();
+  stats_.context_switches = r.get_u64();
+  stats_.cam_refills = r.get_u64();
+  stats_.page_faults = r.get_u64();
+  stats_.seal_violations = r.get_u64();
+  stats_.pte_pages_updated = r.get_u64();
+  const u64 num_sys = r.get_u64();
+  for (u64 i = 0; i < num_sys; ++i) {
+    const u64 nr = r.get_u64();
+    stats_.syscall_counts[nr] = r.get_u64();
+  }
+  stats_.cam_refills_dropped = r.get_u64();
+  stats_.cam_refills_duplicated = r.get_u64();
+  stats_.pkr_scrubs = r.get_u64();
+  stats_.tlb_flush_recoveries = r.get_u64();
+  stats_.pte_repairs = r.get_u64();
+  stats_.key_counter_repairs = r.get_u64();
+  stats_.run_queue_scrubs = r.get_u64();
+  stats_.cam_dedups = r.get_u64();
+  stats_.spurious_fault_fixes = r.get_u64();
+  stats_.machine_checks = r.get_u64();
+  stats_.machine_check_kills = r.get_u64();
+  stats_.watchdog_kills = r.get_u64();
+  stats_.audit_runs = r.get_u64();
+  stats_.audit_findings = r.get_u64();
+  stats_.host_errors_contained = r.get_u64();
 }
 
 }  // namespace sealpk::os

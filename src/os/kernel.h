@@ -46,6 +46,14 @@ struct KernelConfig {
   // fault injector; unset in normal runs.
   std::function<bool()> cam_refill_drop;
   std::function<bool()> cam_refill_dup;
+  // Escalation hook consulted before a machine-check kill: returning true
+  // claims the failure (the surrounding machine will roll back to a
+  // checkpoint instead), so the kill is suppressed. Unset or returning
+  // false keeps the existing kill-the-process behaviour. kill_current is
+  // the single choke point every unrecoverable-corruption path funnels
+  // through (auditor escalation, page-fault recovery, the machine-check
+  // handler, and host-error containment), so this one hook covers them all.
+  std::function<bool()> machine_check_escalation;
 };
 
 struct FaultRecord {
@@ -187,6 +195,16 @@ class Kernel {
   }
   const std::vector<std::string>& host_errors() const { return host_errors_; }
 
+  // --- snapshot ports ------------------------------------------------------
+  // Serializes the complete kernel truth: process table (address spaces,
+  // key managers, per-process seal state), threads, scheduler queue, frame
+  // allocator, fault/console/report logs and stats. The hart itself is
+  // saved separately by the snapshot layer. load_state rebuilds everything
+  // in place, re-installing the non-serializable hooks (drained hooks
+  // capture live pointers).
+  void save_state(ByteWriter& w) const;
+  void load_state(ByteReader& r);
+
  private:
   Process& current_process() { return *processes_.at(thread(current_tid_).pid); }
   KeyManager& current_keys() { return *current_process().keys; }
@@ -216,6 +234,8 @@ class Kernel {
   // Outcome of the spurious-fault repair attempt inside handle_page_fault.
   enum class Recovery : u8 { kNone, kRecovered, kKilled };
   Recovery try_fault_recovery(const FaultRecord& rec);
+
+  void install_drained_hook(SealPkKeyManager& keys, int pid);
 
   void save_current_context();
   void restore_context(Thread& next, int prev_pid);

@@ -16,6 +16,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/serial.h"
 #include "hw/pkr.h"
 #include "os/syscall_abi.h"
 
@@ -59,6 +60,12 @@ class KeyManager {
   virtual std::optional<SealRange> perm_seal_range(u32 /*pkey*/) const {
     return std::nullopt;
   }
+
+  // --- snapshot ports ------------------------------------------------------
+  // Each flavour serializes its own bookkeeping; the kernel re-installs any
+  // hooks (they capture live pointers and never travel in a snapshot).
+  virtual void save_state(ByteWriter& w) const = 0;
+  virtual void load_state(ByteReader& r) = 0;
 };
 
 // The SealPK kernel state with lazy de-allocation.
@@ -170,6 +177,32 @@ class SealPkKeyManager : public KeyManager {
   std::optional<SealRange> perm_seal_range(u32 pkey) const override {
     SEALPK_CHECK(pkey < hw::kNumPkeys);
     return perm_ranges_[pkey];
+  }
+
+  void save_state(ByteWriter& w) const override {
+    w.put_bitset(alloc_);
+    w.put_bitset(dirty_);
+    w.put_bitset(sealed_domain_);
+    w.put_bitset(sealed_page_);
+    for (u64 c : counter_) w.put_u64(c);
+    for (const auto& range : perm_ranges_) {
+      w.put_bool(range.has_value());
+      w.put_u64(range ? range->start : 0);
+      w.put_u64(range ? range->end : 0);
+    }
+  }
+  void load_state(ByteReader& r) override {
+    alloc_ = r.get_bitset<hw::kNumPkeys>();
+    dirty_ = r.get_bitset<hw::kNumPkeys>();
+    sealed_domain_ = r.get_bitset<hw::kNumPkeys>();
+    sealed_page_ = r.get_bitset<hw::kNumPkeys>();
+    for (u64& c : counter_) c = r.get_u64();
+    for (auto& range : perm_ranges_) {
+      const bool has = r.get_bool();
+      const u64 start = r.get_u64();
+      const u64 end = r.get_u64();
+      range = has ? std::optional<SealRange>({start, end}) : std::nullopt;
+    }
   }
 
  private:

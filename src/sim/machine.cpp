@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "snapshot/snapshot.h"
+
 namespace sealpk::sim {
 
 int Machine::load(const isa::Image& image) {
@@ -15,48 +17,116 @@ int Machine::load(const isa::Image& image) {
   return kernel_.load_process(image);
 }
 
+void Machine::take_checkpoint() {
+  // The schedule advances before the save so the blob carries the *next*
+  // deadline: a machine restored from this checkpoint re-checkpoints at the
+  // same instret as the uninterrupted run would.
+  runloop_.next_checkpoint = hart_.instret() + config_.checkpoint_interval;
+  if (injector_ != nullptr && !auditor_->audit().clean()) {
+    // Latent corruption in flight — freezing it would make the "known-good"
+    // checkpoint anything but. Keep the previous one and try again next
+    // period. audit() is peek-only, so skipping changes no machine state.
+    return;
+  }
+  checkpoint_ = snapshot::save(*this);
+  checkpoint_injected_ =
+      injector_ != nullptr ? injector_->lifetime_injected() : 0;
+  ++checkpoints_;
+}
+
+bool Machine::request_rollback() {
+  if (rollback_pending_) return true;  // already armed by an earlier kill
+  if (in_final_ || injector_ == nullptr || checkpoint_.empty()) return false;
+  if (rollbacks_ >= config_.max_rollbacks) {
+    ++rollback_failures_;
+    return false;
+  }
+  if (injector_->lifetime_injected() <= checkpoint_injected_) {
+    // Nothing fired since the checkpoint, so there is no injection to
+    // suppress: re-execution would deterministically hit the same machine
+    // check and loop forever. Let the kill stand.
+    ++rollback_failures_;
+    return false;
+  }
+  rollback_pending_ = true;
+  return true;
+}
+
+void Machine::perform_rollback() {
+  rollback_pending_ = false;
+  const u64 fired = injector_->lifetime_injected() - checkpoint_injected_;
+  try {
+    snapshot::restore(*this, checkpoint_);
+  } catch (const std::exception& e) {
+    // The checkpoint itself failed to restore (should not happen — it was
+    // produced by save() on this very machine). The machine may now be torn;
+    // drop the checkpoint so we never retry it and fall back to the kill.
+    ++rollback_failures_;
+    checkpoint_.clear();
+    kernel_.note_host_error(e.what());
+    try {
+      if (kernel_.has_current_thread()) {
+        kernel_.kill_current(os::kExitMachineCheck,
+                             os::Kernel::KillOrigin::kMachineCheck);
+      }
+    } catch (const std::exception&) {
+    }
+    return;
+  }
+  // Re-execute the doomed window with the injections that led here held
+  // back. Anything the plan schedules *after* the window still fires — the
+  // rollback absorbs this corruption, not the whole plan.
+  injector_->suppress(fired);
+  ++rollbacks_;
+}
+
 RunOutcome Machine::run(u64 max_instructions) {
   RunOutcome outcome;
   const u64 start_instret = hart_.instret();
   const u64 start_cycles = hart_.cycles();
-  u64 since_switch = 0;
 
   const bool faults = injector_ != nullptr;
   const u64 audit_every =
       config_.audit_interval != 0
           ? config_.audit_interval
           : (faults ? kDefaultAuditInterval : 0);
-  u64 next_audit = audit_every != 0 ? hart_.instret() + audit_every : ~u64{0};
-
-  // Watchdog state. Trap storm: consecutive traps pinned to one PC (the
-  // handler is not making forward progress — e.g. a CAM refill that keeps
-  // being dropped re-faults the same WRPKR forever). Livelock: consecutive
-  // steps that retire nothing, the backstop for storms the same-PC check
-  // cannot see (alternating fault PCs).
-  u64 trap_streak = 0;
-  u64 last_trap_pc = ~u64{0};
-  u64 stall_streak = 0;
+  // next_audit == 0 is the "never scheduled" sentinel; a restored machine
+  // arrives with its schedule already set and keeps it.
+  if (runloop_.next_audit == 0) {
+    runloop_.next_audit =
+        audit_every != 0 ? hart_.instret() + audit_every : ~u64{0};
+  }
+  const u64 ckpt_every = config_.checkpoint_interval;
 
   while (!kernel_.all_exited()) {
+    if (rollback_pending_) perform_rollback();
     if (hart_.instret() - start_instret >= max_instructions) break;
     const u64 before = hart_.instret();
     try {
-      if (hart_.instret() >= next_audit) {
+      if (hart_.instret() >= runloop_.next_audit) {
         auditor_->audit_and_recover();
         if (faults) injector_->note_recoveries(kernel_.stats());
-        next_audit = hart_.instret() + audit_every;
+        runloop_.next_audit = hart_.instret() + audit_every;
+      }
+      // An escalated audit kill arms the rollback instead of killing; skip
+      // the rest of the iteration so we do not step corrupted state.
+      if (rollback_pending_) continue;
+
+      if (ckpt_every != 0 && hart_.instret() >= runloop_.next_checkpoint) {
+        take_checkpoint();
       }
 
       const core::StepResult r = hart_.step();
       if (r.kind == core::StepKind::kTrap) {
         const u64 trap_pc = hart_.csrs().sepc;
         kernel_.handle_trap();
-        since_switch = 0;
+        runloop_.since_switch = 0;
         if (faults) injector_->note_recoveries(kernel_.stats());
-        trap_streak = trap_pc == last_trap_pc ? trap_streak + 1 : 1;
-        last_trap_pc = trap_pc;
+        runloop_.trap_streak =
+            trap_pc == runloop_.last_trap_pc ? runloop_.trap_streak + 1 : 1;
+        runloop_.last_trap_pc = trap_pc;
         if (config_.watchdog_trap_storm != 0 &&
-            trap_streak >= config_.watchdog_trap_storm) {
+            runloop_.trap_streak >= config_.watchdog_trap_storm) {
           kernel_.kill_current(os::kExitTrapStorm,
                                os::Kernel::KillOrigin::kWatchdog);
           if (faults) {
@@ -65,37 +135,38 @@ RunOutcome Machine::run(u64 max_instructions) {
             injector_->resolve(fault::FaultKind::kCamDropRefill,
                                fault::FaultResolution::kProcessKilled);
           }
-          trap_streak = 0;
-          last_trap_pc = ~u64{0};
-          stall_streak = 0;
+          runloop_.trap_streak = 0;
+          runloop_.last_trap_pc = ~u64{0};
+          runloop_.stall_streak = 0;
         }
       } else {
-        trap_streak = 0;
-        last_trap_pc = ~u64{0};
+        runloop_.trap_streak = 0;
+        runloop_.last_trap_pc = ~u64{0};
         if (config_.preempt_quantum != 0 &&
-            ++since_switch >= config_.preempt_quantum) {
+            ++runloop_.since_switch >= config_.preempt_quantum) {
           if (kernel_.runnable_threads() > 1) kernel_.preempt();
-          since_switch = 0;
+          runloop_.since_switch = 0;
         }
       }
 
       if (hart_.instret() != before) {
-        stall_streak = 0;
+        runloop_.stall_streak = 0;
       } else if (config_.watchdog_livelock != 0 &&
-                 ++stall_streak >= config_.watchdog_livelock) {
+                 ++runloop_.stall_streak >= config_.watchdog_livelock) {
         kernel_.kill_current(os::kExitLivelock,
                              os::Kernel::KillOrigin::kWatchdog);
-        stall_streak = 0;
-        trap_streak = 0;
-        last_trap_pc = ~u64{0};
+        runloop_.stall_streak = 0;
+        runloop_.trap_streak = 0;
+        runloop_.last_trap_pc = ~u64{0};
       }
 
-      if (faults) injector_->maybe_inject(hart_, kernel_);
+      if (faults && !rollback_pending_) injector_->maybe_inject(hart_, kernel_);
     } catch (const std::exception& e) {
       // A host-level exception (CheckError from a torn invariant, bad_alloc,
       // ...) must never escape the simulated machine: contain it as a
-      // modelled machine check against the process that triggered it. If
-      // even the kill path is broken the machine stops instead of rethrowing.
+      // modelled machine check against the process that triggered it (which
+      // may arm a rollback instead of killing). If even the kill path is
+      // broken the machine stops instead of rethrowing.
       kernel_.note_host_error(e.what());
       bool contained = false;
       try {
@@ -106,14 +177,22 @@ RunOutcome Machine::run(u64 max_instructions) {
         }
       } catch (const std::exception&) {
       }
+      if (!contained && rollback_pending_) contained = true;
       if (!contained) break;
-      since_switch = 0;
+      runloop_.since_switch = 0;
     }
   }
 
-  if (faults) {
+  if (rollback_pending_) perform_rollback();
+
+  if (faults && kernel_.all_exited()) {
     // Final reckoning: repair whatever is still inconsistent, then classify
-    // any injected fault that never became architecturally visible.
+    // any injected fault that never became architecturally visible. Only on
+    // actual completion — a run() that stopped at its instruction budget is
+    // mid-flight, and reckoning there would perturb state an uninterrupted
+    // run would not have (breaking snapshot-resume equivalence). No rollback
+    // from here — there is nothing left to re-execute.
+    in_final_ = true;
     try {
       auditor_->audit_and_recover();
       injector_->note_recoveries(kernel_.stats());
@@ -121,11 +200,17 @@ RunOutcome Machine::run(u64 max_instructions) {
       kernel_.note_host_error(e.what());
     }
     injector_->resolve_all_outstanding(fault::FaultResolution::kMaskedBenign);
+    in_final_ = false;
   }
 
   outcome.completed = kernel_.all_exited();
-  outcome.instructions = hart_.instret() - start_instret;
-  outcome.cycles = hart_.cycles() - start_cycles;
+  // A rollback can rewind instret below this run()'s starting point when the
+  // restored checkpoint was taken during an earlier run() call; clamp
+  // instead of wrapping.
+  outcome.instructions =
+      hart_.instret() >= start_instret ? hart_.instret() - start_instret : 0;
+  outcome.cycles =
+      hart_.cycles() >= start_cycles ? hart_.cycles() - start_cycles : 0;
   return outcome;
 }
 

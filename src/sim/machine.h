@@ -14,6 +14,7 @@
 
 #include <limits>
 #include <memory>
+#include <vector>
 
 #include "analysis/verifier.h"
 #include "core/hart.h"
@@ -50,6 +51,17 @@ struct MachineConfig {
   // traps pinned to one PC, and consecutive steps retiring nothing.
   u64 watchdog_trap_storm = 64;
   u64 watchdog_livelock = 4096;
+
+  // --- checkpoint / rollback ----------------------------------------------
+  // Periodic in-memory checkpoint cadence in retired instructions (0 = no
+  // checkpointing). A checkpoint is a full snapshot-format serialization of
+  // the machine, taken only when a peek-only audit comes back clean so the
+  // saved state is known-good.
+  u64 checkpoint_interval = 0;
+  // Maximum snapshot rollbacks per machine before an unrecoverable machine
+  // check falls through to the existing kExitMachineCheck kill (the cap
+  // contains permanently-corrupting fault plans and rollback storms).
+  u64 max_rollbacks = 3;
 };
 
 struct RunOutcome {
@@ -103,9 +115,34 @@ class Machine {
                                     : kNoExitCode;
   }
 
+  // --- checkpoint / rollback ----------------------------------------------
+  // Run-loop state that must survive a save/restore for the resumed
+  // execution to be bit-identical to an uninterrupted one: preemption and
+  // watchdog streaks plus the audit/checkpoint schedules. next_audit == 0
+  // means "not yet scheduled" (run() initialises it lazily), so a freshly
+  // constructed machine and a restored one take the same path.
+  struct RunLoopState {
+    u64 since_switch = 0;
+    u64 trap_streak = 0;
+    u64 last_trap_pc = ~u64{0};
+    u64 stall_streak = 0;
+    u64 next_audit = 0;
+    u64 next_checkpoint = 0;
+  };
+  RunLoopState& runloop() { return runloop_; }
+  const RunLoopState& runloop() const { return runloop_; }
+
+  u64 checkpoints_taken() const { return checkpoints_; }
+  u64 rollbacks() const { return rollbacks_; }
+  u64 rollback_failures() const { return rollback_failures_; }
+  bool has_checkpoint() const { return !checkpoint_.empty(); }
+  const std::vector<u8>& checkpoint_blob() const { return checkpoint_; }
+
  private:
   // The kernel's config is derived from ours: the CAM-refill fault hooks
-  // close over `this` so they can consult the injector created afterwards.
+  // close over `this` so they can consult the injector created afterwards,
+  // and the machine-check escalation hook routes unrecoverable corruption
+  // into snapshot rollback before the kill.
   os::KernelConfig wired_kernel_config() {
     os::KernelConfig cfg = config_.kernel;
     if (config_.fault_plan.enabled) {
@@ -116,8 +153,20 @@ class Machine {
         return injector_ != nullptr && injector_->should_dup_refill(hart_);
       };
     }
+    if (config_.checkpoint_interval != 0) {
+      cfg.machine_check_escalation = [this] { return request_rollback(); };
+    }
     return cfg;
   }
+
+  // Serializes the machine into checkpoint_ (only when a peek-only audit is
+  // clean, so the checkpoint never freezes latent corruption).
+  void take_checkpoint();
+  // Consulted by the kernel's machine-check kill path: returns true when a
+  // rollback is possible and arms it (the restore happens once the trap
+  // handling has unwound back to the run loop).
+  bool request_rollback();
+  void perform_rollback();
 
   MachineConfig config_;
   mem::PhysMem mem_;
@@ -126,6 +175,15 @@ class Machine {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::MachineAuditor> auditor_;
   analysis::Report verify_report_;
+  RunLoopState runloop_;
+
+  std::vector<u8> checkpoint_;     // last known-good snapshot (empty = none)
+  u64 checkpoint_injected_ = 0;    // injector lifetime count at checkpoint
+  u64 checkpoints_ = 0;
+  u64 rollbacks_ = 0;
+  u64 rollback_failures_ = 0;
+  bool rollback_pending_ = false;
+  bool in_final_ = false;  // final reckoning: rollback no longer allowed
 };
 
 }  // namespace sealpk::sim

@@ -36,6 +36,9 @@ MachineStats collect_stats(Machine& machine) {
   s.audit_runs = k.audit_runs;
   s.audit_findings = k.audit_findings;
   s.host_errors_contained = k.host_errors_contained;
+  s.checkpoints = machine.checkpoints_taken();
+  s.rollbacks = machine.rollbacks();
+  s.rollback_failures = machine.rollback_failures();
   return s;
 }
 
@@ -72,6 +75,11 @@ void print_stats(const MachineStats& s, std::ostream& os) {
     os << "  audits            " << s.audit_runs << " runs, "
        << s.audit_findings << " findings, " << s.host_errors_contained
        << " host errors contained\n";
+  }
+  if (s.checkpoints != 0 || s.rollbacks != 0 || s.rollback_failures != 0) {
+    os << "  checkpoints       " << s.checkpoints << "  (rollbacks "
+       << s.rollbacks << ", rollback failures " << s.rollback_failures
+       << ")\n";
   }
 }
 

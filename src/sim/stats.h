@@ -42,6 +42,10 @@ struct MachineStats {
   u64 audit_runs = 0;
   u64 audit_findings = 0;
   u64 host_errors_contained = 0;
+  // checkpoint / rollback (zero when checkpointing is off)
+  u64 checkpoints = 0;
+  u64 rollbacks = 0;
+  u64 rollback_failures = 0;
 
   double ipc() const {
     return cycles == 0 ? 0.0

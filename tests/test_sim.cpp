@@ -242,6 +242,54 @@ TEST(MultiProcess, FaultInOneProcessDoesNotKillTheOther) {
   EXPECT_EQ(machine.kernel().faults()[0].pid, pid_crash);
 }
 
+TEST(Machine, ExitCodeSentinelForUnknownPid) {
+  sim::Machine machine{sim::MachineConfig{}};
+  EXPECT_FALSE(machine.has_process(1));
+  EXPECT_FALSE(machine.has_process(-3));
+  EXPECT_EQ(machine.exit_code(1), sim::Machine::kNoExitCode);
+  EXPECT_EQ(machine.exit_code(9999), sim::Machine::kNoExitCode);
+
+  auto prog = make_main_program([](Program&, Function& f) { f.li(a0, 4); });
+  const int pid = machine.load(prog.link());
+  EXPECT_TRUE(machine.has_process(pid));
+  EXPECT_FALSE(machine.has_process(pid + 1));
+  EXPECT_EQ(machine.exit_code(pid + 1), sim::Machine::kNoExitCode);
+  ASSERT_TRUE(machine.run().completed);
+  EXPECT_EQ(machine.exit_code(pid), 4);
+  // The sentinel never collides with a real exit code, including the
+  // robustness kill codes.
+  EXPECT_LT(sim::Machine::kNoExitCode, os::kExitMachineCheck);
+}
+
+TEST(Machine, SameImageLoadedTwiceGetsIndependentProcesses) {
+  // Each instance reports its first allocated pkey and exits with it:
+  // per-process key namespaces mean both must independently get key 1.
+  auto prog = make_main_program([](Program&, Function& f) {
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s0, a0);
+    rt::syscall(f, os::sys::kReport);
+    for (int i = 0; i < 2; ++i) rt::syscall(f, os::sys::kSchedYield);
+    f.mv(a0, s0);
+  });
+  const isa::Image image = prog.link();
+  sim::MachineConfig cfg;
+  cfg.preempt_quantum = 500;
+  sim::Machine machine(cfg);
+  const int pid_a = machine.load(image);
+  const int pid_b = machine.load(image);
+  ASSERT_NE(pid_a, sim::Machine::kLoadRefused);
+  ASSERT_NE(pid_b, sim::Machine::kLoadRefused);
+  EXPECT_NE(pid_a, pid_b);
+  ASSERT_TRUE(machine.run(50'000'000).completed);
+  // Both processes allocated "their" key 1 and exited with it.
+  EXPECT_EQ(machine.exit_code(pid_a), 1);
+  EXPECT_EQ(machine.exit_code(pid_b), 1);
+  const auto& reports = machine.kernel().reports();
+  EXPECT_EQ(std::count(reports.begin(), reports.end(), 1u), 2);
+}
+
 TEST(MachineStats, KernelCountsSyscalls) {
   auto prog = make_main_program([](Program&, Function& f) {
     for (int i = 0; i < 3; ++i) {

@@ -1,0 +1,438 @@
+// Checkpoint/restore tests: serialization primitives, whole-machine
+// snapshot round trips (bit-exact resume across ≥5 workloads, with and
+// without fault injection), snapshot-rollback recovery, malformed-blob
+// rejection, and the committed golden-file format-compatibility check.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "guest_test_util.h"
+#include "passes/shadow_stack.h"
+#include "snapshot/snapshot.h"
+#include "workloads/workload.h"
+
+namespace sealpk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------------
+
+TEST(Serial, RoundTripsEveryPrimitive) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-42);
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_f64(3.25);
+  const std::string with_nul("hello\0world", 11);  // strings may carry NULs
+  w.put_str(with_nul);
+  std::bitset<128> bits;
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(127);
+  w.put_bitset(bits);
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_EQ(r.get_f64(), 3.25);
+  EXPECT_EQ(r.get_str(), with_nul);
+  EXPECT_EQ(r.get_bitset<128>(), bits);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, ReaderRejectsTruncatedStream) {
+  ByteWriter w;
+  w.put_u32(7);
+  ByteReader r(w.buffer());
+  r.get_u16();
+  r.get_u16();
+  EXPECT_THROW(r.get_u8(), CheckError);
+}
+
+TEST(Rng, StateRoundTripResumesIdentically) {
+  Rng a(1234);
+  for (int i = 0; i < 100; ++i) a.next();
+  const u64 mid = a.state();
+  std::vector<u64> expect;
+  for (int i = 0; i < 64; ++i) expect.push_back(a.next());
+
+  Rng b(999);  // different seed: state() must fully override it
+  b.set_state(mid);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(b.next(), expect[i]);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Checksum, MatchesKnownFnv1aVector) {
+  // FNV-1a 64 of "a" is a published test vector.
+  const u8 a = 'a';
+  EXPECT_EQ(checksum64(&a, 1), 0xAF63DC4C8601EC8Cull);
+  Checksum64 inc;
+  inc.update(&a, 1);
+  EXPECT_EQ(inc.value(), 0xAF63DC4C8601EC8Cull);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-machine round trips.
+// ---------------------------------------------------------------------------
+
+const wl::Workload& workload_named(const std::string& name) {
+  for (const auto& w : wl::all_workloads()) {
+    if (name == w.name) return w;
+  }
+  ADD_FAILURE() << "unknown workload " << name;
+  return wl::all_workloads().front();
+}
+
+// Runs `image` to `at`, snapshots, finishes, and checks that a second
+// machine resumed from the snapshot reaches a bit-identical final state.
+void expect_bit_exact_resume(const isa::Image& image,
+                             const sim::MachineConfig& config, u64 at) {
+  sim::Machine first(config);
+  ASSERT_NE(first.load(image), sim::Machine::kLoadRefused);
+  first.run(at);
+  const std::vector<u8> mid = snapshot::save(first);
+
+  // Canonical encoding: restoring a snapshot and re-saving immediately must
+  // reproduce the blob byte for byte.
+  sim::Machine probe(snapshot::config_from(mid));
+  snapshot::restore(probe, mid);
+  EXPECT_EQ(snapshot::save(probe), mid);
+
+  ASSERT_TRUE(first.run(400'000'000).completed);
+  const std::vector<u8> final_first = snapshot::save(first);
+
+  sim::Machine resumed(snapshot::config_from(mid));
+  snapshot::restore(resumed, mid);
+  ASSERT_TRUE(resumed.run(400'000'000).completed);
+  const std::vector<u8> final_resumed = snapshot::save(resumed);
+
+  EXPECT_EQ(final_first, final_resumed)
+      << "resumed execution diverged; first difference:\n"
+      << (snapshot::diff(final_first, final_resumed).empty()
+              ? std::string("(none)")
+              : snapshot::diff(final_first, final_resumed).front());
+}
+
+TEST(SnapshotRoundTrip, FiveWorkloadsResumeBitExact) {
+  for (const char* name :
+       {"qsort", "sha", "bitcount", "dijkstra", "patricia"}) {
+    SCOPED_TRACE(name);
+    const wl::Workload& w = workload_named(name);
+    expect_bit_exact_resume(w.build(w.test_scale).link(),
+                            sim::MachineConfig{}, 50'000);
+  }
+}
+
+TEST(SnapshotRoundTrip, MultiProcessPreemptedMachineResumesBitExact) {
+  const wl::Workload& w = workload_named("qsort");
+  const isa::Image image = w.build(w.test_scale).link();
+  sim::MachineConfig config;
+  config.preempt_quantum = 1'000;
+
+  sim::Machine first(config);
+  first.load(image);
+  first.load(image);  // two tenants sharing the machine
+  first.run(30'000);
+  const std::vector<u8> mid = snapshot::save(first);
+  ASSERT_TRUE(first.run(400'000'000).completed);
+  const std::vector<u8> final_first = snapshot::save(first);
+
+  sim::Machine resumed(snapshot::config_from(mid));
+  snapshot::restore(resumed, mid);
+  ASSERT_TRUE(resumed.run(400'000'000).completed);
+  EXPECT_EQ(snapshot::save(resumed), final_first);
+}
+
+TEST(SnapshotRoundTrip, ChaosRunResumesBitExact) {
+  // The injector's RNG stream, fire schedule and event log travel in the
+  // snapshot, so even a fault-injected run must resume bit-identically.
+  const wl::Workload& w = workload_named("sha");
+  sim::MachineConfig config;
+  config.fault_plan.enabled = true;
+  config.fault_plan.seed = 9;
+  config.fault_plan.rate = 5e-5;
+  expect_bit_exact_resume(w.build(w.test_scale).link(), config, 50'000);
+}
+
+TEST(SnapshotRoundTrip, SealedShadowStackResumesBitExact) {
+  const wl::Workload& w = workload_named("sha");
+  isa::Program prog = w.build(w.test_scale);
+  passes::ShadowStackOptions ss;
+  ss.kind = passes::ShadowStackKind::kSealPkWr;
+  ss.perm_seal = true;
+  passes::apply_shadow_stack(prog, ss);
+  expect_bit_exact_resume(prog.link(), sim::MachineConfig{}, 50'000);
+}
+
+TEST(Snapshot, ConfigRoundTripsThroughBlob) {
+  sim::MachineConfig config;
+  config.preempt_quantum = 123;
+  config.checkpoint_interval = 7'000;
+  config.max_rollbacks = 9;
+  config.kernel.save_pkr_on_switch = false;
+  config.fault_plan.enabled = true;
+  config.fault_plan.seed = 77;
+  config.fault_plan.rate = 1e-6;
+  config.fault_plan.cam_rate = 0.25;
+  config.fault_plan.max_faults = 5;
+  config.fault_plan.kinds = kind_bit(fault::FaultKind::kPkrBitFlip);
+  sim::Machine machine(config);
+  const std::vector<u8> blob = snapshot::save(machine);
+
+  const sim::MachineConfig back = snapshot::config_from(blob);
+  EXPECT_EQ(back.preempt_quantum, 123u);
+  EXPECT_EQ(back.checkpoint_interval, 7'000u);
+  EXPECT_EQ(back.max_rollbacks, 9u);
+  EXPECT_FALSE(back.kernel.save_pkr_on_switch);
+  EXPECT_TRUE(back.fault_plan.enabled);
+  EXPECT_EQ(back.fault_plan.seed, 77u);
+  EXPECT_EQ(back.fault_plan.rate, 1e-6);
+  EXPECT_EQ(back.fault_plan.cam_rate, 0.25);
+  EXPECT_EQ(back.fault_plan.max_faults, 5u);
+  EXPECT_EQ(back.fault_plan.kinds, kind_bit(fault::FaultKind::kPkrBitFlip));
+}
+
+TEST(Snapshot, CheckpointingItselfIsInvisibleToTheGuest) {
+  // Checkpoints are taken with peek-only serialization, so enabling them
+  // must not change a single guest-visible bit or cycle.
+  const wl::Workload& w = workload_named("qsort");
+  const isa::Image image = w.build(w.test_scale).link();
+
+  sim::Machine plain{sim::MachineConfig{}};
+  const int plain_pid = plain.load(image);
+  ASSERT_TRUE(plain.run(400'000'000).completed);
+
+  sim::MachineConfig ckpt_config;
+  ckpt_config.checkpoint_interval = 5'000;
+  sim::Machine ckpt(ckpt_config);
+  const int ckpt_pid = ckpt.load(image);
+  ASSERT_TRUE(ckpt.run(400'000'000).completed);
+
+  EXPECT_GE(ckpt.checkpoints_taken(), 2u);
+  EXPECT_EQ(ckpt.exit_code(ckpt_pid), plain.exit_code(plain_pid));
+  EXPECT_EQ(ckpt.kernel().console(), plain.kernel().console());
+  EXPECT_EQ(ckpt.kernel().reports(), plain.kernel().reports());
+  EXPECT_EQ(ckpt.hart().instret(), plain.hart().instret());
+  EXPECT_EQ(ckpt.hart().cycles(), plain.hart().cycles());
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+std::vector<u8> small_snapshot() {
+  sim::Machine machine{sim::MachineConfig{}};
+  return snapshot::save(machine);
+}
+
+TEST(SnapshotValidation, RejectsCorruptedPayload) {
+  std::vector<u8> blob = small_snapshot();
+  blob[blob.size() / 2] ^= 0x40;
+  sim::Machine machine{sim::MachineConfig{}};
+  EXPECT_THROW(snapshot::restore(machine, blob), snapshot::SnapshotError);
+  EXPECT_THROW(snapshot::info(blob), snapshot::SnapshotError);
+}
+
+TEST(SnapshotValidation, RejectsTruncation) {
+  std::vector<u8> blob = small_snapshot();
+  blob.resize(blob.size() - 7);
+  sim::Machine machine{sim::MachineConfig{}};
+  EXPECT_THROW(snapshot::restore(machine, blob), snapshot::SnapshotError);
+  blob.resize(4);  // shorter than the header
+  EXPECT_THROW(snapshot::restore(machine, blob), snapshot::SnapshotError);
+}
+
+TEST(SnapshotValidation, RejectsBadMagicAndUnknownVersion) {
+  std::vector<u8> blob = small_snapshot();
+  {
+    std::vector<u8> bad = blob;
+    bad[0] = 'X';
+    EXPECT_THROW(snapshot::info(bad), snapshot::SnapshotError);
+  }
+  {
+    std::vector<u8> bad = blob;
+    bad[8] = 0xFF;  // version field
+    EXPECT_THROW(snapshot::info(bad), snapshot::SnapshotError);
+  }
+}
+
+TEST(SnapshotValidation, RejectsConfigMismatch) {
+  std::vector<u8> blob = small_snapshot();
+  sim::MachineConfig other;
+  other.preempt_quantum = 1;  // differs from the default used in the blob
+  sim::Machine machine(other);
+  EXPECT_THROW(snapshot::restore(machine, blob), snapshot::SnapshotError);
+}
+
+TEST(Snapshot, InfoAndDiffReportSections) {
+  const wl::Workload& w = workload_named("qsort");
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(w.build(w.test_scale).link());
+  machine.run(10'000);
+  const std::vector<u8> a = snapshot::save(machine);
+  machine.run(10'000);
+  const std::vector<u8> b = snapshot::save(machine);
+
+  const snapshot::Info info = snapshot::info(a);
+  EXPECT_EQ(info.version, snapshot::kFormatVersion);
+  EXPECT_TRUE(info.checksum_ok);
+  EXPECT_GE(info.instret, 10'000u);
+  ASSERT_GE(info.sections.size(), 10u);
+  EXPECT_EQ(info.sections.front().name, "CFG");
+  EXPECT_EQ(info.sections[1].name, "HART");
+
+  EXPECT_TRUE(snapshot::diff(a, a).empty());
+  const std::vector<std::string> d = snapshot::diff(a, b);
+  EXPECT_FALSE(d.empty());  // 10k more instructions: HART must differ
+  bool saw_hart = false;
+  for (const auto& line : d) saw_hart |= line.rfind("HART", 0) == 0;
+  EXPECT_TRUE(saw_hart);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  const std::vector<u8> blob = small_snapshot();
+  const std::string path = ::testing::TempDir() + "sealpk_test.spksnap";
+  snapshot::write_file(path, blob);
+  EXPECT_EQ(snapshot::read_file(path), blob);
+  std::remove(path.c_str());
+  EXPECT_THROW(snapshot::read_file(path), snapshot::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Rollback recovery.
+// ---------------------------------------------------------------------------
+
+struct RollbackRun {
+  bool completed = false;
+  i64 exit_code = 0;
+  std::string console;
+  std::vector<u64> reports;
+  u64 rollbacks = 0;
+  u64 rollback_failures = 0;
+  u64 checkpoints = 0;
+};
+
+RollbackRun run_pkr_chaos(const isa::Image& image, u64 checkpoint_interval,
+                          u64 max_rollbacks, double rate, u64 max_faults) {
+  sim::MachineConfig config;
+  // No trusted PKR shadow: a parity-bad row cannot be scrubbed, so every
+  // PKR flip escalates to an unrecoverable machine check.
+  config.kernel.save_pkr_on_switch = false;
+  config.fault_plan.enabled = true;
+  config.fault_plan.seed = 7;
+  config.fault_plan.rate = rate;
+  config.fault_plan.max_faults = max_faults;
+  config.fault_plan.kinds = kind_bit(fault::FaultKind::kPkrBitFlip);
+  config.checkpoint_interval = checkpoint_interval;
+  config.max_rollbacks = max_rollbacks;
+  sim::Machine machine(config);
+  const int pid = machine.load(image);
+  RollbackRun out;
+  out.completed = machine.run(400'000'000).completed;
+  out.exit_code = machine.exit_code(pid);
+  out.console = machine.kernel().console();
+  out.reports = machine.kernel().reports();
+  out.rollbacks = machine.rollbacks();
+  out.rollback_failures = machine.rollback_failures();
+  out.checkpoints = machine.checkpoints_taken();
+  return out;
+}
+
+RollbackRun run_clean(const isa::Image& image) {
+  sim::Machine machine{sim::MachineConfig{}};
+  const int pid = machine.load(image);
+  RollbackRun out;
+  out.completed = machine.run(400'000'000).completed;
+  out.exit_code = machine.exit_code(pid);
+  out.console = machine.kernel().console();
+  out.reports = machine.kernel().reports();
+  return out;
+}
+
+TEST(Rollback, ConvertsMachineCheckKillIntoCleanCompletion) {
+  const wl::Workload& w = workload_named("sha");
+  const isa::Image image = w.build(w.test_scale).link();
+  const RollbackRun clean = run_clean(image);
+  ASSERT_TRUE(clean.completed);
+
+  // Baseline: one PKR flip with no trusted shadow and no checkpointing is
+  // an unrecoverable machine check — the process dies.
+  const RollbackRun killed = run_pkr_chaos(image, /*checkpoint_interval=*/0,
+                                           /*max_rollbacks=*/3,
+                                           /*rate=*/1e-4, /*max_faults=*/1);
+  ASSERT_TRUE(killed.completed);  // the kill ends the (only) process
+  ASSERT_EQ(killed.exit_code, os::kExitMachineCheck);
+  EXPECT_EQ(killed.rollbacks, 0u);
+
+  // Same plan with periodic checkpoints: the machine restores the last
+  // known-good snapshot, suppresses the injection, and the re-executed run
+  // finishes with output identical to the clean one.
+  const RollbackRun rolled = run_pkr_chaos(image, /*checkpoint_interval=*/5'000,
+                                           /*max_rollbacks=*/3,
+                                           /*rate=*/1e-4, /*max_faults=*/1);
+  ASSERT_TRUE(rolled.completed);
+  EXPECT_GE(rolled.rollbacks, 1u);
+  EXPECT_EQ(rolled.exit_code, clean.exit_code);
+  EXPECT_EQ(rolled.console, clean.console);
+  EXPECT_EQ(rolled.reports, clean.reports);
+}
+
+TEST(Rollback, RetryCapContainsPermanentlyCorruptingPlan) {
+  const wl::Workload& w = workload_named("sha");
+  const isa::Image image = w.build(w.test_scale).link();
+
+  // Unlimited PKR flips at a hot rate: every rollback re-executes into
+  // fresh corruption. The cap must stop the retry loop and let the machine
+  // check kill stand.
+  const RollbackRun run = run_pkr_chaos(image, /*checkpoint_interval=*/5'000,
+                                        /*max_rollbacks=*/2,
+                                        /*rate=*/1e-3, /*max_faults=*/0);
+  ASSERT_TRUE(run.completed);
+  EXPECT_EQ(run.exit_code, os::kExitMachineCheck);
+  EXPECT_EQ(run.rollbacks, 2u);
+  EXPECT_GE(run.rollback_failures, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-file format compatibility.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotGolden, CommittedV1SnapshotStillRestoresAndCompletes) {
+  // tests/golden/qsort_mid.spksnap is a committed v1 snapshot (qsort at
+  // instret 20'000, mid-run). Any encoding change that breaks old files must
+  // show up here — bump kFormatVersion and regenerate deliberately, never
+  // silently:
+  //   sealpk-snapshot save qsort --at=20000 --out=tests/golden/qsort_mid.spksnap
+  const std::string path =
+      std::string(SEALPK_SOURCE_DIR) + "/tests/golden/qsort_mid.spksnap";
+  const std::vector<u8> blob = snapshot::read_file(path);
+
+  const snapshot::Info info = snapshot::info(blob);
+  EXPECT_EQ(info.version, snapshot::kFormatVersion);
+  EXPECT_EQ(info.instret, 20'000u);
+
+  sim::Machine machine(snapshot::config_from(blob));
+  snapshot::restore(machine, blob);
+  ASSERT_TRUE(machine.run(400'000'000).completed);
+  ASSERT_TRUE(machine.has_process(1));
+  EXPECT_EQ(machine.exit_code(1), 0);
+}
+
+}  // namespace
+}  // namespace sealpk

@@ -5,12 +5,23 @@
 // duplicates, spurious machine-check traps). The oracle then requires, per
 // workload, that either
 //   (a) the chaos run's guest-visible output (reports, console, exit code)
-//       is identical to the clean run's — every fault recovered or masked; or
+//       is identical to the clean run's — every fault recovered, masked, or
+//       absorbed by a snapshot rollback; or
 //   (b) the machine recorded an explicit recovery or killed the affected
 //       process with a distinct robustness exit code.
 // In addition every injected fault event must be resolved by the end of the
 // run (recovered / killed / masked-benign — never unaccounted), and no host
 // exception may escape Machine::run.
+//
+// --rollback arms periodic checkpointing with snapshot-rollback recovery:
+// unrecoverable machine checks restore the last known-good checkpoint and
+// re-execute with the offending injections suppressed, so scenarios that
+// would otherwise kill the process instead finish with output identical to
+// the clean run (the bit-identical oracle above then applies).
+//
+// --json <path> writes a machine-readable summary: per-workload verdicts,
+// exit codes, rollback counts, and the full per-fault event log with each
+// event's resolution.
 //
 // Exit status: 0 when every workload satisfies the oracle, 1 otherwise,
 // 2 on usage errors.
@@ -19,11 +30,14 @@
 //   sealpk-chaos --all --chaos-seed=7 --chaos-rate=2e-5
 //   sealpk-chaos qsort sha --chaos-rate=1e-4 -q
 //   sealpk-chaos --all --ss=sealpk-wr --seal --cam-rate=0.3
+//   sealpk-chaos --all --rollback --no-pkr-save --kinds=pkr --json=out.json
 //   sealpk-chaos --list
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +55,11 @@ struct CliOptions {
   bool list = false;
   bool quiet = false;
   bool perm_seal = false;
+  bool rollback = false;
+  bool no_pkr_save = false;
+  u64 ckpt_interval = 0;  // 0 = default (when --rollback) or off
+  u64 max_rollbacks = 3;
+  std::string json_path;
   passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
   std::vector<std::string> names;
   fault::FaultPlan plan;
@@ -54,6 +73,20 @@ struct RunResult {
   os::KernelStats stats;
   u64 injected = 0;
   u64 outstanding = 0;
+  u64 checkpoints = 0;
+  u64 rollbacks = 0;
+  u64 rollback_failures = 0;
+  std::vector<fault::FaultEvent> events;
+};
+
+// One JSON record per checked workload.
+struct WorkloadRecord {
+  std::string label;
+  std::string verdict;
+  bool ok = false;
+  RunResult chaos;
+  i64 clean_exit = 0;
+  bool clean_completed = false;
 };
 
 bool parse_ss_kind(const std::string& text, passes::ShadowStackKind* out) {
@@ -67,19 +100,67 @@ bool parse_ss_kind(const std::string& text, passes::ShadowStackKind* out) {
   return true;
 }
 
+// Comma-separated fault-kind mask: pkr,tlb,pte,cam-drop,cam-dup,trap,all.
+bool parse_kinds(const std::string& text, u32* out) {
+  u32 mask = 0;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "all") mask |= fault::kAllFaultKinds;
+    else if (item == "pkr") mask |= kind_bit(fault::FaultKind::kPkrBitFlip);
+    else if (item == "tlb") mask |= kind_bit(fault::FaultKind::kTlbCorrupt);
+    else if (item == "pte") mask |= kind_bit(fault::FaultKind::kPteCorrupt);
+    else if (item == "cam-drop")
+      mask |= kind_bit(fault::FaultKind::kCamDropRefill);
+    else if (item == "cam-dup")
+      mask |= kind_bit(fault::FaultKind::kCamDupRefill);
+    else if (item == "trap") mask |= kind_bit(fault::FaultKind::kSpuriousTrap);
+    else return false;
+  }
+  if (mask == 0) return false;
+  *out = mask;
+  return true;
+}
+
+const char* resolution_name(fault::FaultResolution r) {
+  switch (r) {
+    case fault::FaultResolution::kOutstanding: return "outstanding";
+    case fault::FaultResolution::kRecovered: return "recovered";
+    case fault::FaultResolution::kProcessKilled: return "process-killed";
+    case fault::FaultResolution::kMaskedBenign: return "masked-benign";
+  }
+  return "unknown";
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: sealpk-chaos [--all | <workload>...] [--list] [-q]\n"
       "                    [--chaos-seed=<n>] [--chaos-rate=<p>]\n"
       "                    [--cam-rate=<p>] [--max-faults=<n>]\n"
+      "                    [--kinds=pkr,tlb,pte,cam-drop,cam-dup,trap,all]\n"
+      "                    [--rollback] [--ckpt-interval=<n>]\n"
+      "                    [--max-rollbacks=<n>] [--no-pkr-save]\n"
+      "                    [--json=<path>]\n"
       "                    [--ss=none|inline|func|sealpk-wr|sealpk-rdwr|"
       "mprotect] [--seal]\n");
   return 2;
 }
 
-RunResult run_image(const isa::Image& image, const fault::FaultPlan& plan) {
+sim::MachineConfig base_config(const CliOptions& cli) {
   sim::MachineConfig config;
+  if (cli.no_pkr_save) config.kernel.save_pkr_on_switch = false;
+  if (cli.rollback || cli.ckpt_interval != 0) {
+    config.checkpoint_interval =
+        cli.ckpt_interval != 0 ? cli.ckpt_interval : 25'000;
+    config.max_rollbacks = cli.max_rollbacks;
+  }
+  return config;
+}
+
+RunResult run_image(const isa::Image& image, const sim::MachineConfig& base,
+                    const fault::FaultPlan& plan) {
+  sim::MachineConfig config = base;
   config.fault_plan = plan;
   sim::Machine machine(config);
   const int pid = machine.load(image);
@@ -93,15 +174,20 @@ RunResult run_image(const isa::Image& image, const fault::FaultPlan& plan) {
   result.console = machine.kernel().console();
   result.reports = machine.kernel().reports();
   result.stats = machine.kernel().stats();
+  result.checkpoints = machine.checkpoints_taken();
+  result.rollbacks = machine.rollbacks();
+  result.rollback_failures = machine.rollback_failures();
   if (machine.injector() != nullptr) {
     result.injected = machine.injector()->total_injected();
     result.outstanding = machine.injector()->outstanding();
+    result.events = machine.injector()->events();
   }
   return result;
 }
 
 // Returns true when the chaos run satisfies the differential oracle.
-bool check_one(const wl::Workload& w, const CliOptions& cli, u64* injected) {
+bool check_one(const wl::Workload& w, const CliOptions& cli,
+               WorkloadRecord* rec) {
   isa::Program prog = w.build(w.test_scale);
   std::string label = std::string(wl::suite_name(w.suite)) + "/" + w.name;
   if (cli.ss != passes::ShadowStackKind::kNone) {
@@ -113,18 +199,23 @@ bool check_one(const wl::Workload& w, const CliOptions& cli, u64* injected) {
              (cli.perm_seal ? ", perm-sealed]" : "]");
   }
   const isa::Image image = prog.link();
+  rec->label = label;
 
+  const sim::MachineConfig base = base_config(cli);
   RunResult clean;
   RunResult chaos;
   try {
-    clean = run_image(image, {});
-    chaos = run_image(image, cli.plan);
+    clean = run_image(image, base, {});
+    chaos = run_image(image, base, cli.plan);
   } catch (const std::exception& e) {
     std::printf("%-28s FAIL: host exception escaped: %s\n", label.c_str(),
                 e.what());
+    rec->verdict = std::string("host exception escaped: ") + e.what();
     return false;
   }
-  *injected = chaos.injected;
+  rec->chaos = chaos;
+  rec->clean_exit = clean.exit_code;
+  rec->clean_completed = clean.completed;
 
   const bool identical = chaos.completed == clean.completed &&
                          chaos.exit_code == clean.exit_code &&
@@ -143,8 +234,12 @@ bool check_one(const wl::Workload& w, const CliOptions& cli, u64* injected) {
     verdict = "FAIL: unaccounted fault events";
     ok = false;
   } else if (identical) {
-    verdict = chaos.injected == 0 ? "ok (no faults fired)"
-                                  : "ok (output identical)";
+    // A rollback rewinds the event log to the restored checkpoint, so check
+    // it before the injected count — "no faults fired" would be misleading
+    // when firings were absorbed by re-execution.
+    verdict = chaos.rollbacks != 0 ? "ok (rolled back, output identical)"
+              : chaos.injected == 0 ? "ok (no faults fired)"
+                                    : "ok (output identical)";
   } else if (kills > 0) {
     verdict = "ok (process killed, distinct exit code)";
     ok = chaos.exit_code == os::kExitMachineCheck ||
@@ -158,15 +253,92 @@ bool check_one(const wl::Workload& w, const CliOptions& cli, u64* injected) {
     verdict = "FAIL: output diverged with no recovery or kill recorded";
     ok = false;
   }
+  rec->verdict = verdict;
+  rec->ok = ok;
 
   if (!cli.quiet || !ok) {
-    std::printf("%-28s %-40s faults=%llu recoveries=%llu kills=%llu\n",
-                label.c_str(), verdict,
-                static_cast<unsigned long long>(chaos.injected),
-                static_cast<unsigned long long>(recoveries),
-                static_cast<unsigned long long>(kills));
+    std::printf(
+        "%-28s %-40s faults=%llu recoveries=%llu kills=%llu rollbacks=%llu\n",
+        label.c_str(), verdict,
+        static_cast<unsigned long long>(chaos.injected),
+        static_cast<unsigned long long>(recoveries),
+        static_cast<unsigned long long>(kills),
+        static_cast<unsigned long long>(chaos.rollbacks));
   }
   return ok;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+bool write_json(const std::string& path, const CliOptions& cli,
+                const std::vector<WorkloadRecord>& records, size_t failures) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  u64 total_faults = 0;
+  for (const auto& r : records) total_faults += r.chaos.injected;
+  out << "{\n";
+  out << "  \"plan\": {\"seed\": " << cli.plan.seed
+      << ", \"rate\": " << cli.plan.rate
+      << ", \"cam_rate\": " << cli.plan.cam_rate
+      << ", \"max_faults\": " << cli.plan.max_faults
+      << ", \"kinds\": " << cli.plan.kinds << "},\n";
+  out << "  \"rollback\": " << (cli.rollback ? "true" : "false")
+      << ", \"checkpoint_interval\": "
+      << base_config(cli).checkpoint_interval
+      << ", \"max_rollbacks\": " << cli.max_rollbacks << ",\n";
+  out << "  \"programs\": " << records.size()
+      << ", \"failures\": " << failures
+      << ", \"total_faults\": " << total_faults << ",\n";
+  out << "  \"workloads\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const WorkloadRecord& r = records[i];
+    out << "    {\"label\": ";
+    json_escape(out, r.label);
+    out << ", \"ok\": " << (r.ok ? "true" : "false") << ", \"verdict\": ";
+    json_escape(out, r.verdict);
+    out << ",\n     \"clean_exit\": " << r.clean_exit
+        << ", \"chaos_exit\": " << r.chaos.exit_code
+        << ", \"completed\": " << (r.chaos.completed ? "true" : "false")
+        << ", \"injected\": " << r.chaos.injected
+        << ", \"outstanding\": " << r.chaos.outstanding << ",\n";
+    out << "     \"recoveries\": " << r.chaos.stats.recoveries()
+        << ", \"machine_check_kills\": " << r.chaos.stats.machine_check_kills
+        << ", \"watchdog_kills\": " << r.chaos.stats.watchdog_kills
+        << ", \"checkpoints\": " << r.chaos.checkpoints
+        << ", \"rollbacks\": " << r.chaos.rollbacks
+        << ", \"rollback_failures\": " << r.chaos.rollback_failures << ",\n";
+    out << "     \"faults\": [";
+    for (size_t j = 0; j < r.chaos.events.size(); ++j) {
+      const fault::FaultEvent& e = r.chaos.events[j];
+      if (j != 0) out << ", ";
+      out << "{\"kind\": \"" << fault_kind_name(e.kind)
+          << "\", \"instret\": " << e.instret << ", \"resolution\": \""
+          << resolution_name(e.resolution) << "\"}";
+    }
+    out << "]}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -186,6 +358,10 @@ int main(int argc, char** argv) {
       cli.quiet = true;
     } else if (arg == "--seal") {
       cli.perm_seal = true;
+    } else if (arg == "--rollback") {
+      cli.rollback = true;
+    } else if (arg == "--no-pkr-save") {
+      cli.no_pkr_save = true;
     } else if (arg.rfind("--ss=", 0) == 0) {
       if (!parse_ss_kind(arg.substr(5), &cli.ss)) return usage();
     } else if (arg.rfind("--chaos-seed=", 0) == 0) {
@@ -196,6 +372,14 @@ int main(int argc, char** argv) {
       cli.plan.cam_rate = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg.rfind("--max-faults=", 0) == 0) {
       cli.plan.max_faults = std::strtoull(arg.c_str() + 13, nullptr, 0);
+    } else if (arg.rfind("--kinds=", 0) == 0) {
+      if (!parse_kinds(arg.substr(8), &cli.plan.kinds)) return usage();
+    } else if (arg.rfind("--ckpt-interval=", 0) == 0) {
+      cli.ckpt_interval = std::strtoull(arg.c_str() + 16, nullptr, 0);
+    } else if (arg.rfind("--max-rollbacks=", 0) == 0) {
+      cli.max_rollbacks = std::strtoull(arg.c_str() + 16, nullptr, 0);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json_path = arg.substr(7);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -214,6 +398,7 @@ int main(int argc, char** argv) {
   size_t programs = 0;
   size_t failures = 0;
   u64 total_faults = 0;
+  std::vector<WorkloadRecord> records;
   for (const auto& w : wl::all_workloads()) {
     bool wanted = cli.all;
     for (const auto& name : cli.names) {
@@ -221,12 +406,19 @@ int main(int argc, char** argv) {
     }
     if (!wanted) continue;
     ++programs;
-    u64 injected = 0;
-    if (!check_one(w, cli, &injected)) ++failures;
-    total_faults += injected;
+    WorkloadRecord rec;
+    if (!check_one(w, cli, &rec)) ++failures;
+    total_faults += rec.chaos.injected;
+    records.push_back(std::move(rec));
   }
   if (programs == 0) {
     std::fprintf(stderr, "no matching workload; try --list\n");
+    return 2;
+  }
+  if (!cli.json_path.empty() &&
+      !write_json(cli.json_path, cli, records, failures)) {
+    std::fprintf(stderr, "cannot write JSON summary to %s\n",
+                 cli.json_path.c_str());
     return 2;
   }
   if (!cli.quiet || failures != 0) {
