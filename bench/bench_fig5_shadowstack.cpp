@@ -4,8 +4,12 @@
 // proxies, with per-suite geometric means and the paper's "~88x" headline
 // ratio.
 //
-// Usage: bench_fig5_shadowstack [--scale N] [--quiet] [--mix]
+// Usage: bench_fig5_shadowstack [--scale N] [--threads N] [--quiet] [--mix]
 //   --scale N   override every workload's bench scale (smaller = faster)
+//   --threads N worker-pool size for the cell matrix (default 1 = serial;
+//               0 = one per host hardware thread). Results are
+//               bit-identical for any value: cells run on private machines
+//               via the fleet batch engine (src/fleet).
 //   --quiet     suppress per-cell progress on stderr
 //   --mix       also print each workload's call rate and resident set —
 //               the two properties that drive its Figure-5 bars
@@ -57,9 +61,12 @@ int main(int argc, char** argv) {
   bool verbose = true;
   bool mix = false;
   bool csv = false;
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       verbose = false;
     } else if (std::strcmp(argv[i], "--mix") == 0) {
@@ -67,7 +74,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--scale N] [--quiet] [--mix]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--scale N] [--threads N] [--quiet] [--mix]\n",
                    argv[0]);
       return 2;
     }
@@ -77,7 +85,7 @@ int main(int argc, char** argv) {
       "Figure 5: shadow-stack performance overhead vs. uninstrumented "
       "baseline\n(simulated Rocket-class hart; every cell checksum-verified "
       "against the golden model)\n");
-  const auto rows = sim::run_figure5(scale, verbose);
+  const auto rows = sim::run_figure5(scale, verbose, threads);
 
   print_suite(rows, wl::Suite::kSpec2000);
   print_suite(rows, wl::Suite::kSpec2006);

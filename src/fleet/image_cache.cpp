@@ -1,0 +1,45 @@
+#include "fleet/image_cache.h"
+
+namespace sealpk::fleet {
+
+ImageCache::ImagePtr ImageCache::get(const wl::Workload& workload,
+                                     passes::ShadowStackKind ss,
+                                     bool perm_seal, u64 scale) {
+  const Key key{&workload, static_cast<u8>(ss), perm_seal, scale};
+  std::shared_future<ImagePtr> fut;
+  bool builder = false;
+  std::promise<ImagePtr> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = images_.find(key);
+    if (it != images_.end()) {
+      fut = it->second;
+    } else {
+      fut = promise.get_future().share();
+      images_.emplace(key, fut);
+      builder = true;
+    }
+  }
+  if (builder) {
+    // Build outside the lock: other keys keep flowing, and waiters on this
+    // key block on the future, not the mutex.
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      isa::Program prog = workload.build(scale);
+      if (ss != passes::ShadowStackKind::kNone) {
+        passes::ShadowStackOptions opts;
+        opts.kind = ss;
+        opts.perm_seal = perm_seal;
+        passes::apply_shadow_stack(prog, opts);
+      }
+      promise.set_value(std::make_shared<const isa::Image>(prog.link()));
+    } catch (...) {
+      // Publish the failure: every job sharing the key fails the same way
+      // instead of half the pool hanging on a future that never resolves.
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return fut.get();
+}
+
+}  // namespace sealpk::fleet

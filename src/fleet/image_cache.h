@@ -1,0 +1,51 @@
+// Thread-safe shared image cache.
+//
+// Building a workload (guest program construction + instrumentation pass +
+// link) is pure and deterministic in (workload, variant, perm_seal, scale),
+// and the linked isa::Image is immutable once published — Machine::load only
+// reads it. The cache therefore builds each distinct image exactly once and
+// hands every job a std::shared_ptr<const isa::Image>; concurrent requests
+// for the same key block on a shared_future instead of building twice.
+// Lifetime rule: the cache owns one reference per key for its own lifetime;
+// jobs may outlive the cache safely because they hold their own shared_ptr.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "fleet/job.h"
+#include "isa/program.h"
+
+namespace sealpk::fleet {
+
+class ImageCache {
+ public:
+  using ImagePtr = std::shared_ptr<const isa::Image>;
+
+  // Returns the image for (workload, ss, perm_seal, scale), building it if
+  // this is the first request for the key. Throws (propagates) CheckError if
+  // the build or link fails; later requests for the same key rethrow.
+  ImagePtr get(const wl::Workload& workload, passes::ShadowStackKind ss,
+               bool perm_seal, u64 scale);
+  ImagePtr get(const JobSpec& spec) {
+    return get(*spec.workload, spec.ss, spec.perm_seal, spec.scale);
+  }
+
+  // Number of actual builds performed (== number of distinct keys requested;
+  // the sharing oracle in tests pins builds() == unique images).
+  u64 builds() const { return builds_.load(std::memory_order_relaxed); }
+
+ private:
+  // Workload pointers are stable (the registry vector is immortal), so the
+  // pointer itself is a valid key component.
+  using Key = std::tuple<const wl::Workload*, u8 /*ss*/, bool, u64>;
+
+  std::mutex mu_;
+  std::map<Key, std::shared_future<ImagePtr>> images_;
+  std::atomic<u64> builds_{0};
+};
+
+}  // namespace sealpk::fleet

@@ -1,0 +1,91 @@
+// Job model for the fleet batch-execution engine.
+//
+// A Job is a fully-specified run: which workload, which instrumentation
+// variant, at what scale, under which MachineConfig (fault plan, verify
+// policy, checkpoint interval) and within what instruction budget. Because
+// every input is pinned in the spec and each worker owns a private Machine,
+// a job's *canonical record* — the deterministic slice of its result — is
+// bit-identical regardless of thread count or scheduling order. Wall-clock
+// and worker id are observability-only and live outside the canonical
+// record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "passes/shadow_stack.h"
+#include "sim/machine.h"
+#include "sim/stats.h"
+#include "workloads/workload.h"
+
+namespace sealpk::fleet {
+
+enum class JobKind : u8 {
+  kRun,        // one machine: load, run, verify checksum against the golden
+  kChaosDiff,  // two machines: clean vs fault-injected, differential oracle
+};
+
+const char* job_kind_name(JobKind kind);
+
+struct JobSpec {
+  u32 id = 0;  // dense index; doubles as the result slot, so records never
+               // depend on completion order
+  const wl::Workload* workload = nullptr;
+  passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
+  bool perm_seal = false;  // --seal: WRPKR range restriction (SealPK kinds)
+  u64 scale = 1;
+  // Per-job instruction-budget timeout: a runaway job stops here and is
+  // recorded as a timeout instead of starving the pool.
+  u64 budget = 8'000'000'000ULL;
+  JobKind kind = JobKind::kRun;
+  // Full machine wiring for this job. For kChaosDiff this is the *chaos*
+  // config; the clean run uses the same config with the fault plan cleared.
+  sim::MachineConfig config;
+  bool verify_checksum = true;  // kRun: compare reports against golden()
+
+  // "suite/name [variant]" — also the per-job label in reports.
+  std::string label() const;
+};
+
+struct JobResult {
+  // --- identity (copied from the spec so reports need only results) -------
+  u32 id = 0;
+  std::string label;
+  const wl::Workload* workload = nullptr;
+  passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
+  bool perm_seal = false;
+  JobKind kind = JobKind::kRun;
+
+  // --- canonical outcome ---------------------------------------------------
+  bool ran = false;        // false: load refused or host exception before run
+  bool completed = false;  // run() finished inside the instruction budget
+  bool ok = false;         // job-level verdict (checksum / oracle passed)
+  std::string verdict;     // human-readable one-liner
+  i64 exit_code = 0;
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 calls = 0;         // jal/jalr-with-ra retired (Figure-5 input)
+  u64 pages_mapped = 0;  // resident set at exit (Figure-5 input)
+  std::vector<u64> reports;
+  sim::MachineStats stats;
+
+  // --- kChaosDiff extras (zero / empty for kRun) ---------------------------
+  i64 clean_exit = 0;
+  bool clean_completed = false;
+  u64 injected = 0;
+  u64 outstanding = 0;
+  std::vector<fault::FaultEvent> events;
+
+  // --- observability only: excluded from the canonical record --------------
+  double wall_ms = 0.0;  // host wall-clock spent executing this job
+  unsigned worker = 0;   // pool slot that ran it
+};
+
+// The deterministic slice of a result as a single-line JSON object. This is
+// the byte-identity contract: for a fixed spec list, canonical_record() of
+// every job is identical between --threads 1 and --threads N. Integers only
+// (no floats), no wall-clock, no worker id.
+std::string canonical_record(const JobResult& result);
+
+}  // namespace sealpk::fleet

@@ -1,0 +1,64 @@
+// Result aggregation and JSON reporting for fleet runs.
+//
+// The "records" array of a report is the canonical, deterministic part:
+// one canonical_record() line per job, ordered by job id. Wall-clock,
+// thread count and per-job timing live in a separate "timing" section that
+// canonical mode omits, so `sealpk-fleet diff` (and the determinism tests)
+// can compare reports from different thread counts byte-for-byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fleet/job.h"
+
+namespace sealpk::fleet {
+
+// Cross-job totals (sums over every result).
+struct Aggregate {
+  u64 jobs = 0;
+  u64 ok = 0;
+  u64 failures = 0;
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 faults_injected = 0;
+  u64 recoveries = 0;
+  u64 kills = 0;  // machine-check + watchdog
+  u64 checkpoints = 0;
+  u64 rollbacks = 0;
+  double wall_ms_sum = 0.0;  // total cpu-side work (not elapsed)
+};
+
+Aggregate aggregate(const std::vector<JobResult>& results);
+
+// Geometric mean of per-workload overhead (percent, vs the kNone baseline
+// job for the same workload among `results`) across the suite — the same
+// math as sim::suite_gmean_overhead, including the 0.01% clamp. Returns a
+// negative value when the suite has no (baseline, variant) pair, so callers
+// can skip rather than divide by nothing.
+double gmean_overhead(const std::vector<JobResult>& results, wl::Suite suite,
+                      passes::ShadowStackKind ss, bool perm_seal = false);
+
+struct ReportOptions {
+  unsigned threads = 1;
+  double elapsed_ms = 0.0;
+  // Canonical mode drops the "timing" section (the only scheduling-
+  // dependent bytes), making whole reports comparable across thread counts.
+  bool canonical = false;
+};
+
+void write_report(std::ostream& os, const std::vector<JobResult>& results,
+                  const ReportOptions& opts);
+// Returns false when the file cannot be written.
+bool write_report_file(const std::string& path,
+                       const std::vector<JobResult>& results,
+                       const ReportOptions& opts);
+
+// Compares the canonical "records" arrays of two report texts. Returns the
+// number of diverging records (0 = byte-identical record sets); mismatch
+// details go to `log`.
+size_t diff_reports(const std::string& a_text, const std::string& b_text,
+                    std::ostream& log);
+
+}  // namespace sealpk::fleet

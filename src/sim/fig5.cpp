@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "fleet/engine.h"
+
 namespace sealpk::sim {
 
 VariantResult run_cell(const wl::Workload& workload,
@@ -35,26 +37,61 @@ VariantResult run_cell(const wl::Workload& workload,
   return result;
 }
 
-std::vector<Fig5Row> run_figure5(std::optional<u64> scale, bool verbose) {
+std::vector<Fig5Row> run_figure5(std::optional<u64> scale, bool verbose,
+                                 unsigned threads) {
+  // One job per (workload, baseline + 5 variants) cell, in figure order;
+  // the fleet engine owns scheduling, image sharing and containment.
+  const auto& workloads = wl::all_workloads();
+  std::vector<fleet::JobSpec> specs;
+  specs.reserve(workloads.size() * (1 + kNumFig5Variants));
+  for (const auto& workload : workloads) {
+    for (size_t v = 0; v <= kNumFig5Variants; ++v) {
+      fleet::JobSpec spec;
+      spec.id = static_cast<u32>(specs.size());
+      spec.workload = &workload;
+      spec.ss = v == 0 ? passes::ShadowStackKind::kNone : kFig5Variants[v - 1];
+      spec.scale = scale.value_or(workload.bench_scale);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  opts.threads = threads;
+  if (verbose) {
+    opts.on_done = [](const fleet::JobResult& r) {
+      std::fprintf(stderr, "  %s %s: %s\n", r.label.c_str(),
+                   passes::shadow_stack_kind_name(r.ss), r.verdict.c_str());
+    };
+  }
+  const std::vector<fleet::JobResult> results =
+      fleet::run_jobs(specs, cache, opts);
+
+  // Same contract as the old serial driver: any failed cell (checksum
+  // mismatch, non-zero exit, timeout) throws instead of skewing the figure.
+  for (const fleet::JobResult& r : results) {
+    SEALPK_CHECK_MSG(r.ok, r.label << " under "
+                                   << passes::shadow_stack_kind_name(r.ss)
+                                   << ": " << r.verdict);
+  }
+
   std::vector<Fig5Row> rows;
-  for (const auto& workload : wl::all_workloads()) {
+  rows.reserve(workloads.size());
+  size_t idx = 0;
+  for (const auto& workload : workloads) {
     Fig5Row row;
     row.workload = &workload;
-    if (verbose) {
-      std::fprintf(stderr, "  %s/%s: baseline",
-                   wl::suite_name(workload.suite), workload.name);
-      std::fflush(stderr);
-    }
-    row.baseline = run_cell(workload, passes::ShadowStackKind::kNone, scale);
-    row.baseline_cycles = row.baseline.cycles;
-    for (const auto kind : kFig5Variants) {
-      if (verbose) {
-        std::fprintf(stderr, " %s", passes::shadow_stack_kind_name(kind));
-        std::fflush(stderr);
+    for (size_t v = 0; v <= kNumFig5Variants; ++v, ++idx) {
+      const fleet::JobResult& r = results[idx];
+      VariantResult cell{r.ss, r.cycles, r.instructions, r.calls,
+                         r.pages_mapped};
+      if (v == 0) {
+        row.baseline = cell;
+        row.baseline_cycles = cell.cycles;
+      } else {
+        row.variants.push_back(cell);
       }
-      row.variants.push_back(run_cell(workload, kind, scale));
     }
-    if (verbose) std::fprintf(stderr, "\n");
     rows.push_back(std::move(row));
   }
   return rows;

@@ -54,9 +54,15 @@ VariantResult run_cell(const wl::Workload& workload,
                        passes::ShadowStackKind kind,
                        std::optional<u64> scale = std::nullopt);
 
-// Runs the full figure (all 17 workloads x baseline + 5 variants).
+// Runs the full figure (all 17 workloads x baseline + 5 variants) through
+// the fleet batch engine. `threads` sizes the worker pool (1 = serial on
+// the calling thread; 0 = one worker per host hardware thread). Per-cell
+// results are bit-identical for every thread count: each cell runs on a
+// private Machine from a fully-pinned job spec, and linked images are
+// shared read-only via the fleet image cache (one build per workload x
+// variant instead of one per cell).
 std::vector<Fig5Row> run_figure5(std::optional<u64> scale = std::nullopt,
-                                 bool verbose = false);
+                                 bool verbose = false, unsigned threads = 1);
 
 // Geometric mean of the per-workload overheads of `variant_idx` across the
 // rows of one suite.

@@ -1,0 +1,352 @@
+// Fleet batch-execution engine tests: the determinism contract (per-job
+// canonical records byte-identical for any thread count), image-cache
+// sharing (one build per distinct workload x variant x scale), per-job
+// timeout / crash containment (a failing job harms only itself), and
+// aggregation (fleet suite geomeans == the serial Figure-5 math).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "fleet/engine.h"
+#include "fleet/report.h"
+#include "sim/fig5.h"
+
+namespace sealpk {
+namespace {
+
+const wl::Workload& named(const char* name, wl::Suite suite) {
+  const wl::Workload* w = wl::find_workload(suite, name);
+  SEALPK_CHECK_MSG(w != nullptr, "unknown workload " << name);
+  return *w;
+}
+
+fleet::JobSpec run_spec(u32 id, const wl::Workload& w,
+                        passes::ShadowStackKind ss, u64 scale = 1) {
+  fleet::JobSpec spec;
+  spec.id = id;
+  spec.workload = &w;
+  spec.ss = ss;
+  spec.scale = scale;
+  return spec;
+}
+
+std::vector<std::string> records_of(const std::vector<fleet::JobResult>& rs) {
+  std::vector<std::string> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(fleet::canonical_record(r));
+  return out;
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(Fleet, RunRecordsByteIdenticalAcrossThreadCounts) {
+  const char* names[] = {"qsort", "sha", "bitcount", "dijkstra", "FFT"};
+  const passes::ShadowStackKind kinds[] = {
+      passes::ShadowStackKind::kNone, passes::ShadowStackKind::kSealPkWr,
+      passes::ShadowStackKind::kMprotect};
+  std::vector<fleet::JobSpec> specs;
+  for (const char* name : names) {
+    for (const auto kind : kinds) {
+      specs.push_back(run_spec(static_cast<u32>(specs.size()),
+                               named(name, wl::Suite::kMiBench), kind));
+    }
+  }
+  fleet::ImageCache cache1, cache4;
+  fleet::FleetOptions serial, pooled;
+  serial.threads = 1;
+  pooled.threads = 4;
+  const auto a = records_of(fleet::run_jobs(specs, cache1, serial));
+  const auto b = records_of(fleet::run_jobs(specs, cache4, pooled));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "record " << i << " depends on thread count";
+  }
+  for (const std::string& rec : a) {
+    EXPECT_NE(rec.find("\"ok\": true"), std::string::npos) << rec;
+  }
+}
+
+TEST(Fleet, ChaosDiffRecordsByteIdenticalAcrossThreadCounts) {
+  const char* names[] = {"qsort", "sha", "bitcount", "stringsearch"};
+  std::vector<fleet::JobSpec> specs;
+  for (const char* name : names) {
+    fleet::JobSpec spec = run_spec(static_cast<u32>(specs.size()),
+                                   named(name, wl::Suite::kMiBench),
+                                   passes::ShadowStackKind::kNone);
+    spec.kind = fleet::JobKind::kChaosDiff;
+    spec.budget = 400'000'000;
+    spec.config.fault_plan.enabled = true;
+    spec.config.fault_plan.seed = 7;
+    spec.config.fault_plan.rate = 1e-4;
+    specs.push_back(std::move(spec));
+  }
+  fleet::ImageCache cache1, cache4;
+  fleet::FleetOptions serial, pooled;
+  serial.threads = 1;
+  pooled.threads = 4;
+  const auto a = records_of(fleet::run_jobs(specs, cache1, serial));
+  const auto b = records_of(fleet::run_jobs(specs, cache4, pooled));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "chaos record " << i
+                          << " depends on thread count";
+  }
+}
+
+// --- image cache ------------------------------------------------------------
+
+TEST(Fleet, ImageCacheBuildsOncePerDistinctKey) {
+  const wl::Workload& qsort = named("qsort", wl::Suite::kMiBench);
+  const wl::Workload& sha = named("sha", wl::Suite::kMiBench);
+  // 8 jobs over 3 distinct (workload, variant, scale) keys.
+  std::vector<fleet::JobSpec> specs;
+  for (int dup = 0; dup < 3; ++dup) {
+    specs.push_back(run_spec(static_cast<u32>(specs.size()), qsort,
+                             passes::ShadowStackKind::kNone));
+  }
+  for (int dup = 0; dup < 3; ++dup) {
+    specs.push_back(run_spec(static_cast<u32>(specs.size()), qsort,
+                             passes::ShadowStackKind::kSealPkWr));
+  }
+  for (int dup = 0; dup < 2; ++dup) {
+    specs.push_back(run_spec(static_cast<u32>(specs.size()), sha,
+                             passes::ShadowStackKind::kNone));
+  }
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  opts.threads = 4;
+  const auto results = fleet::run_jobs(specs, cache, opts);
+  EXPECT_EQ(cache.builds(), 3u);  // == unique images, not jobs
+  // Duplicate jobs share the image and must agree bit-for-bit.
+  for (int i : {1, 2}) {
+    EXPECT_EQ(results[0].cycles, results[i].cycles);
+    EXPECT_EQ(results[0].instructions, results[i].instructions);
+    EXPECT_EQ(results[0].reports, results[i].reports);
+  }
+  EXPECT_EQ(results[3].cycles, results[4].cycles);
+  EXPECT_EQ(results[6].cycles, results[7].cycles);
+}
+
+TEST(Fleet, ImageCacheSharedByChaosDiffPair) {
+  // One differential job = two machines (clean + chaos) but one image.
+  fleet::JobSpec spec = run_spec(0, named("qsort", wl::Suite::kMiBench),
+                                 passes::ShadowStackKind::kNone);
+  spec.kind = fleet::JobKind::kChaosDiff;
+  spec.config.fault_plan.enabled = true;
+  spec.config.fault_plan.seed = 3;
+  fleet::ImageCache cache;
+  const auto results = fleet::run_jobs({spec}, cache, {});
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_TRUE(results[0].ok) << results[0].verdict;
+}
+
+// --- timeout & crash containment -------------------------------------------
+
+TEST(Fleet, InstructionBudgetTimeoutIsContained) {
+  const wl::Workload& qsort = named("qsort", wl::Suite::kMiBench);
+  const wl::Workload& sha = named("sha", wl::Suite::kMiBench);
+  const wl::Workload& bit = named("bitcount", wl::Suite::kMiBench);
+  std::vector<fleet::JobSpec> specs;
+  specs.push_back(run_spec(0, qsort, passes::ShadowStackKind::kNone));
+  fleet::JobSpec strangled = run_spec(1, sha, passes::ShadowStackKind::kNone);
+  strangled.budget = 5'000;  // nowhere near enough to finish
+  specs.push_back(std::move(strangled));
+  specs.push_back(run_spec(2, bit, passes::ShadowStackKind::kNone));
+
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  opts.threads = 3;
+  const auto results = fleet::run_jobs(specs, cache, opts);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok) << results[0].verdict;
+  EXPECT_TRUE(results[2].ok) << results[2].verdict;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_TRUE(results[1].ran);
+  EXPECT_FALSE(results[1].completed);
+  EXPECT_EQ(results[1].verdict, "timeout: instruction budget exhausted");
+  // The budget bounded the work actually done.
+  EXPECT_LE(results[1].instructions, 6'000u);
+}
+
+TEST(Fleet, MachineCheckKillOnlyFailsItsOwnJob) {
+  // Unrecoverable PKR corruption (no trusted shadow to scrub from) kills
+  // the victim process with the machine-check exit code; sibling jobs in
+  // the same pool must be untouched.
+  const wl::Workload& qsort = named("qsort", wl::Suite::kMiBench);
+  const wl::Workload& sha = named("sha", wl::Suite::kMiBench);
+  std::vector<fleet::JobSpec> specs;
+  specs.push_back(run_spec(0, qsort, passes::ShadowStackKind::kNone));
+  fleet::JobSpec doomed = run_spec(1, sha, passes::ShadowStackKind::kNone);
+  doomed.config.kernel.save_pkr_on_switch = false;
+  doomed.config.fault_plan.enabled = true;
+  doomed.config.fault_plan.seed = 11;
+  doomed.config.fault_plan.rate = 1e-3;
+  doomed.config.fault_plan.kinds = fault::kind_bit(fault::FaultKind::kPkrBitFlip);
+  specs.push_back(std::move(doomed));
+  specs.push_back(run_spec(2, qsort, passes::ShadowStackKind::kSealPkWr));
+
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  opts.threads = 3;
+  const auto results = fleet::run_jobs(specs, cache, opts);
+  EXPECT_TRUE(results[0].ok) << results[0].verdict;
+  EXPECT_TRUE(results[2].ok) << results[2].verdict;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].exit_code, os::kExitMachineCheck);
+  EXPECT_GT(results[1].injected, 0u);
+}
+
+// --- aggregation ------------------------------------------------------------
+
+TEST(Fleet, CellResultsMatchTheSerialReference) {
+  // A fleet job must reproduce sim::run_cell (the pre-fleet serial driver)
+  // bit-for-bit: same cycles, instructions, calls and resident set.
+  const wl::Workload& qsort = named("qsort", wl::Suite::kMiBench);
+  for (const auto kind : {passes::ShadowStackKind::kNone,
+                          passes::ShadowStackKind::kSealPkRdWr,
+                          passes::ShadowStackKind::kMprotect}) {
+    const sim::VariantResult serial = sim::run_cell(qsort, kind, 1);
+    fleet::ImageCache cache;
+    const auto results =
+        fleet::run_jobs({run_spec(0, qsort, kind)}, cache, {});
+    ASSERT_TRUE(results[0].ok) << results[0].verdict;
+    EXPECT_EQ(results[0].cycles, serial.cycles);
+    EXPECT_EQ(results[0].instructions, serial.instructions);
+    EXPECT_EQ(results[0].calls, serial.calls);
+    EXPECT_EQ(results[0].pages_mapped, serial.pages_mapped);
+  }
+}
+
+TEST(Fleet, SuiteGeomeansMatchTheFig5Math) {
+  // MiBench x (baseline + the five Figure-5 variants) through the pool,
+  // then: fleet::gmean_overhead == sim::suite_gmean_overhead on rows
+  // assembled from the very same results.
+  std::vector<fleet::JobSpec> specs;
+  for (const auto& w : wl::all_workloads()) {
+    if (w.suite != wl::Suite::kMiBench) continue;
+    specs.push_back(
+        run_spec(static_cast<u32>(specs.size()), w,
+                 passes::ShadowStackKind::kNone));
+    for (const auto kind : sim::kFig5Variants) {
+      specs.push_back(run_spec(static_cast<u32>(specs.size()), w, kind));
+    }
+  }
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  opts.threads = 4;
+  const auto results = fleet::run_jobs(specs, cache, opts);
+
+  std::vector<sim::Fig5Row> rows;
+  size_t idx = 0;
+  for (const auto& w : wl::all_workloads()) {
+    if (w.suite != wl::Suite::kMiBench) continue;
+    sim::Fig5Row row;
+    row.workload = &w;
+    for (size_t v = 0; v <= sim::kNumFig5Variants; ++v, ++idx) {
+      const fleet::JobResult& r = results[idx];
+      ASSERT_TRUE(r.ok) << r.label << ": " << r.verdict;
+      sim::VariantResult cell{r.ss, r.cycles, r.instructions, r.calls,
+                              r.pages_mapped};
+      if (v == 0) {
+        row.baseline = cell;
+        row.baseline_cycles = cell.cycles;
+      } else {
+        row.variants.push_back(cell);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  for (size_t v = 0; v < sim::kNumFig5Variants; ++v) {
+    const double from_fig5 =
+        sim::suite_gmean_overhead(rows, wl::Suite::kMiBench, v);
+    const double from_fleet = fleet::gmean_overhead(
+        results, wl::Suite::kMiBench, sim::kFig5Variants[v]);
+    EXPECT_DOUBLE_EQ(from_fig5, from_fleet)
+        << passes::shadow_stack_kind_name(sim::kFig5Variants[v]);
+  }
+  // No baseline pair for a suite that was not run.
+  EXPECT_LT(fleet::gmean_overhead(results, wl::Suite::kSpec2000,
+                                  passes::ShadowStackKind::kMprotect),
+            0.0);
+}
+
+// --- reports ----------------------------------------------------------------
+
+TEST(Fleet, CanonicalReportsDiffCleanAcrossThreadCounts) {
+  std::vector<fleet::JobSpec> specs;
+  specs.push_back(run_spec(0, named("qsort", wl::Suite::kMiBench),
+                           passes::ShadowStackKind::kNone));
+  specs.push_back(run_spec(1, named("sha", wl::Suite::kMiBench),
+                           passes::ShadowStackKind::kFunc));
+  fleet::ImageCache cache1, cache2;
+  fleet::FleetOptions serial, pooled;
+  serial.threads = 1;
+  pooled.threads = 2;
+  const auto a = fleet::run_jobs(specs, cache1, serial);
+  const auto b = fleet::run_jobs(specs, cache2, pooled);
+
+  fleet::ReportOptions ra, rb;
+  ra.threads = 1;
+  rb.threads = 2;
+  rb.elapsed_ms = 123.0;  // timing differs; canonical records must not
+  std::ostringstream ta, tb;
+  fleet::write_report(ta, a, ra);
+  fleet::write_report(tb, b, rb);
+  std::ostringstream log;
+  EXPECT_EQ(fleet::diff_reports(ta.str(), tb.str(), log), 0u) << log.str();
+
+  // A doctored record is caught and reported. Tamper inside the "records"
+  // array — totals/geomeans are derived and not part of the contract.
+  std::string tampered = tb.str();
+  const size_t records = tampered.find("\"records\": [");
+  ASSERT_NE(records, std::string::npos);
+  const size_t pos = tampered.find("\"cycles\": ", records);
+  ASSERT_NE(pos, std::string::npos);
+  tampered.insert(pos + 10, 1, '9');
+  std::ostringstream log2;
+  EXPECT_GT(fleet::diff_reports(ta.str(), tampered, log2), 0u);
+}
+
+TEST(Fleet, AggregateSumsAcrossJobs) {
+  std::vector<fleet::JobSpec> specs;
+  specs.push_back(run_spec(0, named("qsort", wl::Suite::kMiBench),
+                           passes::ShadowStackKind::kNone));
+  specs.push_back(run_spec(1, named("sha", wl::Suite::kMiBench),
+                           passes::ShadowStackKind::kNone));
+  fleet::ImageCache cache;
+  const auto results = fleet::run_jobs(specs, cache, {});
+  const fleet::Aggregate agg = fleet::aggregate(results);
+  EXPECT_EQ(agg.jobs, 2u);
+  EXPECT_EQ(agg.ok, 2u);
+  EXPECT_EQ(agg.failures, 0u);
+  EXPECT_EQ(agg.instructions,
+            results[0].instructions + results[1].instructions);
+  EXPECT_EQ(agg.cycles, results[0].cycles + results[1].cycles);
+}
+
+TEST(Fleet, LoadRefusalIsAFailedJobNotACrash) {
+  // With no trusted gates, the SealPK shadow-stack runtime's WRPKR sites
+  // are error findings and kEnforce refuses the image at the loader gate.
+  // The fleet must record that as a cleanly-failed job, not a host crash,
+  // and a sibling job sharing the pool stays healthy.
+  fleet::JobSpec refused = run_spec(0, named("qsort", wl::Suite::kMiBench),
+                                    passes::ShadowStackKind::kSealPkWr);
+  refused.config.verify_policy = analysis::LoadVerifyPolicy::kEnforce;
+  refused.config.verify_options.trusted_gates.clear();
+  fleet::JobSpec healthy = run_spec(1, named("sha", wl::Suite::kMiBench),
+                                    passes::ShadowStackKind::kNone);
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  opts.threads = 2;
+  const auto results = fleet::run_jobs({refused, healthy}, cache, opts);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_FALSE(results[0].ran);
+  EXPECT_EQ(results[0].verdict, "load refused");
+  EXPECT_EQ(results[0].exit_code, sim::Machine::kNoExitCode);
+  EXPECT_TRUE(results[1].ok) << results[1].verdict;
+}
+
+}  // namespace
+}  // namespace sealpk

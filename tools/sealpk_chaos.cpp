@@ -13,6 +13,11 @@
 // run (recovered / killed / masked-benign — never unaccounted), and no host
 // exception may escape Machine::run.
 //
+// The sweep executes on the fleet batch engine (src/fleet): --threads=N
+// drains the per-workload differential jobs on a worker pool (each job owns
+// its two Machines; the linked image is built once and shared read-only),
+// and per-workload verdicts are byte-identical for any thread count.
+//
 // --rollback arms periodic checkpointing with snapshot-rollback recovery:
 // unrecoverable machine checks restore the last known-good checkpoint and
 // re-execute with the offending injections suppressed, so scenarios that
@@ -20,30 +25,31 @@
 // the clean run (the bit-identical oracle above then applies).
 //
 // --json <path> writes a machine-readable summary: per-workload verdicts,
-// exit codes, rollback counts, and the full per-fault event log with each
-// event's resolution.
+// clean and chaos exit codes, per-job wall-clock milliseconds, rollback
+// counts, and the full per-fault event log with each event's resolution.
 //
 // Exit status: 0 when every workload satisfies the oracle, 1 otherwise,
 // 2 on usage errors.
 //
 // Usage:
 //   sealpk-chaos --all --chaos-seed=7 --chaos-rate=2e-5
-//   sealpk-chaos qsort sha --chaos-rate=1e-4 -q
+//   sealpk-chaos qsort sha --chaos-rate=1e-4 -q --threads=4
 //   sealpk-chaos --all --ss=sealpk-wr --seal --cam-rate=0.3
 //   sealpk-chaos --all --rollback --no-pkr-save --kinds=pkr --json=out.json
 //   sealpk-chaos --list
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "fleet/engine.h"
+#include "fleet/report.h"
 #include "passes/shadow_stack.h"
 #include "sim/machine.h"
-#include "sim/stats.h"
 #include "workloads/workload.h"
 
 using namespace sealpk;
@@ -57,36 +63,13 @@ struct CliOptions {
   bool perm_seal = false;
   bool rollback = false;
   bool no_pkr_save = false;
+  unsigned threads = 1;
   u64 ckpt_interval = 0;  // 0 = default (when --rollback) or off
   u64 max_rollbacks = 3;
   std::string json_path;
   passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
   std::vector<std::string> names;
   fault::FaultPlan plan;
-};
-
-struct RunResult {
-  bool completed = false;
-  i64 exit_code = 0;
-  std::string console;
-  std::vector<u64> reports;
-  os::KernelStats stats;
-  u64 injected = 0;
-  u64 outstanding = 0;
-  u64 checkpoints = 0;
-  u64 rollbacks = 0;
-  u64 rollback_failures = 0;
-  std::vector<fault::FaultEvent> events;
-};
-
-// One JSON record per checked workload.
-struct WorkloadRecord {
-  std::string label;
-  std::string verdict;
-  bool ok = false;
-  RunResult chaos;
-  i64 clean_exit = 0;
-  bool clean_completed = false;
 };
 
 bool parse_ss_kind(const std::string& text, passes::ShadowStackKind* out) {
@@ -136,6 +119,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sealpk-chaos [--all | <workload>...] [--list] [-q]\n"
+      "                    [--threads=<n>]\n"
       "                    [--chaos-seed=<n>] [--chaos-rate=<p>]\n"
       "                    [--cam-rate=<p>] [--max-faults=<n>]\n"
       "                    [--kinds=pkr,tlb,pte,cam-drop,cam-dup,trap,all]\n"
@@ -156,116 +140,6 @@ sim::MachineConfig base_config(const CliOptions& cli) {
     config.max_rollbacks = cli.max_rollbacks;
   }
   return config;
-}
-
-RunResult run_image(const isa::Image& image, const sim::MachineConfig& base,
-                    const fault::FaultPlan& plan) {
-  sim::MachineConfig config = base;
-  config.fault_plan = plan;
-  sim::Machine machine(config);
-  const int pid = machine.load(image);
-  RunResult result;
-  if (pid == sim::Machine::kLoadRefused) {
-    result.exit_code = sim::Machine::kNoExitCode;
-    return result;
-  }
-  result.completed = machine.run(400'000'000).completed;
-  result.exit_code = machine.exit_code(pid);
-  result.console = machine.kernel().console();
-  result.reports = machine.kernel().reports();
-  result.stats = machine.kernel().stats();
-  result.checkpoints = machine.checkpoints_taken();
-  result.rollbacks = machine.rollbacks();
-  result.rollback_failures = machine.rollback_failures();
-  if (machine.injector() != nullptr) {
-    result.injected = machine.injector()->total_injected();
-    result.outstanding = machine.injector()->outstanding();
-    result.events = machine.injector()->events();
-  }
-  return result;
-}
-
-// Returns true when the chaos run satisfies the differential oracle.
-bool check_one(const wl::Workload& w, const CliOptions& cli,
-               WorkloadRecord* rec) {
-  isa::Program prog = w.build(w.test_scale);
-  std::string label = std::string(wl::suite_name(w.suite)) + "/" + w.name;
-  if (cli.ss != passes::ShadowStackKind::kNone) {
-    passes::ShadowStackOptions ss;
-    ss.kind = cli.ss;
-    ss.perm_seal = cli.perm_seal;
-    passes::apply_shadow_stack(prog, ss);
-    label += std::string(" [") + passes::shadow_stack_kind_name(cli.ss) +
-             (cli.perm_seal ? ", perm-sealed]" : "]");
-  }
-  const isa::Image image = prog.link();
-  rec->label = label;
-
-  const sim::MachineConfig base = base_config(cli);
-  RunResult clean;
-  RunResult chaos;
-  try {
-    clean = run_image(image, base, {});
-    chaos = run_image(image, base, cli.plan);
-  } catch (const std::exception& e) {
-    std::printf("%-28s FAIL: host exception escaped: %s\n", label.c_str(),
-                e.what());
-    rec->verdict = std::string("host exception escaped: ") + e.what();
-    return false;
-  }
-  rec->chaos = chaos;
-  rec->clean_exit = clean.exit_code;
-  rec->clean_completed = clean.completed;
-
-  const bool identical = chaos.completed == clean.completed &&
-                         chaos.exit_code == clean.exit_code &&
-                         chaos.console == clean.console &&
-                         chaos.reports == clean.reports;
-  const u64 kills =
-      chaos.stats.machine_check_kills + chaos.stats.watchdog_kills;
-  const u64 recoveries = chaos.stats.recoveries();
-
-  const char* verdict = nullptr;
-  bool ok = true;
-  if (!clean.completed) {
-    verdict = "FAIL: clean run did not complete";
-    ok = false;
-  } else if (chaos.outstanding != 0) {
-    verdict = "FAIL: unaccounted fault events";
-    ok = false;
-  } else if (identical) {
-    // A rollback rewinds the event log to the restored checkpoint, so check
-    // it before the injected count — "no faults fired" would be misleading
-    // when firings were absorbed by re-execution.
-    verdict = chaos.rollbacks != 0 ? "ok (rolled back, output identical)"
-              : chaos.injected == 0 ? "ok (no faults fired)"
-                                    : "ok (output identical)";
-  } else if (kills > 0) {
-    verdict = "ok (process killed, distinct exit code)";
-    ok = chaos.exit_code == os::kExitMachineCheck ||
-         chaos.exit_code == os::kExitTrapStorm ||
-         chaos.exit_code == os::kExitLivelock ||
-         chaos.exit_code == clean.exit_code;  // kill hit a since-respawned run
-    if (!ok) verdict = "FAIL: killed without a distinct exit code";
-  } else if (recoveries > 0) {
-    verdict = "ok (divergence, recovery recorded)";
-  } else {
-    verdict = "FAIL: output diverged with no recovery or kill recorded";
-    ok = false;
-  }
-  rec->verdict = verdict;
-  rec->ok = ok;
-
-  if (!cli.quiet || !ok) {
-    std::printf(
-        "%-28s %-40s faults=%llu recoveries=%llu kills=%llu rollbacks=%llu\n",
-        label.c_str(), verdict,
-        static_cast<unsigned long long>(chaos.injected),
-        static_cast<unsigned long long>(recoveries),
-        static_cast<unsigned long long>(kills),
-        static_cast<unsigned long long>(chaos.rollbacks));
-  }
-  return ok;
 }
 
 void json_escape(std::ostream& os, const std::string& s) {
@@ -290,11 +164,12 @@ void json_escape(std::ostream& os, const std::string& s) {
 }
 
 bool write_json(const std::string& path, const CliOptions& cli,
-                const std::vector<WorkloadRecord>& records, size_t failures) {
+                const std::vector<fleet::JobResult>& results,
+                size_t failures, double elapsed_ms) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   u64 total_faults = 0;
-  for (const auto& r : records) total_faults += r.chaos.injected;
+  for (const auto& r : results) total_faults += r.injected;
   out << "{\n";
   out << "  \"plan\": {\"seed\": " << cli.plan.seed
       << ", \"rate\": " << cli.plan.rate
@@ -305,36 +180,43 @@ bool write_json(const std::string& path, const CliOptions& cli,
       << ", \"checkpoint_interval\": "
       << base_config(cli).checkpoint_interval
       << ", \"max_rollbacks\": " << cli.max_rollbacks << ",\n";
-  out << "  \"programs\": " << records.size()
+  char elapsed[64];
+  std::snprintf(elapsed, sizeof(elapsed), "%.3f", elapsed_ms);
+  out << "  \"threads\": " << cli.threads << ", \"elapsed_ms\": " << elapsed
+      << ",\n";
+  out << "  \"programs\": " << results.size()
       << ", \"failures\": " << failures
       << ", \"total_faults\": " << total_faults << ",\n";
   out << "  \"workloads\": [\n";
-  for (size_t i = 0; i < records.size(); ++i) {
-    const WorkloadRecord& r = records[i];
+  for (size_t i = 0; i < results.size(); ++i) {
+    const fleet::JobResult& r = results[i];
     out << "    {\"label\": ";
     json_escape(out, r.label);
     out << ", \"ok\": " << (r.ok ? "true" : "false") << ", \"verdict\": ";
     json_escape(out, r.verdict);
+    char wall[64];
+    std::snprintf(wall, sizeof(wall), "%.3f", r.wall_ms);
     out << ",\n     \"clean_exit\": " << r.clean_exit
-        << ", \"chaos_exit\": " << r.chaos.exit_code
-        << ", \"completed\": " << (r.chaos.completed ? "true" : "false")
-        << ", \"injected\": " << r.chaos.injected
-        << ", \"outstanding\": " << r.chaos.outstanding << ",\n";
-    out << "     \"recoveries\": " << r.chaos.stats.recoveries()
-        << ", \"machine_check_kills\": " << r.chaos.stats.machine_check_kills
-        << ", \"watchdog_kills\": " << r.chaos.stats.watchdog_kills
-        << ", \"checkpoints\": " << r.chaos.checkpoints
-        << ", \"rollbacks\": " << r.chaos.rollbacks
-        << ", \"rollback_failures\": " << r.chaos.rollback_failures << ",\n";
+        << ", \"chaos_exit\": " << r.exit_code
+        << ", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"wall_ms\": " << wall
+        << ", \"injected\": " << r.injected
+        << ", \"outstanding\": " << r.outstanding << ",\n";
+    out << "     \"recoveries\": " << r.stats.recoveries
+        << ", \"machine_check_kills\": " << r.stats.machine_check_kills
+        << ", \"watchdog_kills\": " << r.stats.watchdog_kills
+        << ", \"checkpoints\": " << r.stats.checkpoints
+        << ", \"rollbacks\": " << r.stats.rollbacks
+        << ", \"rollback_failures\": " << r.stats.rollback_failures << ",\n";
     out << "     \"faults\": [";
-    for (size_t j = 0; j < r.chaos.events.size(); ++j) {
-      const fault::FaultEvent& e = r.chaos.events[j];
+    for (size_t j = 0; j < r.events.size(); ++j) {
+      const fault::FaultEvent& e = r.events[j];
       if (j != 0) out << ", ";
       out << "{\"kind\": \"" << fault_kind_name(e.kind)
           << "\", \"instret\": " << e.instret << ", \"resolution\": \""
           << resolution_name(e.resolution) << "\"}";
     }
-    out << "]}" << (i + 1 < records.size() ? "," : "") << "\n";
+    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   out.flush();
@@ -362,6 +244,9 @@ int main(int argc, char** argv) {
       cli.rollback = true;
     } else if (arg == "--no-pkr-save") {
       cli.no_pkr_save = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.threads = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + 10, nullptr, 0));
     } else if (arg.rfind("--ss=", 0) == 0) {
       if (!parse_ss_kind(arg.substr(5), &cli.ss)) return usage();
     } else if (arg.rfind("--chaos-seed=", 0) == 0) {
@@ -395,28 +280,61 @@ int main(int argc, char** argv) {
   }
   if (!cli.all && cli.names.empty()) return usage();
 
-  size_t programs = 0;
-  size_t failures = 0;
-  u64 total_faults = 0;
-  std::vector<WorkloadRecord> records;
+  // One differential job per selected workload, drained by the fleet pool.
+  std::vector<fleet::JobSpec> specs;
   for (const auto& w : wl::all_workloads()) {
     bool wanted = cli.all;
     for (const auto& name : cli.names) {
       if (name == w.name) wanted = true;
     }
     if (!wanted) continue;
-    ++programs;
-    WorkloadRecord rec;
-    if (!check_one(w, cli, &rec)) ++failures;
-    total_faults += rec.chaos.injected;
-    records.push_back(std::move(rec));
+    fleet::JobSpec spec;
+    spec.id = static_cast<u32>(specs.size());
+    spec.workload = &w;
+    spec.ss = cli.ss;
+    spec.perm_seal = cli.perm_seal;
+    spec.scale = w.test_scale;
+    spec.budget = 400'000'000;
+    spec.kind = fleet::JobKind::kChaosDiff;
+    spec.config = base_config(cli);
+    spec.config.fault_plan = cli.plan;
+    specs.push_back(std::move(spec));
   }
-  if (programs == 0) {
+  if (specs.empty()) {
     std::fprintf(stderr, "no matching workload; try --list\n");
     return 2;
   }
+
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  opts.threads = cli.threads;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<fleet::JobResult> results =
+      fleet::run_jobs(specs, cache, opts);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+
+  size_t failures = 0;
+  u64 total_faults = 0;
+  for (const fleet::JobResult& r : results) {
+    if (!r.ok) ++failures;
+    total_faults += r.injected;
+    if (!cli.quiet || !r.ok) {
+      const u64 kills =
+          r.stats.machine_check_kills + r.stats.watchdog_kills;
+      std::printf(
+          "%-28s %-40s faults=%llu recoveries=%llu kills=%llu rollbacks=%llu\n",
+          r.label.c_str(), r.verdict.c_str(),
+          static_cast<unsigned long long>(r.injected),
+          static_cast<unsigned long long>(r.stats.recoveries),
+          static_cast<unsigned long long>(kills),
+          static_cast<unsigned long long>(r.stats.rollbacks));
+    }
+  }
+
   if (!cli.json_path.empty() &&
-      !write_json(cli.json_path, cli, records, failures)) {
+      !write_json(cli.json_path, cli, results, failures, elapsed_ms)) {
     std::fprintf(stderr, "cannot write JSON summary to %s\n",
                  cli.json_path.c_str());
     return 2;
@@ -424,7 +342,8 @@ int main(int argc, char** argv) {
   if (!cli.quiet || failures != 0) {
     std::printf(
         "%zu program(s) checked, %llu fault(s) injected, %zu failure(s)\n",
-        programs, static_cast<unsigned long long>(total_faults), failures);
+        results.size(), static_cast<unsigned long long>(total_faults),
+        failures);
   }
   return failures == 0 ? 0 : 1;
 }
