@@ -70,6 +70,10 @@ void Hart::raise(TrapCause cause, u64 tval) {
   priv_ = Priv::kSupervisor;
   next_pc_ = csrs_.stvec & ~u64{3};
   cycles_ += config_.timing.trap_enter_cycles;
+  if (recorder_ != nullptr) {
+    recorder_->emit(obs::EventKind::kTrap, instret_, cycles_, obs::kNoPkey,
+                    static_cast<u64>(cause), tval);
+  }
 }
 
 void Hart::inject_trap(TrapCause cause, u64 tval) {
@@ -228,6 +232,11 @@ Hart::MemOutcome Hart::translate_data(u64 vaddr, mem::Access access) {
       // Hardware latches the denying pkey so the kernel can augment the
       // fault report (paper §III-B.2).
       csrs_.spkinfo = (u64{1} << 63) | entry->pkey;
+      if (recorder_ != nullptr) {
+        recorder_->emit(obs::EventKind::kPkeyDenial, instret_, cycles_,
+                        entry->pkey, vaddr,
+                        access == mem::Access::kStore ? 1 : 0);
+      }
     } else {
       csrs_.spkinfo = 0;
     }
@@ -727,7 +736,12 @@ bool Hart::exec_custom(const Inst& inst) {
       cycles_ += t.rocc_cycles;
       ++stats_.rdpkr_count;
       const u32 pkey = static_cast<u32>(reg(inst.rs1)) & (hw::kNumPkeys - 1);
-      set_reg(inst.rd, pkr_.read_row(hw::pkr_row_of(pkey)));
+      const u64 row_value = pkr_.read_row(hw::pkr_row_of(pkey));
+      set_reg(inst.rd, row_value);
+      if (recorder_ != nullptr) {
+        recorder_->emit(obs::EventKind::kRdpkr, instret_, cycles_, pkey,
+                        row_value, 0);
+      }
       return true;
     }
     case Op::kWrpkr: {
@@ -760,6 +774,10 @@ bool Hart::exec_custom(const Inst& inst) {
       }
       pkr_.write_row(row, next);
       if (pkr_write_hook_) pkr_write_hook_(row, next);
+      if (recorder_ != nullptr) {
+        recorder_->emit(obs::EventKind::kWrpkr, instret_, cycles_, pkey,
+                        old, next);
+      }
       return true;
     }
     case Op::kSealStart:

@@ -20,6 +20,7 @@
 #include "mem/phys_mem.h"
 #include "mem/tlb.h"
 #include "mem/walker.h"
+#include "obs/recorder.h"
 
 namespace sealpk::core {
 
@@ -119,6 +120,12 @@ class Hart {
     pkr_write_hook_ = std::move(hook);
   }
 
+  // Optional observability sink (src/obs): traps, pkey denials and
+  // RDPKR/WRPKR domain transitions are published here. Same zero-cost
+  // discipline as the trace hook — one null check when unset, and emits
+  // charge no cycles, so tracing never perturbs architectural state.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   // Fault-injection port: take `cause` as if the *current* instruction had
   // trapped (scause/sepc/stval/SPP set, redirect to stvec, trap cycles
   // charged). Unlike in-pipeline raises the PC advances immediately — the
@@ -171,6 +178,7 @@ class Hart {
   HartStats stats_;
   TraceHook trace_hook_;
   PkrWriteHook pkr_write_hook_;
+  obs::Recorder* recorder_ = nullptr;
   bool trapped_ = false;      // set by raise() during the current step
   TrapCause trap_cause_ = TrapCause::kIllegalInst;
   u64 next_pc_ = 0;

@@ -38,11 +38,16 @@ void FaultInjector::schedule_next(u64 now) {
   next_fire_ = now + 1 + rng_.below(2 * mean);
 }
 
-void FaultInjector::record(FaultKind kind, u64 instret, u64 detail0,
-                           u64 detail1) {
+void FaultInjector::record(FaultKind kind, const core::Hart& hart,
+                           u64 detail0, u64 detail1) {
   ++lifetime_injected_;
-  events_.push_back({kind, instret, detail0, detail1,
+  events_.push_back({kind, hart.instret(), detail0, detail1,
                      FaultResolution::kOutstanding});
+  if (recorder_ != nullptr) {
+    recorder_->emit(obs::EventKind::kFaultInjected, hart.instret(),
+                    hart.cycles(), obs::kNoPkey, static_cast<u64>(kind),
+                    detail0);
+  }
 }
 
 void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
@@ -71,7 +76,7 @@ void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
       const u32 row = static_cast<u32>(rng_.below(hw::kPkrRows));
       const u32 bit = static_cast<u32>(rng_.below(64));
       hart.pkr().corrupt_bit(row, bit);
-      record(kind, hart.instret(), row, bit);
+      record(kind, hart, row, bit);
       break;
     }
     case FaultKind::kTlbCorrupt: {
@@ -98,7 +103,7 @@ void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
             break;
         }
         tlb.corrupt_slot(slot, pkey_xor, perm_xor, flip_dirty);
-        record(kind, hart.instret(), slot,
+        record(kind, hart, slot,
                (static_cast<u64>(pkey_xor) << 16) |
                    (static_cast<u64>(perm_xor) << 1) |
                    (flip_dirty ? 1 : 0));
@@ -123,11 +128,11 @@ void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
                                        rng_.below(as.pkey_bits()));
       hart.mem().write_u64(slot,
                            hart.mem().read_u64(slot) ^ (u64{1} << bit));
-      record(kind, hart.instret(), page, bit);
+      record(kind, hart, page, bit);
       break;
     }
     case FaultKind::kSpuriousTrap: {
-      record(kind, hart.instret(), hart.pc(), 0);
+      record(kind, hart, hart.pc(), 0);
       const int pid = kernel.thread(kernel.current_tid()).pid;
       hart.inject_trap(core::TrapCause::kMachineCheck, 0);
       kernel.handle_trap();
@@ -150,7 +155,7 @@ bool FaultInjector::should_drop_refill(const core::Hart& hart) {
     if (suppress_ > 0) {
       --suppress_;  // swallowed: the refill goes through after all
     } else {
-      record(FaultKind::kCamDropRefill, hart.instret(), 0, 0);
+      record(FaultKind::kCamDropRefill, hart, 0, 0);
       return true;
     }
   }
@@ -166,7 +171,7 @@ bool FaultInjector::should_dup_refill(const core::Hart& hart) {
     --suppress_;
     return false;
   }
-  record(FaultKind::kCamDupRefill, hart.instret(), 0, 0);
+  record(FaultKind::kCamDupRefill, hart, 0, 0);
   return true;
 }
 

@@ -121,11 +121,16 @@ class FaultInjector {
   void save_state(ByteWriter& w) const;
   void load_state(ByteReader& r);
 
+  // Observability sink (src/obs): every recorded injection is published as
+  // a kFaultInjected event. Null = disabled.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   bool budget_left() const {
     return plan_.max_faults == 0 || lifetime_injected_ < plan_.max_faults;
   }
-  void record(FaultKind kind, u64 instret, u64 detail0, u64 detail1);
+  void record(FaultKind kind, const core::Hart& hart, u64 detail0,
+              u64 detail1);
   void schedule_next(u64 now);
 
   FaultPlan plan_;
@@ -133,6 +138,7 @@ class FaultInjector {
   std::vector<FaultKind> step_kinds_;  // kinds fired from the step loop
   u64 next_fire_ = ~u64{0};
   std::vector<FaultEvent> events_;
+  obs::Recorder* recorder_ = nullptr;
   u64 suppress_ = 0;
   u64 lifetime_injected_ = 0;  // survives rollback; see lifetime_injected()
   // Last-seen kernel recovery counters for note_recoveries deltas.

@@ -44,10 +44,13 @@ struct RunCapture {
   u64 injected = 0;
   u64 outstanding = 0;
   std::vector<fault::FaultEvent> events;
+  bool has_trace = false;
+  obs::TraceSummary trace;
+  std::vector<u8> trace_blob;
 };
 
 RunCapture run_machine(const isa::Image& image, const sim::MachineConfig& cfg,
-                       u64 budget) {
+                       u64 budget, bool keep_trace_blob = false) {
   RunCapture cap;
   sim::Machine machine(cfg);
   const int pid = machine.load(image);
@@ -68,11 +71,17 @@ RunCapture run_machine(const isa::Image& image, const sim::MachineConfig& cfg,
     cap.outstanding = machine.injector()->outstanding();
     cap.events = machine.injector()->events();
   }
+  if (machine.recorder() != nullptr) {
+    cap.has_trace = true;
+    cap.trace = machine.recorder()->summary(machine.hart().cycles());
+    if (keep_trace_blob) cap.trace_blob = machine.recorder()->serialize_blob();
+  }
   return cap;
 }
 
 void execute_run(const JobSpec& spec, const isa::Image& image, JobResult* r) {
-  const RunCapture cap = run_machine(image, spec.config, spec.budget);
+  RunCapture cap =
+      run_machine(image, spec.config, spec.budget, spec.keep_trace_blob);
   if (!cap.loaded) {
     r->exit_code = sim::Machine::kNoExitCode;
     r->verdict = "load refused";
@@ -90,6 +99,9 @@ void execute_run(const JobSpec& spec, const isa::Image& image, JobResult* r) {
   r->injected = cap.injected;
   r->outstanding = cap.outstanding;
   r->events = cap.events;
+  r->has_trace = cap.has_trace;
+  r->trace = cap.trace;
+  r->trace_blob = std::move(cap.trace_blob);
   if (!cap.completed) {
     r->verdict = "timeout: instruction budget exhausted";
     return;
@@ -118,7 +130,8 @@ void execute_chaos_diff(const JobSpec& spec, const isa::Image& image,
   sim::MachineConfig clean_cfg = spec.config;
   clean_cfg.fault_plan = fault::FaultPlan{};
   const RunCapture clean = run_machine(image, clean_cfg, spec.budget);
-  const RunCapture chaos = run_machine(image, spec.config, spec.budget);
+  RunCapture chaos =
+      run_machine(image, spec.config, spec.budget, spec.keep_trace_blob);
 
   r->ran = clean.loaded && chaos.loaded;
   r->completed = chaos.completed;
@@ -134,6 +147,9 @@ void execute_chaos_diff(const JobSpec& spec, const isa::Image& image,
   r->events = chaos.events;
   r->clean_exit = clean.loaded ? clean.exit_code : sim::Machine::kNoExitCode;
   r->clean_completed = clean.completed;
+  r->has_trace = chaos.has_trace;
+  r->trace = chaos.trace;
+  r->trace_blob = std::move(chaos.trace_blob);
 
   if (!r->ran) {
     r->verdict = "load refused";

@@ -100,6 +100,23 @@ std::string canonical_record(const JobResult& r) {
     }
     os << "]";
   }
+  // Trace block only for traced jobs, so records of untraced runs stay
+  // byte-identical to what they were before tracing existed.
+  if (r.has_trace) {
+    os << ", \"trace\": {\"events\": " << r.trace.events
+       << ", \"dropped\": " << r.trace.dropped
+       << ", \"samples\": " << r.trace.samples
+       << ", \"wrpkr\": " << r.trace.wrpkr
+       << ", \"rdpkr\": " << r.trace.rdpkr
+       << ", \"denials\": " << r.trace.denials
+       << ", \"seal_violations\": " << r.trace.seal_violations
+       << ", \"cam_refills\": " << r.trace.cam_refills
+       << ", \"traps\": " << r.trace.traps
+       << ", \"syscalls\": " << r.trace.syscalls
+       << ", \"context_switches\": " << r.trace.context_switches
+       << ", \"pkeys_touched\": " << r.trace.pkeys_touched
+       << ", \"pages_hwm\": " << r.trace.pages_hwm << "}";
+  }
   os << "}";
   return os.str();
 }

@@ -43,6 +43,10 @@ struct JobSpec {
   // config; the clean run uses the same config with the fault plan cleared.
   sim::MachineConfig config;
   bool verify_checksum = true;  // kRun: compare reports against golden()
+  // When config.trace.enabled: also carry the serialized trace blob in
+  // JobResult::trace_blob (off by default — blobs can be large; the metric
+  // summary is always captured when tracing is on).
+  bool keep_trace_blob = false;
 
   // "suite/name [variant]" — also the per-job label in reports.
   std::string label() const;
@@ -76,6 +80,16 @@ struct JobResult {
   u64 injected = 0;
   u64 outstanding = 0;
   std::vector<fault::FaultEvent> events;
+
+  // --- per-job trace metrics (spec.config.trace.enabled jobs only) ---------
+  // Part of the canonical record when present: the metrics are a pure fold
+  // over the deterministic event stream. For kChaosDiff the block describes
+  // the chaos run.
+  bool has_trace = false;
+  obs::TraceSummary trace;
+  // Serialized trace blob, captured only when spec.keep_trace_blob was set.
+  // Deterministic but excluded from the canonical record (size).
+  std::vector<u8> trace_blob;
 
   // --- observability only: excluded from the canonical record --------------
   double wall_ms = 0.0;  // host wall-clock spent executing this job

@@ -1,0 +1,33 @@
+#include "obs/event.h"
+
+namespace sealpk::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPkeyAlloc: return "pkey_alloc";
+    case EventKind::kPkeyFree: return "pkey_free";
+    case EventKind::kPkeyLazyDrain: return "pkey_lazy_drain";
+    case EventKind::kPkeyMprotect: return "pkey_mprotect";
+    case EventKind::kPkeySeal: return "pkey_seal";
+    case EventKind::kPkeyPermSeal: return "pkey_perm_seal";
+    case EventKind::kPkeyPages: return "pkey_pages";
+    case EventKind::kWrpkr: return "wrpkr";
+    case EventKind::kRdpkr: return "rdpkr";
+    case EventKind::kPkeyDenial: return "pkey_denial";
+    case EventKind::kSealViolation: return "seal_violation";
+    case EventKind::kTrap: return "trap";
+    case EventKind::kPageFault: return "page_fault";
+    case EventKind::kSyscall: return "syscall";
+    case EventKind::kContextSwitch: return "context_switch";
+    case EventKind::kCamRefill: return "cam_refill";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kRollback: return "rollback";
+    case EventKind::kProcessExit: return "process_exit";
+    case EventKind::kProcessKill: return "process_kill";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kSample: return "sample";
+  }
+  return "unknown";
+}
+
+}  // namespace sealpk::obs

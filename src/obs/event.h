@@ -1,0 +1,95 @@
+// Observability event schema (DESIGN.md §10).
+//
+// One fixed-size record per interesting architectural moment: pkey
+// lifecycle, domain transitions, traps/denials/violations, context
+// switches, CAM refills, checkpoints/rollbacks, injected faults and
+// profiler samples. Every event is timestamped with the hart's retired
+// instruction count and modelled cycle count — never wall-clock — so a
+// trace is a pure function of (program, config, seed) and byte-identical
+// across hosts, runs and fleet thread counts.
+#pragma once
+
+#include "common/bits.h"
+#include "common/serial.h"
+
+namespace sealpk::obs {
+
+// Events that concern the machine as a whole rather than one pkey carry
+// this sentinel in Event::pkey.
+inline constexpr u32 kNoPkey = 0xFFFFFFFFu;
+
+enum class EventKind : u8 {
+  // pkey lifecycle
+  kPkeyAlloc = 0,    // arg0 = initial PKR permission bits
+  kPkeyFree = 1,     // arg0 = pages still resident (lazy-drain pending)
+  kPkeyLazyDrain = 2,
+  kPkeyMprotect = 3, // arg0 = vaddr, arg1 = pages tagged
+  kPkeySeal = 4,     // arg0 = seal_domain, arg1 = seal_page
+  kPkeyPermSeal = 5, // arg0 = range start, arg1 = range end
+  kPkeyPages = 6,    // arg0 = signed page delta, arg1 = resulting count
+  // domain transitions
+  kWrpkr = 7,        // arg0 = old PKR row, arg1 = new PKR row
+  kRdpkr = 8,        // arg0 = PKR row read
+  // faults and denials
+  kPkeyDenial = 9,     // arg0 = faulting vaddr, arg1 = 1 if store
+  kSealViolation = 10, // arg0 = faulting pc
+  kTrap = 11,          // arg0 = scause, arg1 = stval
+  kPageFault = 12,     // arg0 = faulting vaddr, arg1 = scause
+  // kernel / machine
+  kSyscall = 13,       // arg0 = syscall number
+  kContextSwitch = 14, // arg0 = previous tid, arg1 = next tid
+  kCamRefill = 15,     // arg0 = range start, arg1 = range end
+  kCheckpoint = 16,    // arg0 = checkpoint ordinal, arg1 = blob bytes
+  kRollback = 17,      // arg0 = rollback ordinal, arg1 = faults outstanding
+  kProcessExit = 18,   // arg0 = exit code (sign-extended), arg1 = pid
+  kProcessKill = 19,   // arg0 = exit code (sign-extended), arg1 = origin
+  kFaultInjected = 20, // arg0 = fault kind, arg1 = detail
+  // profiler
+  kSample = 21, // arg0 = sampled pc
+};
+
+inline constexpr u32 kEventKindCount = 22;
+
+const char* event_kind_name(EventKind kind);
+
+// Fixed-layout event record. `pid`/`tid` are stamped by the recorder from
+// the scheduling context current at emit time; `instret`/`cycles` come from
+// the publishing hart.
+struct Event {
+  EventKind kind = EventKind::kTrap;
+  u32 pid = 0;
+  u32 tid = 0;
+  u32 pkey = kNoPkey;
+  u64 instret = 0;
+  u64 cycles = 0;
+  u64 arg0 = 0;
+  u64 arg1 = 0;
+
+  bool operator==(const Event&) const = default;
+
+  void serialize(ByteWriter& w) const {
+    w.put_u8(static_cast<u8>(kind));
+    w.put_u32(pid);
+    w.put_u32(tid);
+    w.put_u32(pkey);
+    w.put_u64(instret);
+    w.put_u64(cycles);
+    w.put_u64(arg0);
+    w.put_u64(arg1);
+  }
+
+  static Event deserialize(ByteReader& r) {
+    Event e;
+    e.kind = static_cast<EventKind>(r.get_u8());
+    e.pid = r.get_u32();
+    e.tid = r.get_u32();
+    e.pkey = r.get_u32();
+    e.instret = r.get_u64();
+    e.cycles = r.get_u64();
+    e.arg0 = r.get_u64();
+    e.arg1 = r.get_u64();
+    return e;
+  }
+};
+
+}  // namespace sealpk::obs

@@ -1,0 +1,38 @@
+// Trace exporters: Chrome/Perfetto trace_event JSON (loads in
+// ui.perfetto.dev), a compact text timeline, collapsed-stack profiler
+// output (flamegraph.pl / speedscope compatible), a human report, and a
+// structural diff used by the CI determinism oracle.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/recorder.h"
+
+namespace sealpk::obs {
+
+// Folds the blob's event stream through Metrics (closing the final
+// domain-residency interval at the last cycle stamp seen).
+Metrics compute_metrics(const Trace& trace);
+
+// {"displayTimeUnit":...,"traceEvents":[...]}; ts is the modelled cycle
+// count (1 cycle rendered as 1 µs). Samples are omitted here — they go to
+// the collapsed output — to keep the JSON loadable for long runs.
+void write_perfetto_json(const Trace& trace, std::ostream& os);
+
+// One line per event, instret-ordered, fixed columns.
+void write_timeline(const Trace& trace, std::ostream& os);
+
+// "guest<pid>;<function> <samples>" lines, sorted — feed directly to
+// flamegraph.pl.
+void write_collapsed(const Trace& trace, std::ostream& os);
+
+// Aggregate report: event counts, per-pkey table, domain-residency
+// histograms, hottest functions by sample count.
+void write_report(const Trace& trace, std::ostream& os);
+
+// Empty string when the traces are identical; otherwise a one-paragraph
+// description of the first divergence (config, symbols, or event index).
+std::string diff_traces(const Trace& a, const Trace& b);
+
+}  // namespace sealpk::obs

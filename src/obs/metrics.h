@@ -1,0 +1,115 @@
+// Per-pkey / per-domain metric aggregation over the event stream.
+//
+// Metrics are a pure fold over events (observe() one at a time), so the
+// recorder's live counters, a report recomputed from a saved blob, and the
+// fleet's per-job summary all agree by construction. Nothing here is
+// serialized: a blob carries events only and metrics are recomputed.
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "obs/event.h"
+
+namespace sealpk::obs {
+
+// Log2 histogram: bucket[i] counts values v with 2^i <= v < 2^(i+1)
+// (bucket 0 also takes v == 0). 32 buckets cover any plausible cycle count.
+inline constexpr u32 kHistBuckets = 32;
+
+inline u32 log2_bucket(u64 v) {
+  u32 b = 0;
+  while (v > 1 && b + 1 < kHistBuckets) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+struct PkeyMetrics {
+  // lifecycle
+  u64 allocs = 0;
+  u64 frees = 0;
+  u64 lazy_drains = 0;
+  u64 mprotects = 0;
+  u64 seals = 0;
+  u64 perm_seals = 0;
+  // domain transitions
+  u64 wrpkr = 0;
+  u64 rdpkr = 0;
+  // faults
+  u64 denials = 0;
+  u64 seal_violations = 0;
+  u64 cam_refills = 0;
+  // resident pages (tracked from kPkeyPages deltas)
+  u64 pages_current = 0;
+  u64 pages_hwm = 0;
+  // cycles spent while this pkey was the active WRPKR domain, plus a log2
+  // histogram of per-visit residency lengths
+  u64 cycles_in_domain = 0;
+  u64 domain_visits = 0;
+  std::array<u64, kHistBuckets> residency_log2{};
+};
+
+// Canonical, deterministic per-job metric block carried by fleet
+// JobResults and emitted into canonical records when tracing is on.
+struct TraceSummary {
+  u64 events = 0;
+  u64 dropped = 0;  // ring-mode evictions
+  u64 samples = 0;
+  u64 wrpkr = 0;
+  u64 rdpkr = 0;
+  u64 denials = 0;
+  u64 seal_violations = 0;
+  u64 cam_refills = 0;
+  u64 traps = 0;
+  u64 syscalls = 0;
+  u64 context_switches = 0;
+  u64 pkeys_touched = 0;
+  u64 pages_hwm = 0;  // max resident-page high-water mark over all pkeys
+
+  bool operator==(const TraceSummary&) const = default;
+};
+
+class Metrics {
+ public:
+  void observe(const Event& e);
+
+  // Closes the open domain-residency interval at `cycles` (end of run or
+  // report time). Idempotent for a fixed end point.
+  void finish(u64 cycles);
+
+  const std::map<u32, PkeyMetrics>& pkeys() const { return pkeys_; }
+  u64 events() const { return events_; }
+  u64 traps() const { return traps_; }
+  u64 syscalls() const { return syscalls_; }
+  u64 context_switches() const { return context_switches_; }
+  u64 page_faults() const { return page_faults_; }
+  u64 samples() const { return samples_; }
+  u64 checkpoints() const { return checkpoints_; }
+  u64 rollbacks() const { return rollbacks_; }
+  u64 faults_injected() const { return faults_injected_; }
+
+  TraceSummary summary(u64 dropped = 0) const;
+
+ private:
+  void close_domain(u64 cycles);
+
+  std::map<u32, PkeyMetrics> pkeys_;
+  u64 events_ = 0;
+  u64 traps_ = 0;
+  u64 syscalls_ = 0;
+  u64 context_switches_ = 0;
+  u64 page_faults_ = 0;
+  u64 samples_ = 0;
+  u64 checkpoints_ = 0;
+  u64 rollbacks_ = 0;
+  u64 faults_injected_ = 0;
+  // Active WRPKR domain. Pkey 0 (the default untagged domain) is resident
+  // until the first WRPKR. A rollback rewinds the clock, so the open
+  // interval is dropped rather than charged negatively.
+  u32 domain_ = 0;
+  u64 domain_since_ = 0;
+};
+
+}  // namespace sealpk::obs

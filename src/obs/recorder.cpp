@@ -1,0 +1,100 @@
+#include "obs/recorder.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/checksum.h"
+
+namespace sealpk::obs {
+
+void Recorder::sample(u64 instret, u64 cycles, u64 pc) {
+  if (config_.sample_interval == 0) {
+    next_sample_ = ~u64{0};
+    return;
+  }
+  const u64 interval = config_.sample_interval;
+  if (next_sample_ == 0) {
+    // Align to absolute instret multiples so a resumed run fires at the
+    // same points as the uninterrupted one regardless of where the
+    // snapshot boundary fell.
+    next_sample_ = ((instret + interval - 1) / interval) * interval;
+    if (next_sample_ == 0) next_sample_ = interval;
+    if (instret < next_sample_) return;
+  }
+  emit(EventKind::kSample, instret, cycles, kNoPkey, pc, 0);
+  next_sample_ = (instret / interval + 1) * interval;
+}
+
+std::vector<u8> serialize(const Trace& trace) {
+  ByteWriter payload;
+  payload.put_u64(trace.ring_capacity);
+  payload.put_u64(trace.sample_interval);
+  payload.put_u64(trace.dropped);
+  payload.put_u64(trace.symbols.size());
+  for (const auto& s : trace.symbols) {
+    payload.put_u32(s.pid);
+    payload.put_str(s.name);
+    payload.put_u64(s.start);
+    payload.put_u64(s.end);
+  }
+  payload.put_u64(trace.events.size());
+  for (const auto& e : trace.events) e.serialize(payload);
+
+  const std::vector<u8> body = payload.take();
+  ByteWriter out;
+  out.put_bytes(reinterpret_cast<const u8*>(kTraceMagic),
+                sizeof(kTraceMagic));
+  out.put_u32(kTraceVersion);
+  out.put_u64(body.size());
+  out.put_u64(checksum64(body));
+  out.put_bytes(body.data(), body.size());
+  return out.take();
+}
+
+Trace parse(const std::vector<u8>& blob) {
+  ByteReader r(blob);
+  char magic[8];
+  r.get_bytes(reinterpret_cast<u8*>(magic), sizeof(magic));
+  SEALPK_CHECK_MSG(std::memcmp(magic, kTraceMagic, sizeof(magic)) == 0,
+                   "not a SealPK trace blob (bad magic)");
+  const u32 version = r.get_u32();
+  SEALPK_CHECK_MSG(version == kTraceVersion,
+                   "unsupported trace version " << version);
+  const u64 payload_len = r.get_u64();
+  const u64 want_sum = r.get_u64();
+  SEALPK_CHECK_MSG(r.remaining() == payload_len,
+                   "trace payload truncated: header says "
+                       << payload_len << " bytes, " << r.remaining()
+                       << " present");
+  SEALPK_CHECK_MSG(
+      checksum64(blob.data() + r.position(), payload_len) == want_sum,
+      "trace payload checksum mismatch (damaged file)");
+
+  Trace t;
+  t.ring_capacity = r.get_u64();
+  t.sample_interval = r.get_u64();
+  t.dropped = r.get_u64();
+  const u64 nsyms = r.get_u64();
+  t.symbols.reserve(nsyms);
+  for (u64 i = 0; i < nsyms; ++i) {
+    SymbolRange s;
+    s.pid = r.get_u32();
+    s.name = r.get_str();
+    s.start = r.get_u64();
+    s.end = r.get_u64();
+    t.symbols.push_back(std::move(s));
+  }
+  const u64 nevents = r.get_u64();
+  t.events.reserve(nevents);
+  for (u64 i = 0; i < nevents; ++i) {
+    Event e = Event::deserialize(r);
+    SEALPK_CHECK_MSG(static_cast<u32>(e.kind) < kEventKindCount,
+                     "trace event " << i << " has unknown kind "
+                                    << static_cast<u32>(e.kind));
+    t.events.push_back(e);
+  }
+  SEALPK_CHECK_MSG(r.done(), "trailing bytes after trace payload");
+  return t;
+}
+
+}  // namespace sealpk::obs

@@ -31,6 +31,11 @@ Kernel::Kernel(core::Hart& hart, KernelConfig config)
   });
 }
 
+void Kernel::emit(obs::EventKind kind, u32 pkey, u64 arg0, u64 arg1) {
+  if (recorder_ == nullptr) return;
+  recorder_->emit(kind, hart_.instret(), hart_.cycles(), pkey, arg0, arg1);
+}
+
 void Kernel::install_drained_hook(SealPkKeyManager& keys, int pid) {
   keys.set_drained_hook([this, pid](u32 pkey) {
     // The key fully drained: dissolve its hardware seal state so a future
@@ -41,12 +46,20 @@ void Kernel::install_drained_hook(SealPkKeyManager& keys, int pid) {
       hart_.seal_unit().clear_key(pkey);
     }
     set_hw_pkey_perm(pkey, 0);
+    emit(obs::EventKind::kPkeyLazyDrain, pkey, 0, 0);
   });
 }
 
 PkeyPageDelta Kernel::page_delta_hook() {
   KeyManager* keys = &current_keys();
-  return [keys](u32 pkey, i64 pages) { keys->page_delta(pkey, pages); };
+  if (recorder_ == nullptr) {
+    return [keys](u32 pkey, i64 pages) { keys->page_delta(pkey, pages); };
+  }
+  return [this, keys](u32 pkey, i64 pages) {
+    keys->page_delta(pkey, pages);
+    emit(obs::EventKind::kPkeyPages, pkey, static_cast<u64>(pages),
+         keys->page_count(pkey));
+  };
 }
 
 int Kernel::load_process(const isa::Image& image) {
@@ -261,6 +274,11 @@ void Kernel::restore_context(Thread& next, int prev_pid) {
     hart_.add_cycles(t.tlb_flush_cycles);
   }
   current_tid_ = next.tid;
+  if (recorder_ != nullptr) {
+    recorder_->context_switch(hart_.instret(), hart_.cycles(),
+                              static_cast<u32>(next.pid),
+                              static_cast<u32>(next.tid));
+  }
 }
 
 // Round-robin handoff from the current thread (which resumes at
@@ -310,6 +328,9 @@ void Kernel::handle_trap() {
       return;
     case core::TrapCause::kSealViolation:
       ++stats_.seal_violations;
+      emit(obs::EventKind::kSealViolation,
+           static_cast<u32>(hart_.csrs().stval & 0x3FF),
+           hart_.csrs().sepc, 0);
       fatal_fault(cause);
       return;
     default:
@@ -320,6 +341,11 @@ void Kernel::handle_trap() {
 
 void Kernel::handle_page_fault(core::TrapCause cause) {
   ++stats_.page_faults;
+  emit(obs::EventKind::kPageFault,
+       (hart_.csrs().spkinfo >> 63) != 0
+           ? static_cast<u32>(hart_.csrs().spkinfo & 0x3FF)
+           : obs::kNoPkey,
+       hart_.csrs().stval, static_cast<u64>(cause));
   hart_.add_cycles(hart_.timing().fault_handler_cycles);
   FaultRecord rec;
   rec.pid = thread(current_tid_).pid;
@@ -504,6 +530,7 @@ void Kernel::handle_cam_miss() {
     return;
   }
   ++stats_.cam_refills;
+  emit(obs::EventKind::kCamRefill, pkey, range->start, range->end);
   hart_.seal_unit().refill(pkey, range->start, range->end);
   if (config_.cam_refill_dup && config_.cam_refill_dup()) {
     // Injected duplicate: the entry lands a second time in the FIFO slot,
@@ -649,12 +676,15 @@ void Kernel::kill_current(i64 code, KillOrigin origin) {
   } else {
     ++stats_.watchdog_kills;
   }
+  emit(obs::EventKind::kProcessKill, obs::kNoPkey, static_cast<u64>(code),
+       static_cast<u64>(origin));
   sys_exit(code);
 }
 
 void Kernel::do_syscall() {
   ++stats_.syscalls;
   const u64 nr = hart_.reg(isa::a7);
+  emit(obs::EventKind::kSyscall, obs::kNoPkey, nr, 0);
   ++stats_.syscall_counts[nr];
   hart_.add_cycles(hart_.timing().syscall_dispatch_cycles);
   const u64 a0 = hart_.reg(isa::a0);
@@ -794,6 +824,8 @@ i64 Kernel::sys_pkey_mprotect(u64 addr, u64 len, u64 prot, u64 pkey) {
                      t.tlb_flush_cycles);
     stats_.pte_pages_updated += static_cast<u64>(pages);
     hart_.flush_tlbs();
+    emit(obs::EventKind::kPkeyMprotect, static_cast<u32>(pkey), addr,
+         static_cast<u64>(pages));
     return 0;
   }
   return pages;
@@ -805,6 +837,7 @@ i64 Kernel::sys_pkey_alloc(u64 flags, u64 init_perm) {
   const i64 pkey = current_keys().alloc();
   if (pkey >= 0) {
     set_hw_pkey_perm(static_cast<u32>(pkey), static_cast<u8>(init_perm));
+    emit(obs::EventKind::kPkeyAlloc, static_cast<u32>(pkey), init_perm, 0);
   }
   return pkey;
 }
@@ -814,6 +847,8 @@ i64 Kernel::sys_pkey_free(u64 pkey) {
   KeyManager& keys = current_keys();
   const i64 rc = keys.free_key(static_cast<u32>(pkey));
   if (rc != 0) return rc;
+  emit(obs::EventKind::kPkeyFree, static_cast<u32>(pkey),
+       keys.page_count(static_cast<u32>(pkey)), 0);
   if (hart_.config().flavor == core::IsaFlavor::kSealPk) {
     // Lazy de-allocation (§III-B.1): clear the key's PKR permission to
     // (0,0) so the page-table permissions alone govern its orphan pages,
@@ -835,8 +870,13 @@ i64 Kernel::sys_pkey_free(u64 pkey) {
 
 i64 Kernel::sys_pkey_seal(u64 pkey, u64 seal_domain, u64 seal_page) {
   hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
-  return current_keys().seal(static_cast<u32>(pkey), seal_domain != 0,
-                             seal_page != 0);
+  const i64 rc = current_keys().seal(static_cast<u32>(pkey),
+                                     seal_domain != 0, seal_page != 0);
+  if (rc == 0) {
+    emit(obs::EventKind::kPkeySeal, static_cast<u32>(pkey), seal_domain,
+         seal_page);
+  }
+  return rc;
 }
 
 i64 Kernel::sys_pkey_perm_seal(u64 pkey) {
@@ -851,6 +891,8 @@ i64 Kernel::sys_pkey_perm_seal(u64 pkey) {
   hart_.add_cycles(2 * t.rocc_cycles);
   hart_.seal_unit().set_sealed(static_cast<u32>(pkey));
   hart_.seal_unit().refill(static_cast<u32>(pkey), range.start, range.end);
+  emit(obs::EventKind::kPkeyPermSeal, static_cast<u32>(pkey), range.start,
+       range.end);
   return 0;
 }
 
@@ -862,6 +904,8 @@ i64 Kernel::sys_clone(u64 entry, u64 stack_top, u64 arg) {
 void Kernel::sys_exit(i64 code) {
   Thread& cur = thread(current_tid_);
   Process& proc = process(cur.pid);
+  emit(obs::EventKind::kProcessExit, obs::kNoPkey, static_cast<u64>(code),
+       static_cast<u64>(cur.pid));
   proc.exited = true;
   proc.exit_code = code;
   for (const int tid : proc.thread_tids) thread(tid).exited = true;

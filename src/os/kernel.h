@@ -17,6 +17,7 @@
 
 #include "core/hart.h"
 #include "isa/program.h"
+#include "obs/recorder.h"
 #include "os/process.h"
 #include "os/syscall_abi.h"
 
@@ -156,6 +157,11 @@ class Kernel {
   std::vector<int>& run_queue_for_test() { return run_queue_; }
   core::Hart& hart() { return hart_; }
 
+  // Observability sink (src/obs): syscalls, pkey lifecycle, context
+  // switches, CAM refills and fault handling are published here. Null =
+  // disabled; emits charge no cycles (same discipline as the hart hooks).
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   const std::vector<FaultRecord>& faults() const { return faults_; }
   const std::string& console() const { return console_; }
   const std::vector<u64>& reports() const { return reports_; }
@@ -245,8 +251,13 @@ class Kernel {
 
   PkeyPageDelta page_delta_hook();
 
+  // Emits an event stamped with the hart's current instret/cycles; a plain
+  // no-op when no recorder is attached.
+  void emit(obs::EventKind kind, u32 pkey, u64 arg0, u64 arg1);
+
   core::Hart& hart_;
   KernelConfig config_;
+  obs::Recorder* recorder_ = nullptr;
   std::map<int, std::unique_ptr<Process>> processes_;
   std::map<int, std::unique_ptr<Thread>> threads_;
   std::vector<int> run_queue_;  // runnable tids, excluding current

@@ -14,7 +14,13 @@ int Machine::load(const isa::Image& image) {
       return kLoadRefused;
     }
   }
-  return kernel_.load_process(image);
+  const int pid = kernel_.load_process(image);
+  if (pid >= 0 && recorder_ != nullptr) {
+    // Feed the loader's function ranges to the profiler so PC samples can
+    // be attributed to guest functions.
+    recorder_->add_symbols(static_cast<u32>(pid), image.func_ranges);
+  }
+  return pid;
 }
 
 void Machine::take_checkpoint() {
@@ -32,6 +38,11 @@ void Machine::take_checkpoint() {
   checkpoint_injected_ =
       injector_ != nullptr ? injector_->lifetime_injected() : 0;
   ++checkpoints_;
+  if (recorder_ != nullptr) {
+    recorder_->emit(obs::EventKind::kCheckpoint, hart_.instret(),
+                    hart_.cycles(), obs::kNoPkey, checkpoints_,
+                    checkpoint_.size());
+  }
 }
 
 bool Machine::request_rollback() {
@@ -78,6 +89,12 @@ void Machine::perform_rollback() {
   // rollback absorbs this corruption, not the whole plan.
   injector_->suppress(fired);
   ++rollbacks_;
+  if (recorder_ != nullptr) {
+    // restore() re-seeded the stamping context; the event carries the
+    // *restored* (rewound) clocks, so a trace shows the rewind explicitly.
+    recorder_->emit(obs::EventKind::kRollback, hart_.instret(),
+                    hart_.cycles(), obs::kNoPkey, rollbacks_, fired);
+  }
 }
 
 RunOutcome Machine::run(u64 max_instructions) {
@@ -161,6 +178,11 @@ RunOutcome Machine::run(u64 max_instructions) {
       }
 
       if (faults && !rollback_pending_) injector_->maybe_inject(hart_, kernel_);
+      // Sampling profiler tick: one compare per retired instruction when
+      // tracing is on, nothing at all when it is off.
+      if (recorder_ != nullptr) {
+        recorder_->tick(hart_.instret(), hart_.cycles(), hart_.pc());
+      }
     } catch (const std::exception& e) {
       // A host-level exception (CheckError from a torn invariant, bad_alloc,
       // ...) must never escape the simulated machine: contain it as a

@@ -62,6 +62,16 @@ struct MachineConfig {
   // check falls through to the existing kExitMachineCheck kill (the cap
   // contains permanently-corrupting fault plans and rollback storms).
   u64 max_rollbacks = 3;
+
+  // --- observability (src/obs) ---------------------------------------------
+  // Off by default: publishers then sit on the same null-check fast path as
+  // the trace hook. Emits charge no modelled cycles and never touch
+  // architectural state, so enabling tracing cannot change a run's
+  // instructions, cycles or snapshots (guarded by the golden-compat test).
+  // Deliberately NOT serialized into snapshots: the CFG section's byte
+  // format is frozen by the v1 golden file, and a restored machine decides
+  // its own tracing independently of how the snapshot was recorded.
+  obs::TraceConfig trace;
 };
 
 struct RunOutcome {
@@ -83,6 +93,12 @@ class Machine {
       injector_ = std::make_unique<fault::FaultInjector>(config_.fault_plan);
     }
     auditor_ = std::make_unique<fault::MachineAuditor>(hart_, kernel_);
+    if (config_.trace.enabled) {
+      recorder_ = std::make_unique<obs::Recorder>(config_.trace);
+      hart_.set_recorder(recorder_.get());
+      kernel_.set_recorder(recorder_.get());
+      if (injector_ != nullptr) injector_->set_recorder(recorder_.get());
+    }
   }
 
   // Loads a linked image as a new process; returns the pid, or kLoadRefused
@@ -105,6 +121,23 @@ class Machine {
   // nullptr when fault injection is disabled.
   fault::FaultInjector* injector() { return injector_.get(); }
   fault::MachineAuditor& auditor() { return *auditor_; }
+
+  // nullptr when tracing is disabled (MachineConfig::trace.enabled).
+  obs::Recorder* recorder() { return recorder_.get(); }
+
+  // Called by snapshot::restore after the kernel's scheduling state has
+  // been loaded: the recorder's pid/tid stamping context arrives out of
+  // band (it is not part of the snapshot), so re-seed it here. A no-op
+  // without a recorder. Events published after this point stamp exactly as
+  // they would have in an uninterrupted traced run.
+  void reseed_recorder() {
+    if (recorder_ == nullptr) return;
+    if (kernel_.has_current_thread()) {
+      const int tid = kernel_.current_tid();
+      recorder_->seed_context(
+          static_cast<u32>(kernel_.thread(tid).pid), static_cast<u32>(tid));
+    }
+  }
 
   // Sentinel returned by exit_code() for a pid that never existed — callers
   // probing unknown pids get this instead of a host exception.
@@ -174,6 +207,7 @@ class Machine {
   os::Kernel kernel_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::MachineAuditor> auditor_;
+  std::unique_ptr<obs::Recorder> recorder_;
   analysis::Report verify_report_;
   RunLoopState runloop_;
 

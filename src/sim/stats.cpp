@@ -54,8 +54,8 @@ void print_stats(const MachineStats& s, std::ostream& os) {
   os << "  dtlb hit rate     " << std::setprecision(4)
      << 100.0 * s.dtlb_hit_rate() << "%  (" << s.dtlb.hits << " hits, "
      << s.dtlb.misses << " misses, " << s.dtlb.flushes << " flushes)\n";
-  os << "  itlb              " << s.itlb.hits << " hits, " << s.itlb.misses
-     << " misses\n";
+  os << "  itlb hit rate     " << 100.0 * s.itlb_hit_rate() << "%  ("
+     << s.itlb.hits << " hits, " << s.itlb.misses << " misses)\n";
   os << "  pkr ports         " << s.pkr.perm_lookups << " perm lookups, "
      << s.pkr.row_reads << " row reads, " << s.pkr.row_writes
      << " row writes\n";
@@ -67,7 +67,12 @@ void print_stats(const MachineStats& s, std::ostream& os) {
   os << "  pkey denials      " << s.pkey_denials << "\n";
   os << "  context switches  " << s.context_switches << "\n";
   os << "  pte updates       " << s.pte_pages_updated << " pages\n";
-  if (s.faults_injected != 0 || s.audit_runs != 0 ||
+  // Robustness block only when something robustness-related actually
+  // happened — a clean run (even one that scheduled audits which all came
+  // back empty) keeps its report short.
+  if (s.faults_injected != 0 || s.audit_findings != 0 ||
+      s.machine_checks != 0 || s.machine_check_kills != 0 ||
+      s.watchdog_kills != 0 || s.recoveries != 0 ||
       s.host_errors_contained != 0) {
     os << "  faults injected   " << s.faults_injected << "  (recoveries "
        << s.recoveries << ", machine checks " << s.machine_checks

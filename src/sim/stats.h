@@ -58,6 +58,12 @@ struct MachineStats {
                       : static_cast<double>(dtlb.hits) /
                             static_cast<double>(total);
   }
+  double itlb_hit_rate() const {
+    const u64 total = itlb.hits + itlb.misses;
+    return total == 0 ? 1.0
+                      : static_cast<double>(itlb.hits) /
+                            static_cast<double>(total);
+  }
 };
 
 MachineStats collect_stats(Machine& machine);

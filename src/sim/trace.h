@@ -36,13 +36,16 @@ class Tracer {
 
   const std::deque<TraceEntry>& entries() const { return entries_; }
   u64 executed() const { return executed_; }
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    executed_ = 0;
+  }
 
   // Renders the buffer, one "priv pc: disasm" line per instruction.
   void dump(std::ostream& os) const;
 
  private:
-  u64 capacity_;
+  const u64 capacity_;
   u64 executed_ = 0;
   std::deque<TraceEntry> entries_;
 };

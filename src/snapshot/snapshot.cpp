@@ -413,6 +413,10 @@ void restore(sim::Machine& machine, const std::vector<u8>& blob) {
       ByteReader r = need(sections, kSecInjector).reader();
       machine.injector()->load_state(r);
     }
+    // Tracing state travels outside snapshots; re-seed the recorder's
+    // pid/tid stamping context from the just-restored scheduler so events
+    // published after this point stamp exactly as in an uninterrupted run.
+    machine.reseed_recorder();
   } catch (const SnapshotError&) {
     throw;
   } catch (const std::exception& e) {

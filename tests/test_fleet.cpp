@@ -66,6 +66,40 @@ TEST(Fleet, RunRecordsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Fleet, TracedRecordsAndBlobsByteIdenticalAcrossThreadCounts) {
+  const char* names[] = {"qsort", "sha", "bitcount"};
+  std::vector<fleet::JobSpec> specs;
+  for (const char* name : names) {
+    fleet::JobSpec spec = run_spec(static_cast<u32>(specs.size()),
+                                   named(name, wl::Suite::kMiBench),
+                                   passes::ShadowStackKind::kSealPkWr);
+    spec.perm_seal = true;
+    spec.config.trace.enabled = true;
+    spec.config.trace.sample_interval = 512;
+    spec.keep_trace_blob = true;
+    specs.push_back(spec);
+  }
+  fleet::ImageCache cache1, cache4;
+  fleet::FleetOptions serial, pooled;
+  serial.threads = 1;
+  pooled.threads = 4;
+  const auto a = fleet::run_jobs(specs, cache1, serial);
+  const auto b = fleet::run_jobs(specs, cache4, pooled);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(fleet::canonical_record(a[i]), fleet::canonical_record(b[i]));
+    ASSERT_TRUE(a[i].has_trace);
+    EXPECT_GT(a[i].trace.wrpkr, 0u);
+    EXPECT_GT(a[i].trace.samples, 0u);
+    ASSERT_FALSE(a[i].trace_blob.empty());
+    EXPECT_EQ(a[i].trace_blob, b[i].trace_blob)
+        << "trace blob " << i << " depends on thread count";
+    // The trace block is part of the canonical record for traced jobs.
+    EXPECT_NE(fleet::canonical_record(a[i]).find("\"trace\""),
+              std::string::npos);
+  }
+}
+
 TEST(Fleet, ChaosDiffRecordsByteIdenticalAcrossThreadCounts) {
   const char* names[] = {"qsort", "sha", "bitcount", "stringsearch"};
   std::vector<fleet::JobSpec> specs;

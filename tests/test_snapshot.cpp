@@ -434,5 +434,34 @@ TEST(SnapshotGolden, CommittedV1SnapshotStillRestoresAndCompletes) {
   EXPECT_EQ(machine.exit_code(1), 0);
 }
 
+TEST(SnapshotGolden, TracingDoesNotPerturbGoldenReplay) {
+  // Zero-perturbation contract for the committed v1 snapshot: restoring it
+  // into a machine with the event recorder enabled must replay exactly the
+  // run the untraced machine replays — same outcome, same console, and the
+  // same final serialized state (trace config and recorder state live
+  // outside the snapshot format on purpose).
+  const std::string path =
+      std::string(SEALPK_SOURCE_DIR) + "/tests/golden/qsort_mid.spksnap";
+  const std::vector<u8> blob = snapshot::read_file(path);
+
+  sim::Machine plain(snapshot::config_from(blob));
+  snapshot::restore(plain, blob);
+  ASSERT_TRUE(plain.run(400'000'000).completed);
+
+  sim::MachineConfig traced_config = snapshot::config_from(blob);
+  traced_config.trace.enabled = true;
+  traced_config.trace.sample_interval = 512;
+  sim::Machine traced(traced_config);
+  snapshot::restore(traced, blob);
+  ASSERT_TRUE(traced.run(400'000'000).completed);
+
+  EXPECT_EQ(plain.exit_code(1), traced.exit_code(1));
+  EXPECT_EQ(plain.kernel().console(), traced.kernel().console());
+  EXPECT_EQ(plain.kernel().reports(), traced.kernel().reports());
+  EXPECT_EQ(snapshot::save(plain), snapshot::save(traced));
+  ASSERT_NE(traced.recorder(), nullptr);
+  EXPECT_GT(traced.recorder()->events().size(), 0u);
+}
+
 }  // namespace
 }  // namespace sealpk

@@ -65,6 +65,22 @@ TEST(Trace, DetachRestoresZeroOverheadPath) {
   EXPECT_EQ(machine.exit_code(pid), 0);
 }
 
+TEST(Trace, ClearResetsEntriesAndExecutedCount) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    for (int i = 0; i < 10; ++i) f.nop();
+    f.li(a0, 0);
+  });
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.load(prog.link());
+  sim::Tracer tracer(8);
+  tracer.attach(machine.hart());
+  machine.run();
+  ASSERT_GT(tracer.executed(), 0u);
+  tracer.clear();
+  EXPECT_EQ(tracer.executed(), 0u);
+  EXPECT_TRUE(tracer.entries().empty());
+}
+
 TEST(Trace, DumpFormatsAllEntries) {
   auto prog = make_main_program([](Program&, Function& f) { f.li(a0, 0); });
   sim::Machine machine{sim::MachineConfig{}};

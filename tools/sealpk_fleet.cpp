@@ -72,6 +72,8 @@ struct CliOptions {
   u64 scale = 0;  // 0 = per-workload bench_scale
   u64 budget = 8'000'000'000ULL;
   bool chaos = false;
+  bool trace = false;       // --trace: per-job event recording + metrics
+  u64 trace_ring = 4096;    // ring capture keeps fleet memory bounded
   bool quiet = false;
   bool canonical = false;
   bool selfcheck = false;
@@ -145,7 +147,7 @@ int usage() {
       "       [--chaos] [--chaos-seed=<n>] [--chaos-rate=<p>]\n"
       "       [--cam-rate=<p>] [--max-faults=<n>] [--kinds=<k,...>]\n"
       "       [--rollback] [--ckpt-interval=<n>] [--max-rollbacks=<n>]\n"
-      "       [--no-pkr-save]\n"
+      "       [--no-pkr-save] [--trace] [--trace-ring=<n>]\n"
       "variants: none inline func sealpk-wr sealpk-rdwr mprotect sealed\n");
   return 2;
 }
@@ -186,6 +188,13 @@ std::vector<fleet::JobSpec> build_matrix(const CliOptions& cli) {
               cli.ckpt_interval != 0 ? cli.ckpt_interval : 25'000;
           spec.config.max_rollbacks = cli.max_rollbacks;
         }
+      }
+      if (cli.trace) {
+        // Fan trace capture across the matrix: each job records its own
+        // deterministic event stream; the metric summary lands in the
+        // canonical record (and report) per job.
+        spec.config.trace.enabled = true;
+        spec.config.trace.ring_capacity = cli.trace_ring;
       }
       specs.push_back(std::move(spec));
     }
@@ -290,6 +299,10 @@ int main(int argc, char** argv) {
       cli.quiet = true;
     } else if (arg == "--chaos") {
       cli.chaos = true;
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg.rfind("--trace-ring=", 0) == 0) {
+      cli.trace_ring = std::strtoull(arg.c_str() + 13, nullptr, 0);
     } else if (arg == "--canonical") {
       cli.canonical = true;
     } else if (arg == "--selfcheck") {
