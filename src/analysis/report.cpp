@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "common/json.h"
+
 namespace sealpk::analysis {
+
+namespace {
+
+// print() and print_json() must list findings identically: errors first,
+// then warnings, then notes, stable within a severity.
+std::vector<const Finding*> severity_order(
+    const std::vector<Finding>& findings) {
+  std::vector<const Finding*> order;
+  order.reserve(findings.size());
+  for (const auto& f : findings) order.push_back(&f);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Finding* a, const Finding* b) {
+                     return static_cast<int>(a->severity) >
+                            static_cast<int>(b->severity);
+                   });
+  return order;
+}
+
+}  // namespace
 
 const char* severity_name(Severity severity) {
   switch (severity) {
@@ -54,20 +75,36 @@ void Report::print(std::ostream& os, const std::string& program) const {
   }
   os << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
      << " warning(s), " << count(Severity::kInfo) << " note(s)\n";
-  // Errors first, then warnings, then notes; stable within a severity.
-  std::vector<const Finding*> order;
-  order.reserve(findings_.size());
-  for (const auto& f : findings_) order.push_back(&f);
-  std::stable_sort(order.begin(), order.end(),
-                   [](const Finding* a, const Finding* b) {
-                     return static_cast<int>(a->severity) >
-                            static_cast<int>(b->severity);
-                   });
-  for (const Finding* f : order) {
+  for (const Finding* f : severity_order(findings_)) {
     os << "  [" << severity_name(f->severity) << "] " << check_name(f->check)
        << " " << f->function << " (pc 0x" << std::hex << f->pc << std::dec
        << "): " << f->message << "\n";
   }
+}
+
+void Report::print_json(std::ostream& os, const std::string& program,
+                        const std::string& indent) const {
+  os << indent << "{\n";
+  if (!program.empty()) {
+    os << indent << "  \"program\": \"" << json_escape(program) << "\",\n";
+  }
+  os << indent << "  \"admissible\": " << (admissible() ? "true" : "false")
+     << ",\n"
+     << indent << "  \"errors\": " << count(Severity::kError) << ",\n"
+     << indent << "  \"warnings\": " << count(Severity::kWarning) << ",\n"
+     << indent << "  \"notes\": " << count(Severity::kInfo) << ",\n"
+     << indent << "  \"findings\": [";
+  bool first = true;
+  for (const Finding* f : severity_order(findings_)) {
+    os << (first ? "\n" : ",\n") << indent << "    {\"severity\": \""
+       << severity_name(f->severity) << "\", \"check\": \""
+       << check_name(f->check) << "\", \"function\": \""
+       << json_escape(f->function) << "\", \"pc\": " << f->pc
+       << ", \"message\": \"" << json_escape(f->message) << "\"}";
+    first = false;
+  }
+  if (!first) os << "\n" << indent << "  ";
+  os << "]\n" << indent << "}";
 }
 
 }  // namespace sealpk::analysis

@@ -61,6 +61,13 @@ class Report {
   // single "clean" line.
   void print(std::ostream& os, const std::string& program = "") const;
 
+  // Machine-readable form of the same listing (one JSON object), so CI can
+  // diff verifier output structurally. Findings appear in the same
+  // errors-first order as print(). `indent` prefixes every emitted line,
+  // letting callers nest the object inside a larger document.
+  void print_json(std::ostream& os, const std::string& program = "",
+                  const std::string& indent = "") const;
+
  private:
   std::vector<Finding> findings_;
 };

@@ -1,0 +1,32 @@
+// Minimal JSON string escaping shared by every hand-streamed JSON emitter
+// (fleet reports, trace exports, verifier findings, model-checker traces).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sealpk {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sealpk

@@ -765,13 +765,7 @@ bool Hart::exec_custom(const Inst& inst) {
       // neighbour could clobber a sealed key's permissions (a gap the paper
       // does not address; see DESIGN.md).
       const u64 old = pkr_.peek_row(row);
-      for (u32 slot = 0; slot < hw::kKeysPerRow; ++slot) {
-        const u32 other = row * hw::kKeysPerRow + slot;
-        if (other != pkey && seal_unit_.sealed(other)) {
-          next = deposit(next, 2 * slot + 1, 2 * slot,
-                         bits(old, 2 * slot + 1, 2 * slot));
-        }
-      }
+      next = hw::merge_sealed_row(seal_unit_, old, next, row, pkey);
       pkr_.write_row(row, next);
       if (pkr_write_hook_) pkr_write_hook_(row, next);
       if (recorder_ != nullptr) {

@@ -93,9 +93,15 @@ class Pkr {
   bool read_disabled(u32 pkey) { return (perm_of(pkey) & 0b10) != 0; }
   bool write_disabled(u32 pkey) { return (perm_of(pkey) & 0b01) != 0; }
 
+  // Canonical architectural state: the 32 rows and nothing else (no parity,
+  // no stats). This is the state the snapshot layer swaps per thread and the
+  // state the model checker hashes for visited-set deduplication — two
+  // observers of the same architecture, so they must share one accessor.
+  const Snapshot& canonical_state() const { return rows_; }
+
   // Context-switch support (§III-B.2): the kernel saves/restores all 32
   // rows per thread.
-  Snapshot save() const { return rows_; }
+  Snapshot save() const { return canonical_state(); }
   void restore(const Snapshot& snapshot) {
     rows_ = snapshot;
     for (u32 row = 0; row < kPkrRows; ++row)

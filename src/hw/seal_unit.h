@@ -44,6 +44,19 @@ enum class SealCheck : u8 {
 
 class SealUnit {
  public:
+  // `active_cam_entries` bounds the FIFO replacement cursor, modelling a
+  // down-scaled CAM (the model checker explores with 2 entries so eviction
+  // and refill dynamics are reachable within a tiny state space). The
+  // default is the paper's full 16-entry CAM; the snapshot format is
+  // unaffected — the active count is a build parameter, not state.
+  explicit SealUnit(unsigned active_cam_entries = kPkCamEntries)
+      : active_cam_entries_(active_cam_entries) {
+    SEALPK_CHECK(active_cam_entries >= 1 &&
+                 active_cam_entries <= kPkCamEntries);
+  }
+
+  unsigned active_cam_entries() const { return active_cam_entries_; }
+
   bool sealed(u32 pkey) const {
     SEALPK_CHECK(pkey < kNumPkeys);
     return seal_reg_[pkey];
@@ -89,7 +102,7 @@ class SealUnit {
     }
     cam_[fifo_next_] = {
         {static_cast<u16>(pkey), addr_start, addr_end}, true};
-    fifo_next_ = (fifo_next_ + 1) % kPkCamEntries;
+    fifo_next_ = (fifo_next_ + 1) % active_cam_entries_;
   }
 
   // Fault-model port: a refill that skips the replace-in-place scan and
@@ -103,7 +116,7 @@ class SealUnit {
     ++stats_.refills;
     cam_[fifo_next_] = {
         {static_cast<u16>(pkey), addr_start, addr_end}, true};
-    fifo_next_ = (fifo_next_ + 1) % kPkCamEntries;
+    fifo_next_ = (fifo_next_ + 1) % active_cam_entries_;
   }
 
   // Auditor port: count valid CAM entries naming `pkey` (> 1 after a
@@ -174,6 +187,39 @@ class SealUnit {
     unsigned fifo_next = 0;
   };
 
+  // Canonical architectural state: SealReg, the CAM array, and the FIFO
+  // cursor — exactly what context switches swap and the model checker
+  // hashes. save() keeps its historical name for the kernel call sites.
+  Snapshot canonical_state() const { return save(); }
+
+  // Serialized form of a Snapshot. Both the process snapshot layer
+  // (src/snapshot via the kernel's per-process seal images) and save_state
+  // below emit this same byte layout; keeping it in one place means the two
+  // can never drift.
+  static void save_snapshot(ByteWriter& w, const Snapshot& s) {
+    w.put_bitset(s.seal_reg);
+    for (unsigned i = 0; i < kPkCamEntries; ++i) {
+      w.put_u16(s.cam_entries[i].pkey);
+      w.put_u64(s.cam_entries[i].addr_start);
+      w.put_u64(s.cam_entries[i].addr_end);
+      w.put_bool(s.cam_valid[i]);
+    }
+    w.put_u32(s.fifo_next);
+  }
+
+  static Snapshot load_snapshot(ByteReader& r) {
+    Snapshot s;
+    s.seal_reg = r.get_bitset<kNumPkeys>();
+    for (unsigned i = 0; i < kPkCamEntries; ++i) {
+      s.cam_entries[i].pkey = r.get_u16();
+      s.cam_entries[i].addr_start = r.get_u64();
+      s.cam_entries[i].addr_end = r.get_u64();
+      s.cam_valid[i] = r.get_bool();
+    }
+    s.fifo_next = r.get_u32();
+    return s;
+  }
+
   Snapshot save() const {
     Snapshot s;
     s.seal_reg = seal_reg_;
@@ -206,14 +252,7 @@ class SealUnit {
   // Snapshot port: everything save()/restore() covers plus the stats, so a
   // resumed run's counters match an uninterrupted one.
   void save_state(ByteWriter& w) const {
-    w.put_bitset(seal_reg_);
-    for (const auto& slot : cam_) {
-      w.put_u16(slot.entry.pkey);
-      w.put_u64(slot.entry.addr_start);
-      w.put_u64(slot.entry.addr_end);
-      w.put_bool(slot.valid);
-    }
-    w.put_u32(fifo_next_);
+    save_snapshot(w, canonical_state());
     w.put_u64(stats_.checks);
     w.put_u64(stats_.cam_hits);
     w.put_u64(stats_.cam_misses);
@@ -221,14 +260,7 @@ class SealUnit {
     w.put_u64(stats_.refills);
   }
   void load_state(ByteReader& r) {
-    seal_reg_ = r.get_bitset<kNumPkeys>();
-    for (auto& slot : cam_) {
-      slot.entry.pkey = r.get_u16();
-      slot.entry.addr_start = r.get_u64();
-      slot.entry.addr_end = r.get_u64();
-      slot.valid = r.get_bool();
-    }
-    fifo_next_ = r.get_u32();
+    restore(load_snapshot(r));
     stats_.checks = r.get_u64();
     stats_.cam_hits = r.get_u64();
     stats_.cam_misses = r.get_u64();
@@ -241,10 +273,26 @@ class SealUnit {
     CamEntry entry;
     bool valid = false;
   };
+  unsigned active_cam_entries_ = kPkCamEntries;
   std::bitset<kNumPkeys> seal_reg_;
   std::array<Slot, kPkCamEntries> cam_{};
   unsigned fifo_next_ = 0;
   SealUnitStats stats_;
 };
+
+// WRPKR row-commit merge (§IV): a row write may only change the fields of
+// unsealed keys plus the named key itself; every *other* sealed key in the
+// row keeps its current 2-bit field. Shared by the hart's WRPKR commit and
+// the model checker's harness so the two cannot diverge.
+inline u64 merge_sealed_row(const SealUnit& unit, u64 old_row, u64 next,
+                            u32 row, u32 pkey) {
+  for (u32 slot = 0; slot < kKeysPerRow; ++slot) {
+    const u32 other = row * kKeysPerRow + slot;
+    if (other == pkey || !unit.sealed(other)) continue;
+    next = deposit(next, 2 * slot + 1, 2 * slot,
+                   bits(old_row, 2 * slot + 1, 2 * slot));
+  }
+  return next;
+}
 
 }  // namespace sealpk::hw

@@ -1,0 +1,48 @@
+#include "model/config.h"
+
+#include "common/check.h"
+#include "hw/pkr.h"
+#include "hw/seal_unit.h"
+
+namespace sealpk::model {
+
+const char* mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::kNone: return "none";
+    case Mutation::kSkipFreeClear: return "skip-free-clear";
+    case Mutation::kSkipDrainScrub: return "skip-drain-scrub";
+    case Mutation::kEagerFreeClear: return "eager-free-clear";
+    case Mutation::kForgetDirty: return "forget-dirty";
+    case Mutation::kSkipSealedNeighbourMerge:
+      return "skip-sealed-neighbour-merge";
+    case Mutation::kIgnoreSealViolation: return "ignore-seal-violation";
+    case Mutation::kRefillWrongRange: return "refill-wrong-range";
+    case Mutation::kIgnorePkeyOnAccess: return "ignore-pkey-on-access";
+    case Mutation::kSpecForgetDirty: return "spec-forget-dirty";
+  }
+  return "?";
+}
+
+std::optional<Mutation> parse_mutation(const std::string& name) {
+  for (unsigned i = 0; i < kNumMutations; ++i) {
+    const Mutation m = static_cast<Mutation>(i);
+    if (name == mutation_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+void ModelConfig::validate() const {
+  // Keys must share PKR row 0 so a WRPKR row commit covers the whole model
+  // key universe, and the reduced CAM must fit the hardware CAM.
+  SEALPK_CHECK_MSG(num_pkeys >= 2 && num_pkeys <= hw::kKeysPerRow,
+                   "num_pkeys must be in [2, 32]");
+  SEALPK_CHECK_MSG(num_pages >= 1 && num_pages <= 8,
+                   "num_pages must be in [1, 8]");
+  SEALPK_CHECK_MSG(cam_entries >= 1 && cam_entries <= hw::kPkCamEntries,
+                   "cam_entries must be in [1, 16]");
+  SEALPK_CHECK_MSG(threads >= 1 && threads <= 64,
+                   "threads must be in [1, 64]");
+  SEALPK_CHECK(max_states > 0);
+}
+
+}  // namespace sealpk::model

@@ -1,0 +1,276 @@
+#include "model/harness.h"
+
+#include <bitset>
+
+#include "common/check.h"
+#include "common/serial.h"
+#include "os/syscall_abi.h"
+
+namespace sealpk::model {
+
+Harness::Harness(const ModelConfig& cfg)
+    : cfg_(cfg), seal_(cfg.cam_entries), pages_(cfg.num_pages) {
+  wire_drained_hook();
+}
+
+Harness::Harness(const Harness& other)
+    : cfg_(other.cfg_),
+      pkr_(other.pkr_),
+      seal_(other.seal_),
+      keys_(other.keys_),
+      pages_(other.pages_) {
+  wire_drained_hook();
+}
+
+void Harness::wire_drained_hook() {
+  // Mirrors Kernel::install_drained_hook: when a quarantined key's last
+  // page drains, dissolve its hardware seal state and clear its PKR field.
+  keys_.set_drained_hook([this](u32 pkey) {
+    if (cfg_.mutation != Mutation::kSkipDrainScrub) {
+      seal_.clear_key(pkey);
+    }
+    pkr_.set_perm(pkey, 0);
+  });
+}
+
+void Harness::refill(u32 pkey, u64 start, u64 end) {
+  if (cfg_.mutation == Mutation::kRefillWrongRange) {
+    seal_.refill(pkey, start + 4, end);
+    return;
+  }
+  seal_.refill(pkey, start, end);
+}
+
+void Harness::install(const ModelState& s) {
+  pkr_.reset();
+  for (u32 k = 0; k < cfg_.num_pkeys; ++k) {
+    pkr_.set_perm(k, s.keys[k].perm);
+  }
+
+  hw::SealUnit::Snapshot snap{};
+  for (u32 k = 0; k < cfg_.num_pkeys; ++k) {
+    if (s.keys[k].hw_sealed) snap.seal_reg.set(k);
+  }
+  for (unsigned i = 0; i < cfg_.cam_entries; ++i) {
+    snap.cam_entries[i] = {static_cast<u16>(s.cam[i].pkey), s.cam[i].start,
+                           s.cam[i].end};
+    snap.cam_valid[i] = s.cam[i].valid;
+  }
+  snap.fifo_next = s.fifo_next;
+  seal_.restore(snap);
+
+  // The key manager re-installs through its own snapshot port.
+  std::bitset<hw::kNumPkeys> alloc, dirty, sd, sp;
+  for (u32 k = 0; k < cfg_.num_pkeys; ++k) {
+    if (s.keys[k].allocated) alloc.set(k);
+    if (s.keys[k].dirty) dirty.set(k);
+    if (s.keys[k].sealed_domain) sd.set(k);
+    if (s.keys[k].sealed_page) sp.set(k);
+  }
+  ByteWriter w;
+  w.put_bitset(alloc);
+  w.put_bitset(dirty);
+  w.put_bitset(sd);
+  w.put_bitset(sp);
+  for (u32 k = 0; k < hw::kNumPkeys; ++k) {
+    w.put_u64(k < cfg_.num_pkeys ? s.keys[k].pages : 0);
+  }
+  for (u32 k = 0; k < hw::kNumPkeys; ++k) {
+    const bool has = k < cfg_.num_pkeys && s.keys[k].range != kNoRange;
+    w.put_bool(has);
+    w.put_u64(has ? kModelRanges[s.keys[k].range].start : 0);
+    w.put_u64(has ? kModelRanges[s.keys[k].range].end : 0);
+  }
+  ByteReader r(w.buffer());
+  keys_.load_state(r);
+
+  pages_ = s.pages;
+}
+
+ModelState Harness::extract() const {
+  ModelState s;
+  s.keys.resize(cfg_.num_pkeys);
+  s.pages = pages_;
+  s.cam.resize(cfg_.cam_entries);
+
+  const hw::SealUnit::Snapshot snap = seal_.canonical_state();
+  for (u32 k = 0; k < cfg_.num_pkeys; ++k) {
+    auto& key = s.keys[k];
+    key.allocated = keys_.allocated(k);
+    key.dirty = keys_.dirty(k);
+    key.sealed_domain = keys_.domain_sealed(k);
+    key.sealed_page = keys_.pages_sealed(k);
+    key.hw_sealed = snap.seal_reg[k];
+    key.perm = pkr_.peek_perm(k);
+    const u64 count = keys_.page_count(k);
+    SEALPK_CHECK_MSG(count <= cfg_.num_pages, "page counter out of range");
+    key.pages = static_cast<u8>(count);
+    const auto range = keys_.perm_seal_range(k);
+    if (range.has_value()) {
+      key.range = kNoRange;
+      for (unsigned r = 0; r < kModelNumRanges; ++r) {
+        if (range->start == kModelRanges[r].start &&
+            range->end == kModelRanges[r].end) {
+          key.range = static_cast<u8>(r);
+        }
+      }
+      SEALPK_CHECK_MSG(key.range != kNoRange,
+                       "perm-seal range on file is off the model table");
+    }
+  }
+
+  for (unsigned i = 0; i < hw::kPkCamEntries; ++i) {
+    if (i < cfg_.cam_entries) {
+      s.cam[i].valid = snap.cam_valid[i];
+      s.cam[i].pkey = static_cast<u8>(snap.cam_entries[i].pkey);
+      s.cam[i].start = snap.cam_entries[i].addr_start;
+      s.cam[i].end = snap.cam_entries[i].addr_end;
+      SEALPK_CHECK_MSG(!s.cam[i].valid || s.cam[i].pkey < cfg_.num_pkeys,
+                       "CAM caches a key outside the model universe");
+    } else {
+      SEALPK_CHECK_MSG(!snap.cam_valid[i],
+                       "CAM entry valid beyond the reduced CAM");
+    }
+  }
+  SEALPK_CHECK(snap.fifo_next < cfg_.cam_entries);
+  s.fifo_next = static_cast<u8>(snap.fifo_next);
+
+  // Reduced-universe boundary: ops must never leak state onto keys outside
+  // the model (the alloc mask below frees boundary keys immediately).
+  for (u32 k = cfg_.num_pkeys; k < cfg_.num_pkeys + 2 && k < hw::kNumPkeys;
+       ++k) {
+    SEALPK_CHECK_MSG(!keys_.allocated(k) && !keys_.dirty(k) &&
+                         !snap.seal_reg[k] && pkr_.peek_perm(k) == 0,
+                     "state leaked onto out-of-model key " << k);
+  }
+  return s;
+}
+
+Outcome Harness::apply(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kAlloc: {
+      const i64 rc = keys_.alloc();
+      if (rc < 0) return {OpStatus::kError, rc};
+      if (rc >= static_cast<i64>(cfg_.num_pkeys)) {
+        // Reduced-universe mask: the real manager found a key outside the
+        // model, which means every model key is allocated or quarantined.
+        // Undo the side-effect-free grab and report exhaustion.
+        SEALPK_CHECK(keys_.free_key(static_cast<u32>(rc)) == 0);
+        return {OpStatus::kError, os::err::kNoSpc};
+      }
+      // Kernel sys_pkey_alloc: install the initial permission.
+      pkr_.set_perm(static_cast<u32>(rc), op.perm);
+      return {OpStatus::kOk, rc};
+    }
+
+    case OpKind::kFree: {
+      const u32 k = op.pkey;
+      const i64 rc = keys_.free_key(k);
+      if (rc != 0) return {OpStatus::kError, rc};
+      // Kernel sys_pkey_free: the PTE alone governs orphan pages.
+      pkr_.set_perm(k, 0);
+      if (cfg_.mutation == Mutation::kEagerFreeClear) {
+        seal_.clear_key(k);
+      } else if (!keys_.dirty(k) &&
+                 cfg_.mutation != Mutation::kSkipFreeClear) {
+        // Immediate full release: dissolve the hardware seal state too
+        // (the lazy path does this from the drained hook).
+        seal_.clear_key(k);
+      }
+      if (cfg_.mutation == Mutation::kForgetDirty && keys_.dirty(k)) {
+        // Broken kernel: the quarantine evaporates while pages survive.
+        ModelState s = extract();
+        s.keys[k].dirty = false;
+        install(s);
+      }
+      return {OpStatus::kOk, 0};
+    }
+
+    case OpKind::kMprotect: {
+      // Mirrors sys_pkey_mprotect + AddressSpace::protect_pkey for one
+      // page: assignability, then the §IV seal vetoes, then PTE rewrite
+      // and page-counter maintenance.
+      const u32 k = op.pkey;
+      if (!keys_.assignable(k)) return {OpStatus::kError, os::err::kInval};
+      PageState& pg = pages_[op.page];
+      if (keys_.domain_sealed(pg.pkey)) {
+        return {OpStatus::kError, os::err::kPerm};
+      }
+      if (pg.pkey != k && keys_.pages_sealed(k)) {
+        return {OpStatus::kError, os::err::kPerm};
+      }
+      const u32 old = pg.pkey;
+      pg = {static_cast<u8>(k), op.prot};
+      if (old != k) {
+        keys_.page_delta(old, -1);  // may complete a lazy-free drain
+        keys_.page_delta(k, +1);
+      }
+      return {OpStatus::kOk, 0};
+    }
+
+    case OpKind::kSeal: {
+      const i64 rc = keys_.seal(op.pkey, op.seal_domain, op.seal_page);
+      if (rc != 0) return {OpStatus::kError, rc};
+      return {OpStatus::kOk, 0};
+    }
+
+    case OpKind::kPermSeal: {
+      const u32 k = op.pkey;
+      const PcRange range = kModelRanges[op.range];
+      const i64 rc = keys_.set_perm_seal(k, {range.start, range.end});
+      if (rc != 0) return {OpStatus::kError, rc};
+      // Kernel sys_pkey_perm_seal: commit the fuse and warm the CAM.
+      seal_.set_sealed(k);
+      refill(k, range.start, range.end);
+      return {OpStatus::kOk, 0};
+    }
+
+    case OpKind::kWrpkr: {
+      // Mirrors Hart::exec_custom's WRPKR path plus the kernel's CAM-miss
+      // refill-and-retry handshake.
+      const u32 k = op.pkey;
+      const u64 pc = kModelWrpkrPcs[op.pc];
+      hw::SealCheck check = seal_.check_wrpkr(k, pc);
+      if (check == hw::SealCheck::kMiss) {
+        const auto range = keys_.perm_seal_range(k);
+        if (!range.has_value()) {
+          return {OpStatus::kTrap, 0};  // fatal: no range on file
+        }
+        refill(k, range->start, range->end);
+        check = seal_.check_wrpkr(k, pc);  // re-executed WRPKR
+      }
+      if (check == hw::SealCheck::kViolation &&
+          cfg_.mutation != Mutation::kIgnoreSealViolation) {
+        return {OpStatus::kTrap, 0};
+      }
+      const u32 row = hw::pkr_row_of(k);
+      const u32 slot = hw::pkr_slot_of(k);
+      u64 next = u64{op.perm} << (2 * slot);
+      const u64 old = pkr_.peek_row(row);
+      if (cfg_.mutation != Mutation::kSkipSealedNeighbourMerge) {
+        next = hw::merge_sealed_row(seal_, old, next, row, k);
+      }
+      pkr_.write_row(row, next);
+      return {OpStatus::kOk, 0};
+    }
+  }
+  return {OpStatus::kError, os::err::kNoSys};
+}
+
+bool Harness::access_allowed(unsigned page, bool is_store) const {
+  const PageState& pg = pages_[page];
+  const bool pte_ok =
+      is_store ? (pg.prot & 0b10) != 0 : (pg.prot & 0b01) != 0;
+  if (cfg_.mutation == Mutation::kIgnorePkeyOnAccess) return pte_ok;
+  // The hart's effective-permission check: PTE AND pkey (§III-A).
+  const u8 perm = pkr_.peek_perm(pg.pkey);
+  const bool pkey_ok = is_store ? (perm & 0b01) == 0 : (perm & 0b10) == 0;
+  return pte_ok && pkey_ok;
+}
+
+bool Harness::fetch_allowed(unsigned page) const {
+  (void)page;
+  return true;  // the fetch path never consults the Pkr (hart.cpp)
+}
+
+}  // namespace sealpk::model

@@ -1,0 +1,54 @@
+// The concrete machine under test.
+//
+// A Harness owns the *real* implementation units — hw::Pkr, hw::SealUnit
+// (built with the reduced CAM size) and os::SealPkKeyManager wired with the
+// kernel's drained hook — plus a tiny page table, and drives them through
+// the kernel's syscall logic and the hart's WRPKR commit path. install()
+// and extract() convert to/from the abstract ModelState through the units'
+// official ports (canonical_state, restore, save_state/load_state), so the
+// checker observes exactly what context switches and snapshots observe.
+#pragma once
+
+#include <vector>
+
+#include "hw/pkr.h"
+#include "hw/seal_unit.h"
+#include "model/op.h"
+#include "model/state.h"
+#include "os/key_manager.h"
+
+namespace sealpk::model {
+
+class Harness {
+ public:
+  explicit Harness(const ModelConfig& cfg);
+  // Copies duplicate all unit state, then re-wire the drained hook (the
+  // copied std::function would still point into the source harness).
+  Harness(const Harness& other);
+  Harness& operator=(const Harness&) = delete;
+
+  void install(const ModelState& s);
+  ModelState extract() const;
+
+  // Applies one op through the kernel/hart logic. May throw CheckError if
+  // a unit's own internal checks fire (reported as a counterexample).
+  Outcome apply(const Op& op);
+
+  // Effective data-access permission for `page`, consulting the real Pkr
+  // exactly as Hart::data_access_allowed does.
+  bool access_allowed(unsigned page, bool is_store) const;
+  // Fetches never consult the Pkr (mirrors the hart's fetch path).
+  bool fetch_allowed(unsigned page) const;
+
+ private:
+  void wire_drained_hook();
+  void refill(u32 pkey, u64 start, u64 end);
+
+  ModelConfig cfg_;
+  hw::Pkr pkr_;
+  hw::SealUnit seal_;
+  os::SealPkKeyManager keys_;
+  std::vector<PageState> pages_;
+};
+
+}  // namespace sealpk::model

@@ -1,0 +1,111 @@
+#include "model/op.h"
+
+#include <sstream>
+
+namespace sealpk::model {
+
+std::vector<Op> enumerate_ops(const ModelConfig& cfg) {
+  std::vector<Op> ops;
+  for (unsigned p = 0; p < kModelNumPerms; ++p) {
+    Op op;
+    op.kind = OpKind::kAlloc;
+    op.perm = kModelPerms[p];
+    ops.push_back(op);
+  }
+  for (unsigned k = 0; k < cfg.num_pkeys; ++k) {
+    Op op;
+    op.kind = OpKind::kFree;
+    op.pkey = static_cast<u8>(k);
+    ops.push_back(op);
+  }
+  for (unsigned k = 0; k < cfg.num_pkeys; ++k) {
+    for (unsigned pg = 0; pg < cfg.num_pages; ++pg) {
+      for (unsigned pr = 0; pr < kModelNumProts; ++pr) {
+        Op op;
+        op.kind = OpKind::kMprotect;
+        op.pkey = static_cast<u8>(k);
+        op.page = static_cast<u8>(pg);
+        op.prot = kModelProts[pr];
+        ops.push_back(op);
+      }
+    }
+  }
+  for (unsigned k = 0; k < cfg.num_pkeys; ++k) {
+    for (unsigned mode = 1; mode < 4; ++mode) {  // domain, page, both
+      Op op;
+      op.kind = OpKind::kSeal;
+      op.pkey = static_cast<u8>(k);
+      op.seal_domain = (mode & 1) != 0;
+      op.seal_page = (mode & 2) != 0;
+      ops.push_back(op);
+    }
+  }
+  for (unsigned k = 0; k < cfg.num_pkeys; ++k) {
+    for (unsigned r = 0; r < kModelNumRanges; ++r) {
+      Op op;
+      op.kind = OpKind::kPermSeal;
+      op.pkey = static_cast<u8>(k);
+      op.range = static_cast<u8>(r);
+      ops.push_back(op);
+    }
+  }
+  for (unsigned k = 0; k < cfg.num_pkeys; ++k) {
+    for (unsigned p = 0; p < kModelNumPerms; ++p) {
+      for (unsigned pc = 0; pc < kModelNumWrpkrPcs; ++pc) {
+        Op op;
+        op.kind = OpKind::kWrpkr;
+        op.pkey = static_cast<u8>(k);
+        op.perm = kModelPerms[p];
+        op.pc = static_cast<u8>(pc);
+        ops.push_back(op);
+      }
+    }
+  }
+  return ops;
+}
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAlloc: return "alloc";
+    case OpKind::kFree: return "free";
+    case OpKind::kMprotect: return "mprotect";
+    case OpKind::kSeal: return "seal";
+    case OpKind::kPermSeal: return "perm_seal";
+    case OpKind::kWrpkr: return "wrpkr";
+  }
+  return "?";
+}
+
+std::string op_to_string(const Op& op) {
+  std::ostringstream os;
+  os << op_kind_name(op.kind);
+  switch (op.kind) {
+    case OpKind::kAlloc:
+      os << "(perm=" << unsigned{op.perm} << ")";
+      break;
+    case OpKind::kFree:
+      os << "(pkey=" << unsigned{op.pkey} << ")";
+      break;
+    case OpKind::kMprotect:
+      os << "(pkey=" << unsigned{op.pkey} << ", page=" << unsigned{op.page}
+         << ", prot=" << unsigned{op.prot} << ")";
+      break;
+    case OpKind::kSeal:
+      os << "(pkey=" << unsigned{op.pkey}
+         << ", domain=" << (op.seal_domain ? 1 : 0)
+         << ", page=" << (op.seal_page ? 1 : 0) << ")";
+      break;
+    case OpKind::kPermSeal:
+      os << "(pkey=" << unsigned{op.pkey} << ", range=" << unsigned{op.range}
+         << ")";
+      break;
+    case OpKind::kWrpkr:
+      os << "(pkey=" << unsigned{op.pkey} << ", perm=" << unsigned{op.perm}
+         << ", pc=0x" << std::hex << kModelWrpkrPcs[op.pc] << std::dec
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sealpk::model

@@ -1,0 +1,59 @@
+// The model checker's operation alphabet.
+//
+// One Op is one kernel- or user-visible step of the down-scaled machine:
+// the pkey syscalls (alloc / free / mprotect / seal / perm-seal) and the
+// unprivileged WRPKR instruction. Loads, stores and fetches do not mutate
+// pkey state, so they are checked as access *predicates* over every reached
+// state instead of enumerated ops (same coverage, one check per state
+// rather than one transition per access).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+
+namespace sealpk::model {
+
+enum class OpKind : u8 {
+  kAlloc,     // pkey_alloc(init_perm)
+  kFree,      // pkey_free(pkey)
+  kMprotect,  // pkey_mprotect(page, prot, pkey)
+  kSeal,      // pkey_seal(pkey, domain, page)
+  kPermSeal,  // pkey_perm_seal(pkey) with range ranges[range]
+  kWrpkr,     // WRPKR naming pkey, field value perm, at PC wrpkr_pcs[pc]
+};
+
+struct Op {
+  OpKind kind = OpKind::kAlloc;
+  u8 pkey = 0;   // kFree/kMprotect/kSeal/kPermSeal/kWrpkr
+  u8 page = 0;   // kMprotect: page index
+  u8 prot = 0;   // kMprotect: PTE R|W bits
+  u8 perm = 0;   // kAlloc: init_perm; kWrpkr: written 2-bit field
+  bool seal_domain = false;  // kSeal
+  bool seal_page = false;    // kSeal
+  u8 range = 0;  // kPermSeal: index into kModelRanges
+  u8 pc = 0;     // kWrpkr: index into kModelWrpkrPcs
+
+  bool operator==(const Op&) const = default;
+};
+
+// How a transition ended. kTrap covers the fatal faults the kernel turns
+// into a process kill (seal violation, CAM miss with no range on file);
+// trap successors are terminal states.
+enum class OpStatus : u8 { kOk, kError, kTrap };
+
+struct Outcome {
+  OpStatus status = OpStatus::kOk;
+  i64 rc = 0;  // syscall return value (kOk/kError); 0 for traps
+
+  bool operator==(const Outcome&) const = default;
+};
+
+// The full alphabet for a configuration, in a fixed deterministic order.
+std::vector<Op> enumerate_ops(const ModelConfig& cfg);
+
+const char* op_kind_name(OpKind kind);
+std::string op_to_string(const Op& op);
+
+}  // namespace sealpk::model

@@ -1,0 +1,332 @@
+#include "model/spec.h"
+
+#include <sstream>
+
+#include "os/syscall_abi.h"
+
+namespace sealpk::model {
+
+namespace {
+
+SpecResult ok(ModelState s, i64 rc) {
+  return {{OpStatus::kOk, rc}, std::move(s)};
+}
+SpecResult error(ModelState s, i64 rc) {
+  return {{OpStatus::kError, rc}, std::move(s)};
+}
+SpecResult trap(ModelState s) { return {{OpStatus::kTrap, 0}, std::move(s)}; }
+
+bool assignable(const ModelState& s, u32 k) {
+  return s.keys[k].allocated && !s.keys[k].dirty;
+}
+
+// Full release: the key was freed and no page carries it any more, so every
+// seal attached to it — software maps, the perm-seal fuse, the SealReg bit
+// and any cached CAM range — dissolves (§IV).
+void full_release(ModelState& s, u32 k) {
+  auto& key = s.keys[k];
+  key.dirty = false;
+  key.sealed_domain = false;
+  key.sealed_page = false;
+  key.range = kNoRange;
+  key.hw_sealed = false;
+  for (auto& e : s.cam) {
+    if (e.valid && e.pkey == k) e.valid = false;
+  }
+}
+
+// CAM refill: replace a cached entry for the key in place, else consume the
+// FIFO slot (mirrors Figure 4's replacement policy at the reduced size).
+void cam_insert(const ModelConfig& cfg, ModelState& s, u32 k, u64 start,
+                u64 end) {
+  for (auto& e : s.cam) {
+    if (e.valid && e.pkey == k) {
+      e.start = start;
+      e.end = end;
+      return;
+    }
+  }
+  auto& e = s.cam[s.fifo_next];
+  e = {true, static_cast<u8>(k), start, end};
+  s.fifo_next = static_cast<u8>((s.fifo_next + 1) % cfg.cam_entries);
+}
+
+// A page stops carrying a key; draining the last page of a quarantined key
+// completes the lazy free (§III-B.1) and clears the key's PKR field.
+void page_drop(ModelState& s, u32 k) {
+  auto& key = s.keys[k];
+  --key.pages;
+  if (key.pages == 0 && key.dirty) {
+    full_release(s, k);
+    key.perm = 0;
+  }
+}
+
+}  // namespace
+
+SpecResult spec_apply(const ModelConfig& cfg, const ModelState& in,
+                      const Op& op) {
+  ModelState s = in;
+  switch (op.kind) {
+    case OpKind::kAlloc: {
+      // Lowest clean key wins; dirty keys are quarantined until their
+      // pages drain, which is exactly what prevents the use-after-free.
+      for (u32 k = 1; k < cfg.num_pkeys; ++k) {
+        if (!s.keys[k].allocated && !s.keys[k].dirty) {
+          s.keys[k].allocated = true;
+          s.keys[k].perm = op.perm;
+          return ok(std::move(s), k);
+        }
+      }
+      return error(std::move(s), os::err::kNoSpc);
+    }
+
+    case OpKind::kFree: {
+      const u32 k = op.pkey;
+      if (k == 0 || !s.keys[k].allocated) {
+        return error(std::move(s), os::err::kInval);
+      }
+      s.keys[k].allocated = false;
+      if (s.keys[k].pages > 0) {
+        // Lazy de-allocation: quarantine until the orphan pages drain.
+        if (cfg.mutation != Mutation::kSpecForgetDirty) {
+          s.keys[k].dirty = true;
+        }
+      } else {
+        full_release(s, k);
+      }
+      s.keys[k].perm = 0;  // the PTE alone governs any orphan pages
+      return ok(std::move(s), 0);
+    }
+
+    case OpKind::kMprotect: {
+      const u32 k = op.pkey;
+      if (!assignable(s, k)) return error(std::move(s), os::err::kInval);
+      const u32 old = s.pages[op.page].pkey;
+      if (s.keys[old].sealed_domain) {
+        return error(std::move(s), os::err::kPerm);
+      }
+      if (old != k && s.keys[k].sealed_page) {
+        return error(std::move(s), os::err::kPerm);
+      }
+      s.pages[op.page] = {static_cast<u8>(k), op.prot};
+      if (old != k) {
+        ++s.keys[k].pages;
+        page_drop(s, old);
+      }
+      return ok(std::move(s), 0);
+    }
+
+    case OpKind::kSeal: {
+      const u32 k = op.pkey;
+      if (!assignable(s, k)) return error(std::move(s), os::err::kInval);
+      if (op.seal_domain) s.keys[k].sealed_domain = true;
+      if (op.seal_page) s.keys[k].sealed_page = true;
+      return ok(std::move(s), 0);
+    }
+
+    case OpKind::kPermSeal: {
+      const u32 k = op.pkey;
+      if (!assignable(s, k)) return error(std::move(s), os::err::kInval);
+      if (s.keys[k].range != kNoRange) {
+        return error(std::move(s), os::err::kPerm);  // one-time fuse
+      }
+      s.keys[k].range = op.range;
+      s.keys[k].hw_sealed = true;
+      cam_insert(cfg, s, k, kModelRanges[op.range].start,
+                 kModelRanges[op.range].end);
+      return ok(std::move(s), 0);
+    }
+
+    case OpKind::kWrpkr: {
+      const u32 k = op.pkey;
+      const u64 pc = kModelWrpkrPcs[op.pc];
+      if (s.keys[k].hw_sealed) {
+        const CamState* hit = nullptr;
+        for (const auto& e : s.cam) {
+          if (e.valid && e.pkey == k) {
+            hit = &e;
+            break;
+          }
+        }
+        if (hit == nullptr) {
+          // CAM miss: the OS refills from the range on file, or kills the
+          // process when there is none (a sealed key with no range only
+          // arises from a broken machine).
+          if (s.keys[k].range == kNoRange) return trap(std::move(s));
+          cam_insert(cfg, s, k, kModelRanges[s.keys[k].range].start,
+                     kModelRanges[s.keys[k].range].end);
+          for (const auto& e : s.cam) {
+            if (e.valid && e.pkey == k) {
+              hit = &e;
+              break;
+            }
+          }
+        }
+        if (pc < hit->start || pc > hit->end) {
+          return trap(std::move(s));  // sealed-range violation is fatal
+        }
+      }
+      // Row commit: the write deposits the named key's field and zeroes
+      // the other fields of the row value, but hardware preserves every
+      // *other* sealed key's current field.
+      for (u32 j = 0; j < cfg.num_pkeys; ++j) {
+        if (j == k) {
+          s.keys[j].perm = op.perm;
+        } else if (!s.keys[j].hw_sealed) {
+          s.keys[j].perm = 0;
+        }
+      }
+      return ok(std::move(s), 0);
+    }
+  }
+  return error(std::move(s), os::err::kNoSys);
+}
+
+bool spec_access_allowed(const ModelState& s, unsigned page, bool is_store) {
+  const auto& pg = s.pages[page];
+  const bool pte_ok = is_store ? (pg.prot & 0b10) != 0 : (pg.prot & 0b01) != 0;
+  const u8 perm = s.keys[pg.pkey].perm;
+  const bool pkey_ok = is_store ? (perm & 0b01) == 0 : (perm & 0b10) == 0;
+  return pte_ok && pkey_ok;  // the §III-A permission intersection
+}
+
+bool spec_fetch_allowed(const ModelState& s, unsigned page) {
+  (void)s;
+  (void)page;
+  return true;  // pkeys never gate instruction fetch
+}
+
+std::vector<InvariantViolation> check_invariants(const ModelConfig& cfg,
+                                                 const ModelState& s) {
+  std::vector<InvariantViolation> out;
+  auto fail = [&out](const char* invariant, const std::string& message) {
+    out.push_back({invariant, message});
+  };
+  std::ostringstream msg;
+
+  for (u32 k = 0; k < cfg.num_pkeys; ++k) {
+    const auto& key = s.keys[k];
+    if (key.dirty && (key.allocated || key.pages == 0)) {
+      msg.str("");
+      msg << "key " << k << " dirty but allocated=" << key.allocated
+          << " pages=" << unsigned{key.pages};
+      fail("lazy-free-drain", msg.str());
+    }
+    if (k != 0 && !key.allocated && key.pages > 0 && !key.dirty) {
+      msg.str("");
+      msg << "key " << k << " freed with " << unsigned{key.pages}
+          << " surviving page(s) but not quarantined";
+      fail("lazy-free-drain", msg.str());
+    }
+    if (key.hw_sealed != (key.range != kNoRange)) {
+      msg.str("");
+      msg << "key " << k << " SealReg=" << key.hw_sealed
+          << " but perm-seal range "
+          << (key.range == kNoRange ? "absent" : "on file");
+      fail("fuse-coherence", msg.str());
+    }
+    if ((key.sealed_domain || key.sealed_page || key.range != kNoRange) &&
+        !(key.allocated || key.dirty)) {
+      msg.str("");
+      msg << "key " << k << " carries seals while neither allocated nor "
+          << "quarantined";
+      fail("seal-on-live-key", msg.str());
+    }
+  }
+
+  if (!s.keys[0].allocated) {
+    fail("page-accounting", "default domain key 0 not allocated");
+  }
+  for (u32 k = 0; k < cfg.num_pkeys; ++k) {
+    unsigned carried = 0;
+    for (const auto& pg : s.pages) {
+      if (pg.pkey == k) ++carried;
+    }
+    if (carried != s.keys[k].pages) {
+      msg.str("");
+      msg << "key " << k << " counter says " << unsigned{s.keys[k].pages}
+          << " page(s), page table says " << carried;
+      fail("page-accounting", msg.str());
+    }
+  }
+
+  for (size_t i = 0; i < s.cam.size(); ++i) {
+    const auto& e = s.cam[i];
+    if (!e.valid) continue;
+    if (i >= cfg.cam_entries) {
+      msg.str("");
+      msg << "CAM slot " << i << " valid beyond the active " << cfg.cam_entries
+          << "-entry CAM";
+      fail("cam-coherence", msg.str());
+      continue;
+    }
+    const auto& key = s.keys[e.pkey];
+    if (!key.hw_sealed) {
+      msg.str("");
+      msg << "CAM slot " << i << " caches unsealed key " << unsigned{e.pkey};
+      fail("cam-coherence", msg.str());
+    } else if (key.range == kNoRange ||
+               e.start != kModelRanges[key.range].start ||
+               e.end != kModelRanges[key.range].end) {
+      msg.str("");
+      msg << "CAM slot " << i << " for key " << unsigned{e.pkey}
+          << " caches [0x" << std::hex << e.start << ", 0x" << e.end
+          << std::dec << "], which is not the range on file";
+      fail("cam-coherence", msg.str());
+    }
+    for (size_t j = i + 1; j < s.cam.size(); ++j) {
+      if (s.cam[j].valid && s.cam[j].pkey == e.pkey) {
+        msg.str("");
+        msg << "CAM slots " << i << " and " << j << " both cache key "
+            << unsigned{e.pkey};
+        fail("cam-coherence", msg.str());
+      }
+    }
+  }
+
+  return out;
+}
+
+std::vector<InvariantViolation> check_transition(const ModelConfig& cfg,
+                                                 const ModelState& pre,
+                                                 const Op& op,
+                                                 const Outcome& outcome,
+                                                 const ModelState& post) {
+  std::vector<InvariantViolation> out;
+  std::ostringstream msg;
+  for (u32 k = 0; k < cfg.num_pkeys; ++k) {
+    const auto& a = pre.keys[k];
+    const auto& b = post.keys[k];
+    if (a.hw_sealed && !b.hw_sealed) {
+      // The fuse may only clear on full release.
+      if (b.allocated || b.dirty || b.pages != 0) {
+        msg.str("");
+        msg << "op " << op_to_string(op) << " cleared key " << k
+            << "'s SealReg fuse without full release (allocated="
+            << b.allocated << " dirty=" << b.dirty
+            << " pages=" << unsigned{b.pages} << ")";
+        out.push_back({"seal-monotonicity", msg.str()});
+      }
+      continue;
+    }
+    if (a.hw_sealed && b.hw_sealed && a.perm != b.perm) {
+      // A sealed key's permissions only move via an op naming the key.
+      const bool names_k =
+          (op.kind == OpKind::kWrpkr && op.pkey == k) ||
+          (op.kind == OpKind::kFree && op.pkey == k) ||
+          (op.kind == OpKind::kAlloc && outcome.status == OpStatus::kOk &&
+           outcome.rc == static_cast<i64>(k));
+      if (!names_k) {
+        msg.str("");
+        msg << "op " << op_to_string(op) << " changed sealed key " << k
+            << "'s permissions from " << unsigned{a.perm} << " to "
+            << unsigned{b.perm};
+        out.push_back({"seal-monotonicity", msg.str()});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sealpk::model

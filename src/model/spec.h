@@ -1,0 +1,58 @@
+// The executable reference specification.
+//
+// Pure functions over ModelState, written directly from the paper's prose
+// (§III-B.1 lazy de-allocation, §IV sealing) with no reference to the
+// implementation sources. spec_apply predicts every transition; the state
+// invariants and the transition rule below are the properties the explorer
+// checks on the *machine's* extracted states, so a machine bug is caught
+// even when spec and machine happen to agree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/op.h"
+#include "model/state.h"
+
+namespace sealpk::model {
+
+struct SpecResult {
+  Outcome outcome;
+  ModelState state;
+};
+
+// The predicted outcome and successor state of `op` from `s`.
+SpecResult spec_apply(const ModelConfig& cfg, const ModelState& s,
+                      const Op& op);
+
+// Whether a data access to `page` is allowed: the PTE term intersected
+// with the pkey term (paper §III-A). `is_store` selects the Write-Disable
+// bit, loads consult Read-Disable. Fetches never consult pkeys.
+bool spec_access_allowed(const ModelState& s, unsigned page, bool is_store);
+bool spec_fetch_allowed(const ModelState& s, unsigned page);
+
+struct InvariantViolation {
+  std::string invariant;  // stable identifier, e.g. "fuse-coherence"
+  std::string message;
+};
+
+// State invariants, evaluated on machine-extracted states:
+//   lazy-free-drain  dirty <=> freed with surviving pages (both directions)
+//   page-accounting  per-key counters equal the page-table truth
+//   fuse-coherence   SealReg bit on file <=> perm-seal range on file
+//   cam-coherence    every valid CAM entry caches a sealed key's exact
+//                    on-file range, at most once, within the active CAM
+//   seal-on-live-key seals only attach to allocated or quarantined keys
+std::vector<InvariantViolation> check_invariants(const ModelConfig& cfg,
+                                                 const ModelState& s);
+
+// Transition rule ("seal-monotonicity"): a sealed key's permissions only
+// change through an op naming that key, and the SealReg fuse only clears
+// on full release (freed, drained, no pages).
+std::vector<InvariantViolation> check_transition(const ModelConfig& cfg,
+                                                 const ModelState& pre,
+                                                 const Op& op,
+                                                 const Outcome& outcome,
+                                                 const ModelState& post);
+
+}  // namespace sealpk::model

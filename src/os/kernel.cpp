@@ -862,6 +862,15 @@ i64 Kernel::sys_pkey_free(u64 pkey) {
       th.ctx.pkr[row] =
           deposit(th.ctx.pkr[row], 2 * slot + 1, 2 * slot, 0);
     }
+    // Immediate full release: when no page carries the key, free_key()
+    // scrubbed the bookkeeping without going through the lazy quarantine,
+    // so the drained hook never fires. Dissolve the hardware seal state
+    // here too, or a future pkey_alloc would hand out a key whose SealReg
+    // bit and PK-CAM entry still belong to the previous owner (found by
+    // the model checker; replayed in tests/model_traces/).
+    if (!keys.dirty(static_cast<u32>(pkey))) {
+      hart_.seal_unit().clear_key(static_cast<u32>(pkey));
+    }
   }
   // The Intel-MPK flavour intentionally leaves PKRU and the PTEs untouched,
   // reproducing Linux's eager-free semantics (the use-after-free bug).
@@ -945,28 +954,6 @@ void load_context(ByteReader& r, ThreadContext& ctx) {
   ctx.seal_end = r.get_u64();
 }
 
-void save_seal_snapshot(ByteWriter& w, const hw::SealUnit::Snapshot& s) {
-  w.put_bitset(s.seal_reg);
-  for (unsigned i = 0; i < hw::kPkCamEntries; ++i) {
-    w.put_u16(s.cam_entries[i].pkey);
-    w.put_u64(s.cam_entries[i].addr_start);
-    w.put_u64(s.cam_entries[i].addr_end);
-    w.put_bool(s.cam_valid[i]);
-  }
-  w.put_u32(s.fifo_next);
-}
-
-void load_seal_snapshot(ByteReader& r, hw::SealUnit::Snapshot& s) {
-  s.seal_reg = r.get_bitset<hw::kNumPkeys>();
-  for (unsigned i = 0; i < hw::kPkCamEntries; ++i) {
-    s.cam_entries[i].pkey = r.get_u16();
-    s.cam_entries[i].addr_start = r.get_u64();
-    s.cam_entries[i].addr_end = r.get_u64();
-    s.cam_valid[i] = r.get_bool();
-  }
-  s.fifo_next = r.get_u32();
-}
-
 }  // namespace
 
 void Kernel::save_state(ByteWriter& w) const {
@@ -977,7 +964,7 @@ void Kernel::save_state(ByteWriter& w) const {
     w.put_u64(proc->signal_handler);
     proc->aspace->save_state(w);
     proc->keys->save_state(w);
-    save_seal_snapshot(w, proc->seal_hw);
+    hw::SealUnit::save_snapshot(w, proc->seal_hw);
     w.put_u64(proc->thread_tids.size());
     for (int tid : proc->thread_tids) w.put_u32(static_cast<u32>(tid));
     w.put_bool(proc->exited);
@@ -1072,7 +1059,7 @@ void Kernel::load_state(ByteReader& r) {
       proc->keys = std::make_unique<mpk::MpkKeyManager>();
       proc->keys->load_state(r);
     }
-    load_seal_snapshot(r, proc->seal_hw);
+    proc->seal_hw = hw::SealUnit::load_snapshot(r);
     proc->thread_tids.resize(r.get_u64());
     for (int& tid : proc->thread_tids) tid = static_cast<int>(r.get_u32());
     proc->exited = r.get_bool();

@@ -593,5 +593,29 @@ TEST(Report, CleanPrint) {
   EXPECT_TRUE(report.clean());
 }
 
+TEST(Report, JsonCarriesCountsAndFindings) {
+  const Report report = verify_program(gadget_program());
+  std::ostringstream os;
+  report.print_json(os, "gadget_program", "  ");
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"program\": \"gadget_program\""), std::string::npos);
+  EXPECT_NE(json.find("\"admissible\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"check\": \"wrpkr-gadget\""), std::string::npos);
+  EXPECT_NE(json.find("\"function\": \"evil\""), std::string::npos);
+  // Every line carries the caller's indent prefix; no trailing newline.
+  EXPECT_EQ(json.rfind("  {", 0), 0u);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Report, CleanJson) {
+  Report report;
+  std::ostringstream os;
+  report.print_json(os, "empty");
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"admissible\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sealpk::analysis

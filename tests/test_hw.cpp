@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/serial.h"
 #include "hw/pkr.h"
 #include "hw/pkru.h"
 #include "hw/seal_unit.h"
@@ -236,6 +237,86 @@ TEST(Pkru, SixteenKeysOnly) {
   Pkru pkru;
   EXPECT_THROW(pkru.access_disabled(16), CheckError);
   EXPECT_EQ(kMpkNumPkeys, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical state + the reduced-CAM configuration (model-checker ports).
+// ---------------------------------------------------------------------------
+
+TEST(Pkr, CanonicalStateIsTheSnapshot) {
+  Pkr pkr;
+  pkr.set_perm(7, 0b10);
+  pkr.set_perm(100, 0b01);
+  EXPECT_EQ(pkr.canonical_state(), pkr.save());
+  Pkr other;
+  other.restore(pkr.canonical_state());
+  EXPECT_EQ(other.peek_perm(7), 0b10u);
+  EXPECT_EQ(other.peek_perm(100), 0b01u);
+}
+
+TEST(SealUnit, CanonicalStateRoundTripsThroughByteStream) {
+  SealUnit unit;
+  unit.set_sealed(5);
+  unit.refill(5, 0x100, 0x200);
+  ByteWriter w;
+  SealUnit::save_snapshot(w, unit.canonical_state());
+  ByteReader r(w.buffer());
+  const SealUnit::Snapshot back = SealUnit::load_snapshot(r);
+  EXPECT_TRUE(r.done());
+  // Canonical: re-serializing the parsed snapshot is byte-identical.
+  ByteWriter w2;
+  SealUnit::save_snapshot(w2, back);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+  SealUnit other;
+  other.restore(back);
+  EXPECT_TRUE(other.sealed(5));
+  EXPECT_EQ(other.check_wrpkr(5, 0x150), SealCheck::kAllowed);
+}
+
+TEST(SealUnit, ReducedCamWrapsFifoWithinActiveEntries) {
+  SealUnit unit(2);  // the model checker's 2-entry PK-CAM
+  EXPECT_EQ(unit.active_cam_entries(), 2u);
+  unit.set_sealed(0);
+  unit.set_sealed(1);
+  unit.set_sealed(2);
+  unit.refill(0, 0x1000, 0x1100);
+  unit.refill(1, 0x2000, 0x2100);
+  unit.refill(2, 0x3000, 0x3100);  // FIFO wraps at 2: evicts key 0
+  EXPECT_EQ(unit.cam_valid_count(), 2u);
+  EXPECT_EQ(unit.check_wrpkr(0, 0x1000), SealCheck::kMiss);
+  EXPECT_EQ(unit.check_wrpkr(1, 0x2000), SealCheck::kAllowed);
+  EXPECT_EQ(unit.check_wrpkr(2, 0x3000), SealCheck::kAllowed);
+  unit.refill(0, 0x1000, 0x1100);  // cursor wrapped to slot 1: evicts key 1
+  EXPECT_EQ(unit.check_wrpkr(1, 0x2000), SealCheck::kMiss);
+  EXPECT_EQ(unit.check_wrpkr(0, 0x1000), SealCheck::kAllowed);
+}
+
+TEST(SealUnit, DoubleSetSealedIsIdempotent) {
+  SealUnit unit;
+  unit.set_sealed(9);
+  unit.set_sealed(9);  // the fuse latches; a second blow is a no-op
+  EXPECT_TRUE(unit.sealed(9));
+  unit.refill(9, 0x1000, 0x1100);
+  EXPECT_EQ(unit.check_wrpkr(9, 0x1000), SealCheck::kAllowed);
+  unit.clear_key(9);
+  EXPECT_FALSE(unit.sealed(9));
+}
+
+TEST(SealUnit, MergeSealedRowPreservesOnlySealedNeighbours) {
+  SealUnit unit;
+  unit.set_sealed(1);  // row 0, slot 1
+  // Row 0 currently: slot 1 holds 0b11, slot 2 holds 0b10.
+  const u64 old_row = (u64{0b11} << 2) | (u64{0b10} << 4);
+  // WRPKR names key 0 and writes an all-zero row.
+  u64 next = merge_sealed_row(unit, old_row, 0, /*row=*/0, /*pkey=*/0);
+  EXPECT_EQ(bits(next, 3, 2), 0b11u);  // sealed neighbour preserved
+  EXPECT_EQ(bits(next, 5, 4), 0u);     // unsealed neighbour takes the write
+  EXPECT_EQ(bits(next, 1, 0), 0u);     // the named key's own field is free
+  // The named key's field is never merged back even when it is sealed.
+  unit.set_sealed(0);
+  next = merge_sealed_row(unit, (u64{0b01}) | old_row, 0, 0, 0);
+  EXPECT_EQ(bits(next, 1, 0), 0u);
+  EXPECT_EQ(bits(next, 3, 2), 0b11u);
 }
 
 }  // namespace

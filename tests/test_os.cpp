@@ -750,6 +750,151 @@ TEST(Sealing, PermSealWithoutLatchedRangeFails) {
   EXPECT_EQ(run_guest(prog).exit_code, -os::err::kInval);
 }
 
+TEST(Sealing, PermSealThenZeroPageFreeDissolvesHardwareSeal) {
+  // Regression found by the model checker (tests/model_traces/
+  // kernel-free-seal-leak-divergence.json): freeing a perm-sealed key that
+  // carries no pages takes the immediate-release path, which used to skip
+  // the SealReg/PK-CAM scrub — the key's next owner inherited the seal and
+  // its first out-of-range WRPKR was fatal.
+  auto prog = make_main_program([](Program&, Function& f) {
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);
+    f.seal_start(0);
+    f.nop();
+    f.seal_end(0);
+    f.mv(a0, s1);
+    rt::syscall(f, os::sys::kPkeyPermSeal);
+    rt::syscall(f, os::sys::kReport);  // expect 0 (seal committed)
+    f.mv(a0, s1);
+    rt::syscall(f, os::sys::kPkeyFree);  // zero pages: immediate release
+    rt::syscall(f, os::sys::kReport);    // expect 0
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);
+    rt::syscall(f, os::sys::kReport);  // expect 1 (recycled key)
+    // The new owner writes its permissions far from the old sealed range;
+    // a leaked SealReg bit would make this WRPKR trap.
+    f.wrpkr(s1, zero);
+    f.li(a0, 0);
+  });
+  const GuestRun run = run_guest(prog);
+  EXPECT_TRUE(run.faults.empty());
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.reports, (std::vector<u64>{0, 0, 1}));
+}
+
+TEST(Sealing, DoubleSealIsIdempotentAndAccumulates) {
+  auto prog = make_main_program([](Program&, Function& f) {
+    emit_mmap_rw(f, 1);
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);
+    emit_pkey_mprotect(f, s0, 1, s1);
+    // Domain-seal twice: the second call must succeed and change nothing.
+    for (int i = 0; i < 2; ++i) {
+      f.mv(a0, s1);
+      f.li(a1, 1);
+      f.li(a2, 0);
+      rt::syscall(f, os::sys::kPkeySeal);
+      rt::syscall(f, os::sys::kReport);  // expect 0, 0
+    }
+    // A later call may add the page seal on top of the domain seal.
+    f.mv(a0, s1);
+    f.li(a1, 0);
+    f.li(a2, 1);
+    rt::syscall(f, os::sys::kPkeySeal);
+    rt::syscall(f, os::sys::kReport);  // expect 0
+    // Both seals now hold: rekeying the page away is vetoed.
+    emit_pkey_mprotect(f, s0, 1, zero);
+    f.neg(a0, a0);
+    rt::syscall(f, os::sys::kReport);  // expect -EPERM
+    f.li(a0, 0);
+  });
+  const GuestRun run = run_guest(prog);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.reports,
+            (std::vector<u64>{0, 0, 0, static_cast<u64>(-os::err::kPerm)}));
+}
+
+TEST(Sealing, WrpkrOnNeighbourPreservesPermSealedField) {
+  // Inline row update: WRPKR naming an unsealed key writes its whole PKR
+  // row, but the hardware must re-merge the current field of every *other*
+  // perm-sealed key in that row (§IV-C).
+  auto prog = make_main_program([](Program& p, Function& f) {
+    emit_mmap_rw(f, 1);
+    f.li(a0, 0);
+    f.li(a1, static_cast<i64>(os::pkeyperm::kReadOnly));
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);  // key 1: read-only, will be perm-sealed
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s2, a0);  // key 2: same PKR row, never sealed
+    emit_pkey_mprotect(f, s0, 1, s1);
+    f.call("trusted");
+    // The attack: WRPKR naming the unsealed neighbour writes row value 0
+    // (everything RW). Key 1's write-disable must survive the row write.
+    f.wrpkr(s2, zero);
+    f.li(t0, 1);
+    f.sd(t0, 0, s0);  // store to key 1's page: pkey fault
+    f.li(a0, 0);
+
+    Function& t = p.add_function("trusted");
+    t.seal_start(0);
+    t.rdpkr(t2, s1);
+    t.wrpkr(s1, t2);
+    t.seal_end(0);
+    t.mv(a0, s1);
+    rt::syscall(t, os::sys::kPkeyPermSeal);
+    t.ret();
+  });
+  const GuestRun run = run_guest(prog);
+  ASSERT_EQ(run.faults.size(), 1u);
+  EXPECT_TRUE(run.faults[0].pkey_fault);
+  EXPECT_EQ(run.faults[0].pkey, 1u);
+}
+
+TEST(PkeyLifecycle, LazyFreeDrainsExactlyAtLastPage) {
+  // Quarantine boundary: with two pages carrying the freed key, draining
+  // the first page must NOT recycle it; draining the second one must.
+  auto prog = make_main_program([](Program&, Function& f) {
+    emit_mmap_rw(f, 2);
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s1, a0);
+    emit_pkey_mprotect(f, s0, 2, s1);
+    f.mv(a0, s1);
+    rt::syscall(f, os::sys::kPkeyFree);  // both pages survive: quarantined
+    // Rekey page 0 back to the default key: counter drops 2 -> 1.
+    emit_pkey_mprotect(f, s0, 1, zero);
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    rt::syscall(f, os::sys::kReport);  // expect 2: key 1 still quarantined
+    // Rekey page 1: counter hits 0 exactly, the quarantine drains.
+    f.mv(a0, s0);
+    f.li(a1, 4096);
+    f.add(a0, a0, a1);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    f.mv(a3, zero);
+    rt::syscall(f, os::sys::kPkeyMprotect);
+    f.li(a0, 0);
+    f.li(a1, 0);
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    rt::syscall(f, os::sys::kReport);  // expect 1: drained and recycled
+    f.li(a0, 0);
+  });
+  const GuestRun run = run_guest(prog);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.reports, (std::vector<u64>{2, 1}));
+}
+
 TEST(Sealing, SealPkSyscallsAreEnosysOnMpk) {
   auto prog = make_main_program([](Program&, Function& f) {
     f.li(a0, 1);

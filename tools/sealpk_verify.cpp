@@ -11,9 +11,12 @@
 //   sealpk-verify qsort sha gzip             # inspect a subset
 //   sealpk-verify --all --ss=sealpk-rdwr     # instrumented flavour
 //   sealpk-verify --all --ss=sealpk-wr --seal
+//   sealpk-verify --all --json               # machine-readable findings
+//   sealpk-verify --all --json=out.json      # ... written to a file
 //   sealpk-verify --list                     # list known workload names
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -31,6 +34,8 @@ struct CliOptions {
   bool list = false;
   bool quiet = false;
   bool perm_seal = false;
+  bool json = false;
+  std::string json_path;  // empty: JSON goes to stdout
   passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
   std::vector<std::string> names;
   analysis::VerifyOptions verify;
@@ -53,12 +58,17 @@ int usage() {
       "usage: sealpk-verify [--all | <workload>...] [--list] [-q]\n"
       "                     [--ss=none|inline|func|sealpk-wr|sealpk-rdwr|"
       "mprotect]\n"
-      "                     [--seal] [--trust=<function>]...\n");
+      "                     [--seal] [--trust=<function>]...\n"
+      "                     [--json[=<path>]]\n");
   return 2;
 }
 
-// One verified program; returns the number of error-severity findings.
-size_t verify_one(const wl::Workload& w, const CliOptions& cli) {
+struct Verified {
+  std::string label;
+  analysis::Report report;
+};
+
+Verified verify_one(const wl::Workload& w, const CliOptions& cli) {
   isa::Program prog = w.build(w.test_scale);
   std::string label = std::string(wl::suite_name(w.suite)) + "/" + w.name;
   if (cli.ss != passes::ShadowStackKind::kNone) {
@@ -69,11 +79,7 @@ size_t verify_one(const wl::Workload& w, const CliOptions& cli) {
     label += std::string(" [") + passes::shadow_stack_kind_name(cli.ss) +
              (cli.perm_seal ? ", perm-sealed]" : "]");
   }
-  const analysis::Report report = analysis::verify_program(prog, cli.verify);
-  if (!cli.quiet || !report.clean()) {
-    report.print(std::cout, label);
-  }
-  return report.count(analysis::Severity::kError);
+  return {label, analysis::verify_program(prog, cli.verify)};
 }
 
 }  // namespace
@@ -94,6 +100,12 @@ int main(int argc, char** argv) {
       if (!parse_ss_kind(arg.substr(5), &cli.ss)) return usage();
     } else if (arg.rfind("--trust=", 0) == 0) {
       cli.verify.trusted_gates.insert(arg.substr(8));
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json = true;
+      cli.json_path = arg.substr(7);
+      if (cli.json_path.empty()) return usage();
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -109,24 +121,54 @@ int main(int argc, char** argv) {
   }
   if (!cli.all && cli.names.empty()) return usage();
 
-  size_t programs = 0;
-  size_t errors = 0;
+  std::vector<Verified> results;
   for (const auto& w : wl::all_workloads()) {
     bool wanted = cli.all;
     for (const auto& name : cli.names) {
       if (name == w.name) wanted = true;
     }
     if (!wanted) continue;
-    ++programs;
-    errors += verify_one(w, cli);
+    results.push_back(verify_one(w, cli));
   }
-  if (programs == 0) {
+  if (results.empty()) {
     std::fprintf(stderr, "no matching workload; try --list\n");
     return 2;
   }
-  if (!cli.quiet || errors != 0) {
-    std::printf("%zu program(s) inspected, %zu error finding(s)\n", programs,
-                errors);
+
+  size_t errors = 0;
+  for (const auto& v : results) {
+    errors += v.report.count(analysis::Severity::kError);
+  }
+
+  if (cli.json) {
+    std::ofstream file;
+    if (!cli.json_path.empty()) {
+      file.open(cli.json_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+        return 2;
+      }
+    }
+    std::ostream& os = cli.json_path.empty() ? std::cout : file;
+    os << "{\n  \"schema\": \"sealpk-verify-v1\",\n"
+       << "  \"inspected\": " << results.size() << ",\n"
+       << "  \"errors\": " << errors << ",\n"
+       << "  \"programs\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      results[i].report.print_json(os, results[i].label, "    ");
+      os << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+  } else {
+    for (const auto& v : results) {
+      if (!cli.quiet || !v.report.clean()) {
+        v.report.print(std::cout, v.label);
+      }
+    }
+    if (!cli.quiet || errors != 0) {
+      std::printf("%zu program(s) inspected, %zu error finding(s)\n",
+                  results.size(), errors);
+    }
   }
   return errors == 0 ? 0 : 1;
 }
