@@ -47,6 +47,7 @@ const char* check_name(Check check) {
     case Check::kUnknownSyscall: return "unknown-syscall";
     case Check::kUnresolvedSyscall: return "unresolved-syscall";
     case Check::kSegmentPerm: return "segment-perm";
+    case Check::kGateEscape: return "wrpkr-outside-gate-region";
   }
   return "?";
 }

@@ -29,6 +29,8 @@ enum class Check : u8 {
   kUnknownSyscall,     // ecall with a constant a7 outside the kernel ABI
   kUnresolvedSyscall,  // ecall whose a7 constant propagation cannot resolve
   kSegmentPerm,        // writable+executable (W^X violation) segment
+  kGateEscape,         // pkey-write at a PC outside every sanctioned gate
+                       // region (fires even inside trusted-named functions)
 };
 
 const char* check_name(Check check);

@@ -17,7 +17,7 @@ const std::set<u64>& known_syscalls() {
       kWrite,    kExit,      kSchedYield, kSigaction,    kSigreturn,
       kGetTid,   kClone,     kMunmap,     kMmap,         kMprotect,
       kPkeyMprotect, kPkeyAlloc, kPkeyFree, kPkeySeal, kPkeyPermSeal,
-      kReport};
+      kReport,   kMark};
   return kKnown;
 }
 
@@ -81,6 +81,7 @@ class Verifier {
     for (const BasicBlock& bb : func.blocks) {
       for (const Site& site : bb.insts) {
         scan_occurrence(func, site, trusted);
+        check_gate_regions(func, site);
         check_sealed_ranges(func, site, dataflow);
         check_illegal(func, bb, site);
         if (opts_.check_reserved_regs && !reserved_ok) {
@@ -115,6 +116,22 @@ class Verifier {
           "supervisor-only seal instruction in user text (traps at run "
           "time): " + describe(site.inst));
     }
+  }
+
+  // (1b) Positional gate-region lint: a pkey-write is only sanctioned at a
+  // PC inside one of the declared gate regions. Purely geometric — it does
+  // not care what function the site claims to belong to, so a gadget
+  // appended after a blessed gate's seal range (the Garmr bypass shape) is
+  // still flagged.
+  void check_gate_regions(const FunctionCfg& func, const Site& site) {
+    if (opts_.gate_regions.empty()) return;
+    if (!isa::is_pkey_write(site.inst.op)) return;
+    for (const auto& [lo, hi] : opts_.gate_regions) {
+      if (site.pc >= lo && site.pc <= hi) return;
+    }
+    add(Severity::kError, Check::kGateEscape, func.name, site.pc,
+        "pkey-write reachable outside every sanctioned gate region: " +
+            describe(site.inst));
   }
 
   // (2) Sealed-range dataflow over resolved WRPKR pkey operands.

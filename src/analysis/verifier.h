@@ -23,6 +23,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/report.h"
 #include "isa/program.h"
@@ -43,6 +45,14 @@ struct VerifyOptions {
   // PC range, mirroring what the PK-CAM will hold at run time. A resolved
   // WRPKR naming one of these pkeys from outside its range is an error.
   std::map<u32, std::pair<u64, u64>> sealed_pkey_ranges;
+
+  // Sanctioned gate regions: inclusive [start, end] PC ranges that are the
+  // ONLY places a pkey-write may appear. Empty disables the check. Unlike
+  // the trusted_gates name test this is positional, so it also catches a
+  // gadget hidden past the end of a blessed gate function — the Garmr
+  // "WRPKR reachable outside the gate" bypass. Every violation is reported
+  // as Check::kGateEscape (error), even inside trusted-named functions.
+  std::vector<std::pair<u64, u64>> gate_regions;
 
   // Structural lints (all on by default).
   bool check_reserved_regs = true;   // s10/s11 discipline

@@ -231,32 +231,37 @@ std::vector<JobResult> run_jobs(const std::vector<JobSpec>& specs,
   (void)wl::all_workloads();
 
   std::vector<JobResult> results(specs.size());
-  std::atomic<size_t> next{0};
   std::mutex done_mu;
+  run_indexed(specs.size(), opts.threads, [&](size_t i, unsigned wid) {
+    JobResult r = execute_job(specs[i], cache);
+    r.worker = wid;
+    if (opts.on_done) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      opts.on_done(r);
+    }
+    results[i] = std::move(r);
+  });
+  return results;
+}
 
+void run_indexed(size_t n, unsigned threads,
+                 const std::function<void(size_t, unsigned)>& task) {
+  std::atomic<size_t> next{0};
   auto drain = [&](unsigned wid) {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= specs.size()) return;
-      JobResult r = execute_job(specs[i], cache);
-      r.worker = wid;
-      if (opts.on_done) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        opts.on_done(r);
-      }
-      results[i] = std::move(r);
+      if (i >= n) return;
+      task(i, wid);
     }
   };
 
-  unsigned threads = opts.threads != 0
-                         ? opts.threads
-                         : std::max(1u, std::thread::hardware_concurrency());
-  if (!specs.empty() && static_cast<size_t>(threads) > specs.size()) {
-    threads = static_cast<unsigned>(specs.size());
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (n != 0 && static_cast<size_t>(threads) > n) {
+    threads = static_cast<unsigned>(n);
   }
   if (threads <= 1) {
     drain(0);
-    return results;
+    return;
   }
   std::vector<std::thread> pool;
   pool.reserve(threads);
@@ -264,7 +269,6 @@ std::vector<JobResult> run_jobs(const std::vector<JobSpec>& specs,
     pool.emplace_back(drain, w);
   }
   for (std::thread& t : pool) t.join();
-  return results;
 }
 
 }  // namespace sealpk::fleet

@@ -34,6 +34,15 @@ struct FleetOptions {
 // Never throws: host exceptions are contained into a failed result.
 JobResult execute_job(const JobSpec& spec, ImageCache& cache);
 
+// The pool primitive under run_jobs, reusable by any batch driver (the
+// serve CLI drains its scenario matrix through it): invokes
+// task(index, worker) exactly once for every index in [0, n), on `threads`
+// workers (0 = one per host hardware thread, <=1 = inline on the calling
+// thread). The task must write results only to per-index slots; dispatch
+// order is an MPMC ticket and carries no determinism.
+void run_indexed(size_t n, unsigned threads,
+                 const std::function<void(size_t, unsigned)>& task);
+
 // Runs every spec and returns results ordered by spec index (results[i]
 // belongs to specs[i], whatever specs[i].id says — callers normally keep
 // id == index).

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/json.h"
+
 namespace sealpk::fleet {
 
 Aggregate aggregate(const std::vector<JobResult>& results) {
@@ -213,6 +215,27 @@ size_t diff_reports(const std::string& a_text, const std::string& b_text,
         << "\n";
   }
   return diverging;
+}
+
+void write_diff_report(std::ostream& os, const std::string& a_name,
+                       const std::string& b_name, size_t diverging,
+                       const std::string& log_text) {
+  os << "{\n";
+  os << "  \"a\": \"" << json_escape(a_name) << "\",\n";
+  os << "  \"b\": \"" << json_escape(b_name) << "\",\n";
+  os << "  \"diverging\": " << diverging << ",\n";
+  os << "  \"identical\": " << (diverging == 0 ? "true" : "false") << ",\n";
+  os << "  \"log\": \"" << json_escape(log_text) << "\"\n";
+  os << "}\n";
+}
+
+bool write_diff_report_file(const std::string& path, const std::string& a_name,
+                            const std::string& b_name, size_t diverging,
+                            const std::string& log_text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_diff_report(out, a_name, b_name, diverging, log_text);
+  return out.good();
 }
 
 }  // namespace sealpk::fleet

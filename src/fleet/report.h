@@ -61,4 +61,16 @@ bool write_report_file(const std::string& path,
 size_t diff_reports(const std::string& a_text, const std::string& b_text,
                     std::ostream& log);
 
+// Machine-readable form of a diff_reports outcome, for `sealpk-fleet diff
+// --json=...`. The JSON carries the verdict only; the process exit code
+// must signal divergence identically in both output modes (the CLI
+// regression in tests/test_fleet.cpp pins that contract).
+void write_diff_report(std::ostream& os, const std::string& a_name,
+                       const std::string& b_name, size_t diverging,
+                       const std::string& log_text);
+// Returns false when the file cannot be written.
+bool write_diff_report_file(const std::string& path, const std::string& a_name,
+                            const std::string& b_name, size_t diverging,
+                            const std::string& log_text);
+
 }  // namespace sealpk::fleet

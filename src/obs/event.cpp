@@ -26,6 +26,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kProcessKill: return "process_kill";
     case EventKind::kFaultInjected: return "fault_injected";
     case EventKind::kSample: return "sample";
+    case EventKind::kGateEnter: return "gate_enter";
+    case EventKind::kGateExit: return "gate_exit";
+    case EventKind::kRequestDisposition: return "request_disposition";
+    case EventKind::kQuarantine: return "quarantine";
   }
   return "unknown";
 }

@@ -46,9 +46,14 @@ enum class EventKind : u8 {
   kFaultInjected = 20, // arg0 = fault kind, arg1 = detail
   // profiler
   kSample = 21, // arg0 = sampled pc
+  // request plane (src/serve)
+  kGateEnter = 22,           // arg0 = request index, arg1 = handler slot
+  kGateExit = 23,            // arg0 = request index, arg1 = checksum
+  kRequestDisposition = 24,  // arg0 = request index, arg1 = disposition
+  kQuarantine = 25,          // arg0 = handler slot, arg1 = strike count
 };
 
-inline constexpr u32 kEventKindCount = 22;
+inline constexpr u32 kEventKindCount = 26;
 
 const char* event_kind_name(EventKind kind);
 

@@ -109,6 +109,18 @@ std::string event_detail(const Event& e) {
       os << "kind=" << e.arg0 << " detail=" << hex(e.arg1);
       break;
     case EventKind::kSample: os << "pc=" << hex(e.arg0); break;
+    case EventKind::kGateEnter:
+      os << "req=" << e.arg0 << " slot=" << e.arg1;
+      break;
+    case EventKind::kGateExit:
+      os << "req=" << e.arg0 << " checksum=" << hex(e.arg1);
+      break;
+    case EventKind::kRequestDisposition:
+      os << "req=" << e.arg0 << " disp=" << e.arg1;
+      break;
+    case EventKind::kQuarantine:
+      os << "slot=" << e.arg0 << " strikes=" << e.arg1;
+      break;
   }
   return os.str();
 }

@@ -91,6 +91,20 @@ void Metrics::observe(const Event& e) {
     case EventKind::kSample:
       ++samples_;
       break;
+    case EventKind::kGateEnter:
+      ++gate_enters_;
+      if (e.pkey != kNoPkey) ++pkeys_[e.pkey].gate_enters;
+      break;
+    case EventKind::kGateExit:
+      ++gate_exits_;
+      if (e.pkey != kNoPkey) ++pkeys_[e.pkey].gate_exits;
+      break;
+    case EventKind::kRequestDisposition:
+      ++dispositions_;
+      break;
+    case EventKind::kQuarantine:
+      ++quarantines_;
+      break;
   }
 }
 

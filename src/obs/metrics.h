@@ -41,6 +41,9 @@ struct PkeyMetrics {
   u64 denials = 0;
   u64 seal_violations = 0;
   u64 cam_refills = 0;
+  // request plane (src/serve): gate crossings attributed to this handler key
+  u64 gate_enters = 0;
+  u64 gate_exits = 0;
   // resident pages (tracked from kPkeyPages deltas)
   u64 pages_current = 0;
   u64 pages_hwm = 0;
@@ -89,6 +92,10 @@ class Metrics {
   u64 checkpoints() const { return checkpoints_; }
   u64 rollbacks() const { return rollbacks_; }
   u64 faults_injected() const { return faults_injected_; }
+  u64 gate_enters() const { return gate_enters_; }
+  u64 gate_exits() const { return gate_exits_; }
+  u64 dispositions() const { return dispositions_; }
+  u64 quarantines() const { return quarantines_; }
 
   TraceSummary summary(u64 dropped = 0) const;
 
@@ -105,6 +112,10 @@ class Metrics {
   u64 checkpoints_ = 0;
   u64 rollbacks_ = 0;
   u64 faults_injected_ = 0;
+  u64 gate_enters_ = 0;
+  u64 gate_exits_ = 0;
+  u64 dispositions_ = 0;
+  u64 quarantines_ = 0;
   // Active WRPKR domain. Pkey 0 (the default untagged domain) is resident
   // until the first WRPKR. A rollback rewinds the clock, so the open
   // interval is dropped rather than charged negatively.

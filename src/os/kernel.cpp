@@ -743,6 +743,31 @@ void Kernel::do_syscall() {
     case sys::kReport:
       reports_.push_back(a0);
       break;
+    case sys::kMark: {
+      MarkRecord m;
+      m.kind = a0;
+      m.arg0 = a1;
+      m.arg1 = a2;
+      m.pkey = static_cast<u32>(a3);
+      m.tid = current_tid_;
+      m.instret = hart_.instret();
+      m.cycles = hart_.cycles();
+      marks_.push_back(m);
+      obs::EventKind kind = obs::EventKind::kRequestDisposition;
+      switch (a0) {
+        case mark::kGateEnter: kind = obs::EventKind::kGateEnter; break;
+        case mark::kGateExit: kind = obs::EventKind::kGateExit; break;
+        case mark::kDisposition:
+          kind = obs::EventKind::kRequestDisposition;
+          break;
+        case mark::kQuarantine: kind = obs::EventKind::kQuarantine; break;
+        default:
+          ret = err::kInval;
+          break;
+      }
+      if (ret == 0) emit(kind, static_cast<u32>(a3), a1, a2);
+      break;
+    }
     case sys::kSigaction:
       current_process().signal_handler = a0;
       break;

@@ -68,6 +68,26 @@ struct FaultRecord {
   bool delivered = false;  // handed to a guest signal handler (not fatal)
 };
 
+// A guest-published request-plane mark (sys::kMark): the serve engine's
+// host side reads these to attribute per-request latency and in-flight
+// state without parsing the event trace. Timestamps are the calling
+// hart's retired-instruction and modelled-cycle counters at the ecall.
+// Marks are observability, not architectural state: like the Recorder,
+// they are NOT serialized in snapshots — a resumed run records the marks
+// after the restore point, and concatenation with the pre-save marks
+// reproduces the uninterrupted stream bit-for-bit.
+struct MarkRecord {
+  u64 kind = 0;  // os::mark::k* value
+  u64 arg0 = 0;
+  u64 arg1 = 0;
+  u32 pkey = 0;  // obs::kNoPkey when the mark has no pkey
+  int tid = 0;
+  u64 instret = 0;
+  u64 cycles = 0;
+
+  bool operator==(const MarkRecord&) const = default;
+};
+
 struct KernelStats {
   u64 syscalls = 0;
   u64 context_switches = 0;
@@ -165,6 +185,7 @@ class Kernel {
   const std::vector<FaultRecord>& faults() const { return faults_; }
   const std::string& console() const { return console_; }
   const std::vector<u64>& reports() const { return reports_; }
+  const std::vector<MarkRecord>& marks() const { return marks_; }
   const KernelStats& stats() const { return stats_; }
   const KernelConfig& config() const { return config_; }
 
@@ -269,6 +290,7 @@ class Kernel {
   std::vector<FaultRecord> faults_;
   std::string console_;
   std::vector<u64> reports_;
+  std::vector<MarkRecord> marks_;  // not serialized (see MarkRecord)
   std::vector<std::string> host_errors_;
   KernelStats stats_;
 };

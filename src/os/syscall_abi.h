@@ -37,7 +37,20 @@ constexpr u64 kPkeyPermSeal = 301;  // pkey_perm_seal(pkey) — uses the
 // Harness helper: records a u64 in the kernel's report log so workloads can
 // publish self-check checksums without a filesystem.
 constexpr u64 kReport = 310;
+// Harness helper: stamps a MarkRecord (instret/cycles from the calling
+// hart) into the kernel's mark log and mirrors it into the event trace.
+// mark(kind, arg0, arg1, pkey) — see os::mark for the kind values; pass
+// obs::kNoPkey (0xFFFFFFFF) in a3 when no pkey applies.
+constexpr u64 kMark = 311;
 }  // namespace sys
+
+// Mark kinds for sys::kMark, mapped 1:1 onto the serve-plane event kinds.
+namespace mark {
+constexpr u64 kGateEnter = 0;    // arg0 = request index, arg1 = handler slot
+constexpr u64 kGateExit = 1;     // arg0 = request index, arg1 = checksum
+constexpr u64 kDisposition = 2;  // arg0 = request index, arg1 = detail
+constexpr u64 kQuarantine = 3;   // arg0 = handler slot, arg1 = detail
+}  // namespace mark
 
 namespace prot {
 constexpr u64 kRead = 1;

@@ -1,0 +1,80 @@
+#include "serve/redteam.h"
+
+namespace sealpk::serve::redteam {
+
+const char* catcher_name(Catcher catcher) {
+  switch (catcher) {
+    case Catcher::kVerifier: return "verifier";
+    case Catcher::kHardware: return "hardware";
+    case Catcher::kGate: return "gate";
+    case Catcher::kAuditor: return "auditor";
+    case Catcher::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+const std::vector<Attack>& attacks() {
+  static const std::vector<Attack> kAttacks = {
+      {AttackKind::kGadgetWrpkr, "gadget-wrpkr", Catcher::kVerifier,
+       "plugin text contains a literal WRPKR gadget; the admission gate "
+       "must refuse the image (wrpkr-outside-gate-region) before it runs"},
+      {AttackKind::kRogueWrpkr, "rogue-wrpkr", Catcher::kHardware,
+       "plugin executes WRPKR naming its own perm-sealed key from outside "
+       "the gate range (static scan bypassed, as JIT-emitted code would "
+       "be); the sealed-WRPKR hardware check must raise SealViolation"},
+      {AttackKind::kMonitorTamper, "monitor-tamper", Catcher::kHardware,
+       "plugin stores straight into the monitor page while its row grants "
+       "it nothing; the pkey permission check must deny every store"},
+      {AttackKind::kStackTamper, "monitor-stack-tamper", Catcher::kHardware,
+       "plugin sprays the shared call stack (harmless: the monitor keeps "
+       "no control state there) and then reaches for the monitor-held "
+       "loop index; that store must be denied"},
+      {AttackKind::kForgedPkrFlow, "forged-pkr-flow", Catcher::kHardware,
+       "plugin re-enters the call gate directly, forging the PKR-state "
+       "control flow; the gate's monitor-page return-address save is "
+       "denied, so control can only come back on the monitor's terms"},
+      {AttackKind::kGateExitHijack, "gate-exit-hijack", Catcher::kGate,
+       "plugin jumps past the gate-exit instruction that drops its key; "
+       "the gate's post-exit monotonic RDPKR check must scrub and poison"},
+      {AttackKind::kInterruptedGate, "interrupted-gate", Catcher::kHardware,
+       "plugin spawns a sibling thread that probes monitor memory while "
+       "preemption traps land inside half-open gates; per-thread PKR "
+       "save/restore must deny every probe"},
+      {AttackKind::kRunawayHandler, "runaway-handler", Catcher::kWatchdog,
+       "plugin never returns through the gate; the per-request "
+       "instruction budget must kill and quarantine it"},
+      {AttackKind::kPkrGlitch, "pkr-glitch", Catcher::kAuditor,
+       "seeded PKR SRAM bit flips; the MachineAuditor must scrub from the "
+       "trusted shadow or escalate to a machine-check kill"},
+  };
+  return kAttacks;
+}
+
+const Attack* find_attack(const std::string& name) {
+  for (const Attack& a : attacks()) {
+    if (name == a.name) return &a;
+  }
+  return nullptr;
+}
+
+bool caught_by(Catcher catcher, const CatchEvidence& e) {
+  switch (catcher) {
+    case Catcher::kVerifier:
+      return e.verifier_refused && e.gate_escape_findings > 0;
+    case Catcher::kHardware:
+      // At least one denied/violating access, and if the attack probed
+      // (sibling thread), nothing may have landed.
+      return (e.seal_violations > 0 || e.monitor_denials > 0 ||
+              e.probe_attempts > 0) &&
+             e.probe_successes == 0;
+    case Catcher::kGate:
+      return e.gate_scrubs > 0;
+    case Catcher::kAuditor:
+      return e.faults_injected > 0 && e.faults_recovered_or_killed > 0;
+    case Catcher::kWatchdog:
+      return e.budget_timeouts > 0;
+  }
+  return false;
+}
+
+}  // namespace sealpk::serve::redteam

@@ -324,6 +324,68 @@ TEST(Verifier, UnsealedPkeyIgnoresRangePolicy) {
   EXPECT_TRUE(verify_program(prog, opts).clean());
 }
 
+TEST(Verifier, GateRegionLintFlagsWrpkrOutsideRegion) {
+  Program prog = make_main_program([](Program&, isa::Function& f) {
+    f.li(isa::t0, 7);
+    f.wrpkr(isa::t0, isa::zero);
+    f.li(isa::a0, 0);
+  });
+  VerifyOptions opts;
+  opts.trusted_gates.insert("main");  // name-trust must NOT bypass the lint
+  opts.gate_regions.push_back({0x10, 0x20});  // nowhere near main
+  const Report report = verify_program(prog, opts);
+  ASSERT_TRUE(has_check(report, Check::kGateEscape));
+  EXPECT_FALSE(report.admissible());
+  // The lint has its own distinct finding code.
+  EXPECT_STREQ(check_name(Check::kGateEscape), "wrpkr-outside-gate-region");
+}
+
+TEST(Verifier, GateRegionLintAllowsWrpkrInsideRegion) {
+  Program prog = make_main_program([](Program&, isa::Function& f) {
+    f.li(isa::t0, 7);
+    f.wrpkr(isa::t0, isa::zero);
+    f.li(isa::a0, 0);
+  });
+  const isa::Image image = prog.link();
+  const auto range = image.func_ranges.at("main");
+  VerifyOptions opts;
+  opts.trusted_gates.insert("main");
+  opts.gate_regions.push_back({range.first, range.second - 4});
+  EXPECT_TRUE(verify_image(image, opts).clean());
+}
+
+TEST(Verifier, GateRegionLintCatchesGadgetPastGateEnd) {
+  // The Garmr bypass shape: a WRPKR appended after the blessed gate's
+  // declared region, still inside a trusted-named function. The positional
+  // lint must flag it even though the name check would wave it through.
+  Program prog = make_main_program([](Program&, isa::Function& f) {
+    f.li(isa::t0, 7);
+    f.wrpkr(isa::t0, isa::zero);  // sanctioned: inside the region
+    f.li(isa::a0, 0);
+    f.wrpkr(isa::t0, isa::zero);  // the gadget: past the region's end
+  });
+  const isa::Image image = prog.link();
+  const auto range = image.func_ranges.at("main");
+  VerifyOptions opts;
+  opts.trusted_gates.insert("main");
+  // Region covers only the first half of main (first wrpkr, not the last).
+  opts.gate_regions.push_back({range.first, range.first + 3 * 4});
+  const Report report = verify_image(image, opts);
+  ASSERT_EQ(report.count(Check::kGateEscape), 1u);
+  EXPECT_FALSE(report.admissible());
+}
+
+TEST(Verifier, EmptyGateRegionsDisablesTheLint) {
+  Program prog = make_main_program([](Program&, isa::Function& f) {
+    f.li(isa::t0, 7);
+    f.wrpkr(isa::t0, isa::zero);
+    f.li(isa::a0, 0);
+  });
+  VerifyOptions opts;
+  opts.trusted_gates.insert("main");
+  EXPECT_TRUE(verify_program(prog, opts).clean());
+}
+
 TEST(Verifier, UnresolvedWrpkrUnderSealedPolicyWarns) {
   Program prog = make_main_program([](Program& p, isa::Function& f) {
     p.add_zero("somedata", 8);

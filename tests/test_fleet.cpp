@@ -342,6 +342,47 @@ TEST(Fleet, CanonicalReportsDiffCleanAcrossThreadCounts) {
   EXPECT_GT(fleet::diff_reports(ta.str(), tampered, log2), 0u);
 }
 
+TEST(Fleet, DiffJsonReportCarriesTheVerdictNotJustTheLog) {
+  // `sealpk-fleet diff --json` must exit nonzero on divergence exactly like
+  // the plain mode; the JSON body is the machine-readable mirror of that
+  // verdict. Pin the library layer both CLI paths are built on: the same
+  // `diverging` count feeds the exit code and the report, so the two can
+  // never disagree.
+  std::vector<fleet::JobSpec> specs;
+  specs.push_back(run_spec(0, named("qsort", wl::Suite::kMiBench),
+                           passes::ShadowStackKind::kNone));
+  fleet::ImageCache cache;
+  fleet::FleetOptions opts;
+  const auto results = fleet::run_jobs(specs, cache, opts);
+  fleet::ReportOptions ropts;
+  std::ostringstream ta;
+  fleet::write_report(ta, results, ropts);
+
+  // Identical reports: zero diverging, and the JSON says identical=true.
+  std::ostringstream log0, same;
+  const size_t none = fleet::diff_reports(ta.str(), ta.str(), log0);
+  EXPECT_EQ(none, 0u);
+  fleet::write_diff_report(same, "a.json", "b.json", none, log0.str());
+  EXPECT_NE(same.str().find("\"diverging\": 0"), std::string::npos);
+  EXPECT_NE(same.str().find("\"identical\": true"), std::string::npos);
+
+  // Tampered report: nonzero diverging (the CLI exit code), and the JSON
+  // carries the same count plus identical=false.
+  std::string tampered = ta.str();
+  const size_t records = tampered.find("\"records\": [");
+  ASSERT_NE(records, std::string::npos);
+  const size_t pos = tampered.find("\"cycles\": ", records);
+  ASSERT_NE(pos, std::string::npos);
+  tampered.insert(pos + 10, 1, '9');
+  std::ostringstream log1, diff;
+  const size_t diverging = fleet::diff_reports(ta.str(), tampered, log1);
+  ASSERT_GT(diverging, 0u);
+  fleet::write_diff_report(diff, "a.json", "b.json", diverging, log1.str());
+  EXPECT_NE(diff.str().find("\"identical\": false"), std::string::npos);
+  EXPECT_NE(diff.str().find("\"diverging\": " + std::to_string(diverging)),
+            std::string::npos);
+}
+
 TEST(Fleet, AggregateSumsAcrossJobs) {
   std::vector<fleet::JobSpec> specs;
   specs.push_back(run_spec(0, named("qsort", wl::Suite::kMiBench),

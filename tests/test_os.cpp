@@ -1053,6 +1053,180 @@ TEST(Threads, PreemptionInterleavesBusyLoops) {
   EXPECT_EQ(run.exit_code, 0);
 }
 
+TEST(Threads, InterruptedGateNeverLeaksElevatedPkrToSibling) {
+  // The interrupted-gate attack shape (serve red team, DESIGN.md §13): a
+  // tight preemption quantum lands timer traps between a perm-sealed
+  // gate's entry WRPKR and its monotonic RDPKR check, while a sibling
+  // thread probes the monitor-tagged page on every slice it gets. The
+  // kernel's per-thread PKR save/restore must guarantee that (a) the
+  // sibling always resumes with its own closed row — every probe denied —
+  // and (b) the gate thread always resumes with its elevated row intact,
+  // so its in-gate RDPKR check and secret load never misfire.
+  constexpr u64 kSecret = 0x77;
+  constexpr u64 kSentinel = 0x5AFE;
+  constexpr i64 kRowOpen = 0;      // pkey 1 field 00 = RW
+  constexpr i64 kRowClosed = 0xC;  // pkey 1 field 11 = no access
+  sim::MachineConfig cfg;
+  cfg.preempt_quantum = 13;  // traps reset the quantum; keep it inside gates
+  auto prog = make_main_program([](Program& p, Function& f) {
+    p.add_zero("secret_ptr", 8);
+    p.add_zero("stop", 8);
+    p.add_zero("attempts", 8);
+    p.add_zero("successes", 8);
+    p.add_zero("mismatch", 8);
+    p.add_zero("badsecret", 8);
+    rt::add_pkey_lib(p);
+
+    f.la(a0, "sig");
+    rt::syscall(f, os::sys::kSigaction);
+    // Secret page, tagged with freshly allocated pkey 1 (RW for the tag
+    // write, closed before the sibling exists).
+    f.li(a0, 0);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.mv(s3, a0);
+    f.li(a0, 0);
+    f.li(a1, static_cast<i64>(os::pkeyperm::kRw));
+    rt::syscall(f, os::sys::kPkeyAlloc);
+    f.mv(s2, a0);  // pkey 1
+    f.mv(a0, s3);
+    f.li(a1, 4096);
+    f.li(a2, 3);
+    f.mv(a3, s2);
+    rt::syscall(f, os::sys::kPkeyMprotect);
+    f.li(t0, 0x77);
+    f.sd(t0, 0, s3);
+    f.la(t0, "secret_ptr");
+    f.sd(s3, 0, t0);
+    f.mv(a0, s2);
+    f.li(a1, static_cast<i64>(os::pkeyperm::kNone));
+    f.call("__pkey_set");
+    // One staging pass through the gate latches its seal markers, then the
+    // perm-seal commits: from here WRPKR naming pkey 1 is legal only
+    // inside the gate.
+    f.call("gate");
+    f.mv(a0, s2);
+    rt::syscall(f, os::sys::kPkeyPermSeal);
+    rt::syscall(f, os::sys::kReport);  // 0 = seal accepted
+    // Sibling inherits the closed row.
+    f.li(a0, 0);
+    f.li(a1, 16384);
+    f.li(a2, 3);
+    rt::syscall(f, os::sys::kMmap);
+    f.li(t0, 16384);
+    f.add(a1, a0, t0);
+    f.la(a0, "probe");
+    f.li(a2, 0);
+    rt::syscall(f, os::sys::kClone);
+    // Many crossings; preemption lands at varied offsets inside the gate.
+    const Label loop = f.new_label(), done = f.new_label();
+    f.li(s4, 40);
+    f.bind(loop);
+    f.beqz(s4, done);
+    f.call("gate");
+    f.addi(s4, s4, -1);
+    f.j(loop);
+    f.bind(done);
+    f.la(t0, "stop");
+    f.li(t1, 1);
+    f.sd(t1, 0, t0);
+    for (const char* counter : {"attempts", "successes", "mismatch",
+                                "badsecret"}) {
+      f.la(t0, counter);
+      f.ld(a0, 0, t0);
+      rt::syscall(f, os::sys::kReport);
+    }
+    f.li(a0, 0);
+
+    Function& g = p.add_function("gate");
+    g.instrumentable = false;
+    const Label g_row_ok = g.new_label(), g_sum_ok = g.new_label();
+    g.seal_start(0);
+    g.li(t0, 1);
+    g.li(t1, kRowOpen);
+    g.wrpkr(t0, t1);
+    // Filler long enough that the 13-instruction quantum fires between the
+    // entry WRPKR and the monotonic check below.
+    for (int i = 0; i < 16; ++i) g.addi(t4, t4, 1);
+    g.rdpkr(t3, t0);
+    g.beq(t3, t1, g_row_ok);
+    g.la(t2, "mismatch");  // resumed with someone else's row
+    g.ld(t3, 0, t2);
+    g.addi(t3, t3, 1);
+    g.sd(t3, 0, t2);
+    g.bind(g_row_ok);
+    g.la(t2, "secret_ptr");
+    g.ld(t2, 0, t2);
+    g.ld(t3, 0, t2);
+    g.li(t4, kSecret);
+    g.beq(t3, t4, g_sum_ok);
+    g.la(t2, "badsecret");
+    g.ld(t3, 0, t2);
+    g.addi(t3, t3, 1);
+    g.sd(t3, 0, t2);
+    g.bind(g_sum_ok);
+    g.li(t0, 1);
+    g.li(t1, kRowClosed);
+    g.wrpkr(t0, t1);
+    g.seal_end(0);
+    g.ret();
+
+    Function& c = p.add_function("probe");
+    c.instrumentable = false;
+    const Label c_loop = c.new_label(), c_denied = c.new_label(),
+                c_spin = c.new_label();
+    c.la(s5, "secret_ptr");
+    c.ld(s5, 0, s5);
+    c.li(t6, kSentinel);
+    c.bind(c_loop);
+    c.la(t0, "stop");
+    c.ld(t0, 0, t0);
+    c.bnez(t0, c_spin);
+    c.la(t0, "attempts");
+    c.ld(t1, 0, t0);
+    c.addi(t1, t1, 1);
+    c.sd(t1, 0, t0);
+    // A denied load is skipped by the handler and leaves the sentinel; the
+    // secret slot holds 0x77, so a load that lands cannot fake a denial.
+    c.mv(t2, t6);
+    c.ld(t2, 0, s5);
+    c.beq(t2, t6, c_denied);
+    c.la(t0, "successes");
+    c.ld(t1, 0, t0);
+    c.addi(t1, t1, 1);
+    c.sd(t1, 0, t0);
+    c.bind(c_denied);
+    rt::syscall(c, os::sys::kSchedYield);
+    c.j(c_loop);
+    c.bind(c_spin);
+    rt::syscall(c, os::sys::kSchedYield);
+    c.j(c_spin);
+
+    Function& s = p.add_function("sig");
+    s.instrumentable = false;
+    s.li(a0, 1);  // skip the denied instruction
+    rt::syscall(s, os::sys::kSigreturn);
+  });
+  const GuestRun run = run_guest(prog, cfg, 10'000'000);
+  ASSERT_TRUE(run.outcome.completed);
+  EXPECT_EQ(run.exit_code, 0);
+  ASSERT_EQ(run.reports.size(), 5u);
+  EXPECT_EQ(run.reports[0], 0u);  // perm-seal accepted
+  EXPECT_GT(run.reports[1], 0u);  // the sibling really probed
+  EXPECT_EQ(run.reports[2], 0u);  // ...and never landed a single load
+  EXPECT_EQ(run.reports[3], 0u);  // gate never resumed with a foreign row
+  EXPECT_EQ(run.reports[4], 0u);  // secret reads inside the gate all clean
+  // Every recorded denial belongs to the probe thread (tid 2), on the
+  // sealed pkey; the gate thread never faulted.
+  EXPECT_FALSE(run.faults.empty());
+  for (const auto& fr : run.faults) {
+    EXPECT_EQ(fr.tid, 2);
+    EXPECT_EQ(fr.pkey, 1u);
+  }
+  EXPECT_EQ(run.kstats.seal_violations, 0u);
+}
+
 TEST(Threads, GetTidDistinguishesThreads) {
   auto prog = make_main_program([](Program& p, Function& f) {
     p.add_zero("flag", 8);

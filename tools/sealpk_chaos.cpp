@@ -115,21 +115,36 @@ const char* resolution_name(fault::FaultResolution r) {
   return "unknown";
 }
 
-int usage() {
+// The one source of truth for fault-kind spellings: parse_kinds accepts
+// exactly these names, `--kinds` without an argument and `--help` print
+// them, so the list can never drift from the parser.
+constexpr const char* kKindNames[] = {"pkr",      "tlb",     "pte", "cam-drop",
+                                      "cam-dup", "trap",    "all"};
+
+void print_kind_names(std::FILE* out) {
+  std::fprintf(out, "fault kinds:");
+  for (const char* name : kKindNames) std::fprintf(out, " %s", name);
+  std::fprintf(out, "\n");
+}
+
+int print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: sealpk-chaos [--all | <workload>...] [--list] [-q]\n"
+      out,
+      "usage: sealpk-chaos [--all | <workload>...] [--list] [-q] [--help]\n"
       "                    [--threads=<n>]\n"
       "                    [--chaos-seed=<n>] [--chaos-rate=<p>]\n"
       "                    [--cam-rate=<p>] [--max-faults=<n>]\n"
-      "                    [--kinds=pkr,tlb,pte,cam-drop,cam-dup,trap,all]\n"
+      "                    [--kinds=<kind>[,<kind>...]] [--kinds]\n"
       "                    [--rollback] [--ckpt-interval=<n>]\n"
       "                    [--max-rollbacks=<n>] [--no-pkr-save]\n"
       "                    [--json=<path>]\n"
       "                    [--ss=none|inline|func|sealpk-wr|sealpk-rdwr|"
       "mprotect] [--seal]\n");
-  return 2;
+  print_kind_names(out);
+  return out == stderr ? 2 : 0;
 }
+
+int usage() { return print_usage(stderr); }
 
 sim::MachineConfig base_config(const CliOptions& cli) {
   sim::MachineConfig config;
@@ -257,6 +272,12 @@ int main(int argc, char** argv) {
       cli.plan.cam_rate = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg.rfind("--max-faults=", 0) == 0) {
       cli.plan.max_faults = std::strtoull(arg.c_str() + 13, nullptr, 0);
+    } else if (arg == "--kinds" || arg == "--kinds=") {
+      // Bare --kinds is a query, not an error: print the valid names.
+      print_kind_names(stdout);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return print_usage(stdout);
     } else if (arg.rfind("--kinds=", 0) == 0) {
       if (!parse_kinds(arg.substr(8), &cli.plan.kinds)) return usage();
     } else if (arg.rfind("--ckpt-interval=", 0) == 0) {

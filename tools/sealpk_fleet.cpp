@@ -259,7 +259,8 @@ void print_summary(const SweepOutcome& sweep, unsigned threads) {
   }
 }
 
-int mode_diff(const std::vector<std::string>& names) {
+int mode_diff(const std::vector<std::string>& names,
+              const std::string& json_path) {
   if (names.size() != 2) return usage();
   std::string text[2];
   for (int i = 0; i < 2; ++i) {
@@ -274,12 +275,24 @@ int mode_diff(const std::vector<std::string>& names) {
   }
   std::ostringstream log;
   const size_t diverging = fleet::diff_reports(text[0], text[1], log);
+  // --json changes the output format, never the verdict: the exit code must
+  // signal divergence identically in both modes (CI scripts key off it).
+  if (!json_path.empty() &&
+      !fleet::write_diff_report_file(json_path, names[0], names[1], diverging,
+                                     log.str())) {
+    std::fprintf(stderr, "cannot write diff report %s\n", json_path.c_str());
+    return 2;
+  }
   if (diverging == 0) {
-    std::printf("reports identical (canonical records)\n");
+    if (json_path.empty()) {
+      std::printf("reports identical (canonical records)\n");
+    }
     return 0;
   }
-  std::fputs(log.str().c_str(), stdout);
-  std::printf("%zu diverging record(s)\n", diverging);
+  if (json_path.empty()) {
+    std::fputs(log.str().c_str(), stdout);
+    std::printf("%zu diverging record(s)\n", diverging);
+  }
   return 1;
 }
 
@@ -355,7 +368,7 @@ int main(int argc, char** argv) {
     for (const VariantDef& v : kVariants) std::printf("  %s\n", v.name);
     return 0;
   }
-  if (cli.mode == "diff") return mode_diff(cli.names);
+  if (cli.mode == "diff") return mode_diff(cli.names, cli.json_path);
   if (cli.mode == "run" && cli.names.empty()) return usage();
 
   const std::vector<fleet::JobSpec> specs = build_matrix(cli);
