@@ -17,7 +17,7 @@ const std::set<u64>& known_syscalls() {
       kWrite,    kExit,      kSchedYield, kSigaction,    kSigreturn,
       kGetTid,   kClone,     kMunmap,     kMmap,         kMprotect,
       kPkeyMprotect, kPkeyAlloc, kPkeyFree, kPkeySeal, kPkeyPermSeal,
-      kReport,   kMark};
+      kReport,   kMark,      kVaultSeal,  kVaultUnseal,  kVaultReseal};
   return kKnown;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "vault/format.h"
+
 namespace sealpk::fault {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -12,6 +14,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kCamDropRefill: return "cam-drop-refill";
     case FaultKind::kCamDupRefill: return "cam-dup-refill";
     case FaultKind::kSpuriousTrap: return "spurious-trap";
+    case FaultKind::kVaultJournalCorrupt: return "vault-journal-corrupt";
+    case FaultKind::kVaultCommitFlip: return "vault-commit-flip";
     case FaultKind::kNumKinds: break;
   }
   return "unknown";
@@ -21,7 +25,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_(plan), rng_(plan.seed) {
   for (const FaultKind kind :
        {FaultKind::kPkrBitFlip, FaultKind::kTlbCorrupt,
-        FaultKind::kPteCorrupt, FaultKind::kSpuriousTrap}) {
+        FaultKind::kPteCorrupt, FaultKind::kSpuriousTrap,
+        FaultKind::kVaultJournalCorrupt, FaultKind::kVaultCommitFlip}) {
     if (plan_.has(kind)) step_kinds_.push_back(kind);
   }
   if (plan_.enabled && !step_kinds_.empty()) schedule_next(0);
@@ -141,6 +146,30 @@ void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
                         : FaultResolution::kRecovered);
       break;
     }
+    case FaultKind::kVaultJournalCorrupt:
+    case FaultKind::kVaultCommitFlip: {
+      // Bit rot inside the sealed-storage region: flip one bit of a journal
+      // record. kVaultJournalCorrupt draws from the whole journal (intents
+      // and commits alike); kVaultCommitFlip aims at the kernel-owned odd
+      // (commit) slots only. The per-record FNV-1a must turn either into a
+      // detected refusal, never silently served data.
+      os::Process& proc =
+          kernel.process(kernel.thread(kernel.current_tid()).pid);
+      const std::optional<vault::VaultLocation> loc =
+          vault::find_vault(*proc.aspace);
+      if (!loc) break;  // no vault mapped: nothing to strike
+      u64 index = rng_.below(loc->geo.journal_cap);
+      if (kind == FaultKind::kVaultCommitFlip) index |= 1;
+      const u64 byte_off = rng_.below(vault::kRecordSize);
+      const u32 bit = static_cast<u32>(rng_.below(8));
+      const u64 addr = loc->base + loc->geo.record_off(index) + byte_off;
+      u8 byte = 0;
+      if (!proc.aspace->copy_in(addr, &byte, 1)) break;
+      byte ^= static_cast<u8>(u8{1} << bit);
+      if (!proc.aspace->copy_out(addr, &byte, 1)) break;
+      record(kind, hart, addr, bit);
+      break;
+    }
     case FaultKind::kCamDropRefill:
     case FaultKind::kCamDupRefill:
     case FaultKind::kNumKinds:
@@ -195,6 +224,14 @@ void FaultInjector::note_recoveries(const os::KernelStats& stats) {
   seen_tlb_flushes_ = stats.tlb_flush_recoveries;
   seen_pte_repairs_ = stats.pte_repairs;
   seen_cam_dedups_ = stats.cam_dedups;
+}
+
+void FaultInjector::note_vault_detections(u64 corruption_detected) {
+  if (corruption_detected > seen_vault_detected_) {
+    resolve(FaultKind::kVaultJournalCorrupt, FaultResolution::kRecovered);
+    resolve(FaultKind::kVaultCommitFlip, FaultResolution::kRecovered);
+  }
+  seen_vault_detected_ = corruption_detected;
 }
 
 void FaultInjector::resolve(FaultKind kind, FaultResolution resolution) {

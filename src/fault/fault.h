@@ -31,6 +31,11 @@ enum class FaultKind : u8 {
   kCamDropRefill,    // PK-CAM refill lost by the handler
   kCamDupRefill,     // PK-CAM refill committed twice
   kSpuriousTrap,     // machine-check trap with no underlying corruption
+  // Vault durability kinds (src/vault): bit rot inside the sealed-storage
+  // region itself. Opt-in (not part of kAllFaultKinds) — a run without a
+  // vault has nothing for them to hit.
+  kVaultJournalCorrupt,  // bit flip in a journal record (intent or commit)
+  kVaultCommitFlip,      // bit flip targeted at a commit record slot
   kNumKinds,
 };
 
@@ -39,8 +44,14 @@ const char* fault_kind_name(FaultKind kind);
 constexpr u32 kind_bit(FaultKind kind) {
   return u32{1} << static_cast<u32>(kind);
 }
+// FROZEN at the six pre-vault kinds: kAllFaultKinds seeds the default
+// FaultPlan, so widening it would silently change which kinds existing
+// chaos seeds draw from and perturb every recorded RNG stream. Vault runs
+// opt in with kVaultFaultKinds explicitly.
 constexpr u32 kAllFaultKinds =
-    (u32{1} << static_cast<u32>(FaultKind::kNumKinds)) - 1;
+    (u32{1} << (static_cast<u32>(FaultKind::kSpuriousTrap) + 1)) - 1;
+constexpr u32 kVaultFaultKinds = kind_bit(FaultKind::kVaultJournalCorrupt) |
+                                 kind_bit(FaultKind::kVaultCommitFlip);
 
 enum class FaultResolution : u8 {
   kOutstanding,    // injected, not yet detected or explained
@@ -94,6 +105,11 @@ class FaultInjector {
   // the matching kinds recovered.
   void note_recoveries(const os::KernelStats& stats);
 
+  // Vault analogue: a growing corruption_detected counter means the kernel
+  // refused a checksum-bad record/payload, which is exactly how a vault
+  // fault is survived — mark both vault kinds recovered on the delta.
+  void note_vault_detections(u64 corruption_detected);
+
   void resolve(FaultKind kind, FaultResolution resolution);
   void resolve_all_outstanding(FaultResolution resolution);
 
@@ -146,6 +162,9 @@ class FaultInjector {
   u64 seen_tlb_flushes_ = 0;
   u64 seen_pte_repairs_ = 0;
   u64 seen_cam_dedups_ = 0;
+  // NOT serialized (VaultStats itself is recounted after a restore; the
+  // save/load layout below it is frozen by the committed golden snapshot).
+  u64 seen_vault_detected_ = 0;
 };
 
 }  // namespace sealpk::fault

@@ -30,6 +30,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kGateExit: return "gate_exit";
     case EventKind::kRequestDisposition: return "request_disposition";
     case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kVaultIntent: return "vault_intent";
+    case EventKind::kVaultCommit: return "vault_commit";
+    case EventKind::kVaultUnseal: return "vault_unseal";
+    case EventKind::kVaultDenied: return "vault_denied";
   }
   return "unknown";
 }

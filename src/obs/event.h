@@ -51,9 +51,14 @@ enum class EventKind : u8 {
   kGateExit = 23,            // arg0 = request index, arg1 = checksum
   kRequestDisposition = 24,  // arg0 = request index, arg1 = disposition
   kQuarantine = 25,          // arg0 = handler slot, arg1 = strike count
+  // sealed-storage vault (src/vault)
+  kVaultIntent = 26,  // arg0 = bundle id, arg1 = sequence
+  kVaultCommit = 27,  // arg0 = bundle id, arg1 = sequence
+  kVaultUnseal = 28,  // arg0 = bundle id, arg1 = byte length
+  kVaultDenied = 29,  // arg0 = bundle id, arg1 = errno (negated)
 };
 
-inline constexpr u32 kEventKindCount = 26;
+inline constexpr u32 kEventKindCount = 30;
 
 const char* event_kind_name(EventKind kind);
 

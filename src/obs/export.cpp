@@ -121,6 +121,18 @@ std::string event_detail(const Event& e) {
     case EventKind::kQuarantine:
       os << "slot=" << e.arg0 << " strikes=" << e.arg1;
       break;
+    case EventKind::kVaultIntent:
+      os << "id=" << e.arg0 << " seq=" << e.arg1;
+      break;
+    case EventKind::kVaultCommit:
+      os << "id=" << e.arg0 << " seq=" << e.arg1;
+      break;
+    case EventKind::kVaultUnseal:
+      os << "id=" << e.arg0 << " len=" << e.arg1;
+      break;
+    case EventKind::kVaultDenied:
+      os << "id=" << e.arg0 << " err=" << static_cast<i64>(e.arg1);
+      break;
   }
   return os.str();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mpk/key_manager.h"
+#include "vault/format.h"
 
 namespace sealpk::os {
 
@@ -743,6 +744,15 @@ void Kernel::do_syscall() {
     case sys::kReport:
       reports_.push_back(a0);
       break;
+    case sys::kVaultSeal:
+      ret = sys_vault_commit(a0, a1, /*reseal=*/false);
+      break;
+    case sys::kVaultReseal:
+      ret = sys_vault_commit(a0, a1, /*reseal=*/true);
+      break;
+    case sys::kVaultUnseal:
+      ret = sys_vault_unseal(a0, a1, a2);
+      break;
     case sys::kMark: {
       MarkRecord m;
       m.kind = a0;
@@ -761,6 +771,10 @@ void Kernel::do_syscall() {
           kind = obs::EventKind::kRequestDisposition;
           break;
         case mark::kQuarantine: kind = obs::EventKind::kQuarantine; break;
+        case mark::kVaultIntent: kind = obs::EventKind::kVaultIntent; break;
+        case mark::kVaultCommit: kind = obs::EventKind::kVaultCommit; break;
+        case mark::kVaultUnseal: kind = obs::EventKind::kVaultUnseal; break;
+        case mark::kVaultDenied: kind = obs::EventKind::kVaultDenied; break;
         default:
           ret = err::kInval;
           break;
@@ -785,11 +799,236 @@ void Kernel::do_syscall() {
 i64 Kernel::sys_write(u64 fd, u64 buf, u64 len) {
   if (fd != 1 && fd != 2) return -9;  // EBADF
   if (len > kMaxWriteLen) return err::kInval;
+  // The console is world-readable output: refuse to copy from any page the
+  // caller's own live PKR cannot read. Without this check write(2) is an
+  // exfiltration channel out of read-disabled (e.g. vault) domains — the
+  // kernel would read bytes on the guest's behalf that the guest's loads
+  // would fault on.
+  if (len > 0 && hart_.config().flavor == core::IsaFlavor::kSealPk) {
+    const u64 first = align_down(buf, mem::kPageSize);
+    for (u64 page = first; page < buf + len; page += mem::kPageSize) {
+      const std::optional<u32> pkey = current_aspace().page_pkey(page);
+      if (pkey.has_value() && *pkey != 0 &&
+          (hart_.pkr().peek_perm(*pkey) & 0b10) != 0) {
+        return err::kAcces;
+      }
+    }
+  }
   std::vector<u8> bytes(len);
   if (!current_aspace().copy_in(buf, bytes.data(), len)) return err::kFault;
   console_.append(reinterpret_cast<const char*>(bytes.data()), len);
   hart_.add_cycles(len);  // copy_{from}_user cost
   return static_cast<i64>(len);
+}
+
+// --- sealed-storage vault (src/vault, DESIGN.md §14) -------------------------
+
+void Kernel::vault_mark(u64 kind, u64 arg0, u64 arg1, u32 pkey) {
+  MarkRecord m;
+  m.kind = kind;
+  m.arg0 = arg0;
+  m.arg1 = arg1;
+  m.pkey = pkey;
+  m.tid = current_tid_;
+  m.instret = hart_.instret();
+  m.cycles = hart_.cycles();
+  marks_.push_back(m);
+  obs::EventKind ek = obs::EventKind::kVaultDenied;
+  switch (kind) {
+    case mark::kVaultCommit: ek = obs::EventKind::kVaultCommit; break;
+    case mark::kVaultUnseal: ek = obs::EventKind::kVaultUnseal; break;
+    default: break;
+  }
+  emit(ek, pkey, arg0, arg1);
+}
+
+i64 Kernel::sys_vault_commit(u64 vault_base, u64 intent_off, bool reseal) {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return err::kNoSys;
+  hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
+  AddressSpace& as = current_aspace();
+  u8 sb[vault::kSuperblockSize];
+  if (!as.copy_in(vault_base, sb, vault::kSuperblockSize)) return err::kFault;
+  const std::optional<vault::Geometry> geo =
+      vault::parse_superblock(sb, vault::kSuperblockSize);
+  if (!geo) return err::kInval;
+  const Vma* vma = as.find_vma(vault_base);
+  if (vma == nullptr || vma->pkey != geo->vault_pkey ||
+      vault_base + geo->total_len() > vma->end) {
+    return err::kInval;
+  }
+  const u32 vk = static_cast<u32>(geo->vault_pkey);
+  // The vault domain itself must be fully sealed before the kernel will
+  // notarise anything into it: an unsealed "vault" offers no guarantee the
+  // guest can't rewrite history behind the journal's back.
+  if (!current_keys().domain_sealed(vk) || !current_keys().pages_sealed(vk)) {
+    return err::kPerm;
+  }
+
+  // Intent records live at even journal indices; the kernel owns the odd
+  // slot right after each one.
+  if (intent_off < geo->journal_off ||
+      (intent_off - geo->journal_off) % vault::kRecordSize != 0) {
+    return err::kInval;
+  }
+  const u64 index = (intent_off - geo->journal_off) / vault::kRecordSize;
+  if ((index % 2) != 0 || index + 1 >= geo->journal_cap) return err::kInval;
+
+  u8 rb[vault::kRecordSize];
+  if (!as.copy_in(vault_base + intent_off, rb, vault::kRecordSize)) {
+    return err::kFault;
+  }
+  const vault::Record intent = vault::parse_record(rb);
+  if (!intent.present) return err::kInval;
+  if (!intent.valid) {
+    // A torn or corrupted intent is detected — and refused — here, never
+    // silently committed.
+    ++vault_stats_.corruption_detected;
+    return err::kInval;
+  }
+  if (intent.type != (reseal ? vault::kRecordIntentReseal
+                             : vault::kRecordIntentSeal)) {
+    return err::kInval;
+  }
+  if (intent.slot >= geo->n_slots || intent.len == 0 ||
+      intent.len > geo->slot_size || (intent.len % 8) != 0) {
+    return err::kInval;
+  }
+
+  // Ownership gate: the caller's *live* PKR must grant read+write on the
+  // vault's owner domain. A handler running with the owner key closed (or
+  // a foreign process) is refused and the refusal is notarised.
+  if (hart_.pkr().peek_perm(static_cast<u32>(geo->owner_pkey)) !=
+      pkeyperm::kRw) {
+    ++vault_stats_.denials;
+    vault_mark(mark::kVaultDenied, intent.id, static_cast<u64>(-err::kAcces),
+               vk);
+    return err::kAcces;
+  }
+
+  std::vector<u8> region(geo->total_len());
+  if (!as.copy_in(vault_base, region.data(), region.size())) {
+    return err::kFault;
+  }
+  hart_.add_cycles(region.size() / 8);  // journal scan + checksum cost
+  const vault::Ledger ledger = vault::replay(region.data(), region.size());
+  const auto live = ledger.live.find(intent.id);
+  if (!reseal && live != ledger.live.end()) return err::kBusy;
+  if (reseal) {
+    if (live == ledger.live.end()) return err::kInval;
+    // Copy-on-write: a reseal must land in a fresh slot with a newer
+    // sequence number, so a crash mid-payload-write can never tear the
+    // still-committed previous version.
+    if (live->second.slot == intent.slot || intent.seq <= live->second.seq) {
+      return err::kInval;
+    }
+  }
+  for (const auto& [id, b] : ledger.live) {
+    if (b.slot == intent.slot) return err::kBusy;  // slot holds live data
+  }
+  // The kernel's half of the record pair must still be virgin.
+  const vault::Record existing =
+      vault::parse_record(region.data() + geo->record_off(index + 1));
+  if (existing.present) return err::kBusy;
+
+  // The payload must already be fully in place and match the intent's
+  // checksum — the commit record is the durability point, so nothing may
+  // be outstanding once it exists.
+  if (checksum64(region.data() + geo->slot_off(intent.slot), intent.len) !=
+      intent.payload_fnv) {
+    ++vault_stats_.corruption_detected;
+    return err::kBadMsg;
+  }
+
+  const std::vector<u8> commit =
+      vault::record_bytes(vault::kRecordCommit, intent.id, intent.slot,
+                          intent.len, intent.seq, intent.payload_fnv);
+  if (!as.copy_out(vault_base + geo->record_off(index + 1), commit.data(),
+                   commit.size())) {
+    return err::kFault;
+  }
+  if (reseal) {
+    ++vault_stats_.reseals;
+  } else {
+    ++vault_stats_.seals;
+  }
+  vault_mark(mark::kVaultCommit, intent.id, intent.seq, vk);
+  return 0;
+}
+
+i64 Kernel::sys_vault_unseal(u64 vault_base, u64 id, u64 dst) {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return err::kNoSys;
+  hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
+  AddressSpace& as = current_aspace();
+  u8 sb[vault::kSuperblockSize];
+  if (!as.copy_in(vault_base, sb, vault::kSuperblockSize)) return err::kFault;
+  const std::optional<vault::Geometry> geo =
+      vault::parse_superblock(sb, vault::kSuperblockSize);
+  if (!geo) return err::kInval;
+  const Vma* vma = as.find_vma(vault_base);
+  if (vma == nullptr || vma->pkey != geo->vault_pkey ||
+      vault_base + geo->total_len() > vma->end) {
+    return err::kInval;
+  }
+  const u32 vk = static_cast<u32>(geo->vault_pkey);
+  if (!current_keys().domain_sealed(vk) || !current_keys().pages_sealed(vk)) {
+    return err::kPerm;
+  }
+  if (hart_.pkr().peek_perm(static_cast<u32>(geo->owner_pkey)) !=
+      pkeyperm::kRw) {
+    ++vault_stats_.denials;
+    vault_mark(mark::kVaultDenied, id, static_cast<u64>(-err::kAcces), vk);
+    return err::kAcces;
+  }
+
+  std::vector<u8> region(geo->total_len());
+  if (!as.copy_in(vault_base, region.data(), region.size())) {
+    return err::kFault;
+  }
+  hart_.add_cycles(region.size() / 8);
+  // Newest valid commit for `id` (structural scan; payload verified below
+  // so a checksum failure is reported as corruption, not as "absent").
+  bool found = false;
+  vault::Record best;
+  for (u64 i = 1; i < geo->journal_cap; i += 2) {
+    const vault::Record r =
+        vault::parse_record(region.data() + geo->record_off(i));
+    if (!r.present || !r.valid || r.type != vault::kRecordCommit) continue;
+    if (r.id != id || r.slot >= geo->n_slots || r.len > geo->slot_size) {
+      continue;
+    }
+    if (!found || r.seq >= best.seq) {
+      best = r;
+      found = true;
+    }
+  }
+  if (!found) return err::kInval;
+  if (checksum64(region.data() + geo->slot_off(best.slot), best.len) !=
+      best.payload_fnv) {
+    // Detected before serving: a corrupted committed payload is never
+    // handed out.
+    ++vault_stats_.corruption_detected;
+    return err::kBadMsg;
+  }
+
+  // The destination must sit entirely inside the owner domain and be
+  // writable under the caller's live PKR: secrets never leave the
+  // {vault, owner} domain pair through this syscall.
+  const u64 first = align_down(dst, mem::kPageSize);
+  for (u64 page = first; page < dst + best.len; page += mem::kPageSize) {
+    const std::optional<u32> pkey = as.page_pkey(page);
+    if (!pkey.has_value()) return err::kFault;
+    if (*pkey != geo->owner_pkey ||
+        (hart_.pkr().peek_perm(*pkey) & 0b01) != 0) {
+      return err::kAcces;
+    }
+  }
+  if (!as.copy_out(dst, region.data() + geo->slot_off(best.slot), best.len)) {
+    return err::kFault;
+  }
+  hart_.add_cycles(best.len);  // copy_to_user cost
+  ++vault_stats_.unseals;
+  vault_mark(mark::kVaultUnseal, id, best.len, vk);
+  return static_cast<i64>(best.len);
 }
 
 // addr == 0 lets the kernel pick from the mmap region; a non-zero addr is

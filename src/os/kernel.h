@@ -88,6 +88,19 @@ struct MarkRecord {
   bool operator==(const MarkRecord&) const = default;
 };
 
+// Sealed-storage vault service counters (src/vault, DESIGN.md §14). Like
+// MarkRecord these are observability, not architectural state: the durable
+// vault truth lives entirely in guest DRAM (journal + payload slots), which
+// the snapshot layer already carries in the MEM section, so the counters
+// are NOT serialized — a resumed run recounts from its restore point.
+struct VaultStats {
+  u64 seals = 0;                 // successful sys_vault_seal commits
+  u64 reseals = 0;               // successful sys_vault_reseal commits
+  u64 unseals = 0;               // successful sys_vault_unseal copies
+  u64 denials = 0;               // ownership-gate rejections (non-owner)
+  u64 corruption_detected = 0;   // checksum failures caught before serving
+};
+
 struct KernelStats {
   u64 syscalls = 0;
   u64 context_switches = 0;
@@ -187,6 +200,7 @@ class Kernel {
   const std::vector<u64>& reports() const { return reports_; }
   const std::vector<MarkRecord>& marks() const { return marks_; }
   const KernelStats& stats() const { return stats_; }
+  const VaultStats& vault_stats() const { return vault_stats_; }
   const KernelConfig& config() const { return config_; }
 
   // --- fault recovery (used by the machine-check handler, the spurious-
@@ -247,6 +261,14 @@ class Kernel {
   i64 sys_pkey_seal(u64 pkey, u64 seal_domain, u64 seal_page);
   i64 sys_pkey_perm_seal(u64 pkey);
   i64 sys_write(u64 fd, u64 buf, u64 len);
+  // Vault service (sys::kVaultSeal / kVaultReseal / kVaultUnseal). The
+  // commit path validates the guest-written intent record and writes the
+  // matching commit record in this one trap, so commits are host-atomic;
+  // the unseal path re-verifies the payload checksum before serving it.
+  i64 sys_vault_commit(u64 vault_base, u64 intent_off, bool reseal);
+  i64 sys_vault_unseal(u64 vault_base, u64 id, u64 dst);
+  // Kernel-authored vault mark + trace event (ground truth for the sweep).
+  void vault_mark(u64 kind, u64 arg0, u64 arg1, u32 pkey);
   i64 sys_clone(u64 entry, u64 stack_top, u64 arg);
   void sys_exit(i64 code);
   // Returns true if the fault was delivered to a registered guest handler.
@@ -293,6 +315,7 @@ class Kernel {
   std::vector<MarkRecord> marks_;  // not serialized (see MarkRecord)
   std::vector<std::string> host_errors_;
   KernelStats stats_;
+  VaultStats vault_stats_;  // not serialized (see VaultStats)
 };
 
 }  // namespace sealpk::os

@@ -42,6 +42,13 @@ constexpr u64 kReport = 310;
 // mark(kind, arg0, arg1, pkey) — see os::mark for the kind values; pass
 // obs::kNoPkey (0xFFFFFFFF) in a3 when no pkey applies.
 constexpr u64 kMark = 311;
+// Sealed-storage vault (src/vault, DESIGN.md §14). The vault region lives
+// in guest memory under a write-only + perm-sealed pkey; the kernel is the
+// only party that can read it back, and it only ever does so on behalf of
+// a caller whose live PKR grants read+write on the vault's owner domain.
+constexpr u64 kVaultSeal = 312;    // vault_seal(vault_base, intent_off)
+constexpr u64 kVaultUnseal = 313;  // vault_unseal(vault_base, id, dst)
+constexpr u64 kVaultReseal = 314;  // vault_reseal(vault_base, intent_off)
 }  // namespace sys
 
 // Mark kinds for sys::kMark, mapped 1:1 onto the serve-plane event kinds.
@@ -50,6 +57,14 @@ constexpr u64 kGateEnter = 0;    // arg0 = request index, arg1 = handler slot
 constexpr u64 kGateExit = 1;     // arg0 = request index, arg1 = checksum
 constexpr u64 kDisposition = 2;  // arg0 = request index, arg1 = detail
 constexpr u64 kQuarantine = 3;   // arg0 = handler slot, arg1 = detail
+// Vault plane. kVaultIntent is guest-stamped (just before the journal
+// intent record is written); the other three are kernel-authored from
+// inside the vault syscalls, so their mark ordering is ground truth for
+// the crash-sweep's committed-bundle ledger.
+constexpr u64 kVaultIntent = 4;  // arg0 = bundle id, arg1 = sequence
+constexpr u64 kVaultCommit = 5;  // arg0 = bundle id, arg1 = sequence
+constexpr u64 kVaultUnseal = 6;  // arg0 = bundle id, arg1 = byte length
+constexpr u64 kVaultDenied = 7;  // arg0 = bundle id, arg1 = errno (negated)
 }  // namespace mark
 
 namespace prot {
@@ -78,6 +93,7 @@ constexpr i64 kBusy = -16;    // EBUSY
 constexpr i64 kInval = -22;   // EINVAL
 constexpr i64 kNoSpc = -28;   // ENOSPC
 constexpr i64 kNoSys = -38;   // ENOSYS
+constexpr i64 kBadMsg = -74;  // EBADMSG — checksum mismatch on vault data
 }  // namespace err
 
 }  // namespace sealpk::os

@@ -4,6 +4,7 @@
 
 #include "os/syscall_abi.h"
 #include "runtime/guest.h"
+#include "vault/format.h"
 
 using namespace sealpk::isa;
 
@@ -15,6 +16,39 @@ namespace {
 // leaves it in the register, a load that actually reached the zeroed
 // monitor slot does not.
 constexpr i64 kProbeSentinel = 0x13F1;
+
+// The monitor's sealed side-vault: one page, one intent/commit journal
+// pair, one 64-byte secret bundle. The vault key is write-only and
+// perm-sealed with an empty WRPKR range, the monitor key is the owner.
+constexpr u64 kVaultPageSize = 4096;
+constexpr u64 kVaultSlotLen = 64;
+constexpr u64 kVaultDataOff =
+    vault::kSuperblockSize + 2 * vault::kRecordSize;
+// Salt for the secret stream (word j = mix64(key + j)); any value works,
+// it only needs to differ from the request-payload stream.
+constexpr u64 kVaultSecretSalt = 0x5EC2E7ULL;
+
+vault::Geometry serve_vault_geometry(u32 slots) {
+  vault::Geometry g;
+  g.vault_pkey = vault_pkey_for(slots);
+  g.owner_pkey = kMonitorPkey;
+  g.journal_cap = 2;
+  g.data_off = kVaultDataOff;
+  g.n_slots = 1;
+  g.slot_size = kVaultSlotLen;
+  return g;
+}
+
+u64 vault_secret_key(u64 seed) { return vault::mix64(seed ^ kVaultSecretSalt); }
+
+std::vector<u8> vault_secret_bytes(u64 seed) {
+  std::vector<u8> out(kVaultSlotLen, 0);
+  const u64 key = vault_secret_key(seed);
+  for (u64 j = 0; j < kVaultSlotLen / 8; ++j) {
+    vault::store_u64(&out[j * 8], vault::mix64(key + j));
+  }
+  return out;
+}
 
 std::string row_name(u32 slot) { return "__row_h" + std::to_string(slot); }
 
@@ -29,6 +63,9 @@ std::vector<u8> u64le(u64 v) {
 u64 row_all_closed(u32 slots) {
   u64 row = u64{0b11} << (2 * kMonitorPkey);
   for (u32 k = 0; k < slots; ++k) row |= u64{0b11} << (2 * (2 + k));
+  // The side-vault key is write-only in every row — the gates' RDPKR
+  // equality checks must expect its field.
+  row |= u64{os::pkeyperm::kWriteOnly} << (2 * vault_pkey_for(slots));
   return row;
 }
 u64 row_monitor_open(u32 slots) {
@@ -157,6 +194,58 @@ void emit_attack_preamble(Function& f, redteam::AttackKind kind,
       f.j(spin);
       break;
     }
+    case AttackKind::kVaultProbe: {
+      // Two load probes against the write-only vault: the superblock magic
+      // and the secret bundle itself. A denied (skipped) load leaves the
+      // sentinel in t2; both targets hold nonzero words, so a load that
+      // lands cannot fake a denial. Accounted through the same probe
+      // ledger the sibling-thread attack uses (reports [2]/[3]).
+      const Label second = f.new_label(), count1 = f.new_label(),
+                  count2 = f.new_label();
+      f.la(t5, "__vault_base");
+      f.ld(t5, 0, t5);
+      f.li(t6, kProbeSentinel);
+      f.la(t0, "__probe_attempts");
+      f.ld(t1, 0, t0);
+      f.addi(t1, t1, 2);
+      f.sd(t1, 0, t0);
+      f.mv(t2, t6);
+      f.ld(t2, 0, t5);  // superblock magic — read-disabled, denied
+      f.bne(t2, t6, count1);
+      f.bind(second);
+      f.mv(t2, t6);
+      f.ld(t2, static_cast<i64>(kVaultDataOff), t5);  // the secret itself
+      f.bne(t2, t6, count2);
+      f.j(benign);
+      f.bind(count1);
+      f.la(t0, "__probe_success");
+      f.ld(t1, 0, t0);
+      f.addi(t1, t1, 1);
+      f.sd(t1, 0, t0);
+      f.j(second);
+      f.bind(count2);
+      f.la(t0, "__probe_success");
+      f.ld(t1, 0, t0);
+      f.addi(t1, t1, 1);
+      f.sd(t1, 0, t0);
+      break;
+    }
+    case AttackKind::kForgedUnseal:
+      // vault_unseal from the handler's own domain: this row has the owner
+      // (monitor) key closed, so the kernel's ownership gate must refuse
+      // and notarise the denial — and the handler-tagged dst could never
+      // pass the owner-domain destination check anyway. A copy that did
+      // land would surface host-side as vault_leaks (no unseal in this
+      // workload is legitimate).
+      f.mv(t6, a0);  // the request payload must survive the ecall
+      f.la(a0, "__vault_base");
+      f.ld(a0, 0, a0);
+      f.li(a1, static_cast<i64>(kVaultSecretId));
+      f.la(a2, "__scratch_table");
+      f.ld(a2, 0, a2);
+      rt::syscall(f, os::sys::kVaultUnseal);
+      f.mv(a0, t6);
+      break;
     case AttackKind::kNone:
     case AttackKind::kPkrGlitch:
       break;
@@ -423,6 +512,103 @@ void add_init(Program& p, const WorkloadSpec& spec) {
     emit_exit(f, kExitSealFailed);
     f.bind(ok);
   }
+  // --- the monitor's sealed side-vault (the durability red team's target).
+  // Bootstrapped last, after every key above is sealed: from here on the
+  // only WRPKRs that ever execute are gate crossings, and merge_sealed_row
+  // keeps the vault key's write-only field untouched by them.
+  f.li(a0, 0);
+  f.li(a1, static_cast<i64>(kVaultPageSize));
+  f.li(a2, 3);
+  rt::syscall(f, os::sys::kMmap);
+  f.la(t0, "__vault_base");
+  f.sd(a0, 0, t0);
+  f.la(t0, "__vault_super");
+  f.la(t1, "__vault_base");
+  f.ld(t1, 0, t1);
+  for (i64 i = 0; i < 10; ++i) {
+    f.ld(t2, 8 * i, t0);
+    f.sd(t2, 8 * i, t1);
+  }
+  f.li(a0, 0);
+  f.li(a1, static_cast<i64>(os::pkeyperm::kWriteOnly));
+  rt::syscall(f, os::sys::kPkeyAlloc);
+  {
+    const Label ok = f.new_label();
+    f.li(t1, static_cast<i64>(vault_pkey_for(slots)));
+    f.beq(a0, t1, ok);
+    emit_exit(f, kExitVaultSetup);
+    f.bind(ok);
+  }
+  f.la(a0, "__vault_base");
+  f.ld(a0, 0, a0);
+  f.li(a1, static_cast<i64>(kVaultPageSize));
+  f.li(a2, 3);
+  f.li(a3, static_cast<i64>(vault_pkey_for(slots)));
+  rt::syscall(f, os::sys::kPkeyMprotect);
+  {
+    const Label ok = f.new_label();
+    f.beqz(a0, ok);
+    emit_exit(f, kExitVaultSetup);
+    f.bind(ok);
+  }
+  // Seal the vault domain and its pages, then perm-seal the key over the
+  // empty range the latch stages: nothing may ever rewrite its PKR field.
+  f.li(a0, static_cast<i64>(vault_pkey_for(slots)));
+  f.li(a1, 1);
+  f.li(a2, 1);
+  rt::syscall(f, os::sys::kPkeySeal);
+  {
+    const Label ok = f.new_label();
+    f.beqz(a0, ok);
+    emit_exit(f, kExitVaultSetup);
+    f.bind(ok);
+  }
+  f.call("__vault_latch");
+  f.li(a0, static_cast<i64>(vault_pkey_for(slots)));
+  rt::syscall(f, os::sys::kPkeyPermSeal);
+  {
+    const Label ok = f.new_label();
+    f.beqz(a0, ok);
+    emit_exit(f, kExitVaultSetup);
+    f.bind(ok);
+  }
+  // Intent record into journal slot 0, then the secret bundle generated in
+  // registers straight into the write-only slot, then the commit ecall.
+  f.la(t0, "__vault_intent");
+  f.la(t1, "__vault_base");
+  f.ld(t1, 0, t1);
+  for (i64 i = 0; i < 8; ++i) {
+    f.ld(t2, 8 * i, t0);
+    f.sd(t2, static_cast<i64>(vault::kSuperblockSize) + 8 * i, t1);
+  }
+  f.la(t1, "__vault_base");
+  f.ld(t1, 0, t1);
+  f.li(t2, static_cast<i64>(kVaultDataOff));
+  f.add(t1, t1, t2);
+  f.li(t0, static_cast<i64>(vault_secret_key(spec.seed)));
+  f.li(t2, 0);
+  f.li(t3, static_cast<i64>(kVaultSlotLen / 8));
+  {
+    const Label loop = f.new_label();
+    f.bind(loop);
+    f.add(t4, t0, t2);
+    emit_mix(f, t4, t5, t6);
+    f.slli(t5, t2, 3);
+    f.add(t5, t1, t5);
+    f.sd(t4, 0, t5);
+    f.addi(t2, t2, 1);
+    f.blt(t2, t3, loop);
+  }
+  f.la(a0, "__vault_base");
+  f.ld(a0, 0, a0);
+  f.li(a1, static_cast<i64>(vault::kSuperblockSize));
+  rt::syscall(f, os::sys::kVaultSeal);
+  {
+    const Label ok = f.new_label();
+    f.beqz(a0, ok);
+    emit_exit(f, kExitVaultSetup);
+    f.bind(ok);
+  }
   f.la(t0, "__poison");
   f.sd(zero, 0, t0);
   f.mv(ra, s0);
@@ -590,8 +776,18 @@ BuiltServer build_server(const WorkloadSpec& spec) {
     e.ret();
   }
   for (u32 k = 0; k < slots; ++k) add_handler(p, k, spec);
+  {
+    // The vault key's permissible WRPKR range: the empty span between the
+    // two markers — no code may ever rewrite its write-only PKR field.
+    Function& latch = p.add_function("__vault_latch");
+    latch.instrumentable = false;
+    latch.seal_start(0);
+    latch.seal_end(0);
+    latch.ret();
+  }
 
   p.add_zero("__mon_base", 8);
+  p.add_zero("__vault_base", 8);
   p.add_zero("__scratch_table", 8 * slots);
   p.add_zero("__gate_table", 8 * slots);
   p.add_zero("__poison", 8);
@@ -612,6 +808,15 @@ BuiltServer build_server(const WorkloadSpec& spec) {
       packed.insert(packed.end(), one.begin(), one.end());
     }
     p.add_data("__epoch_reqs", std::move(packed));
+  }
+  {
+    const vault::Geometry geo = serve_vault_geometry(slots);
+    const std::vector<u8> secret = vault_secret_bytes(spec.seed);
+    p.add_rodata("__vault_super", vault::superblock_bytes(geo));
+    p.add_rodata("__vault_intent",
+                 vault::record_bytes(vault::kRecordIntentSeal, kVaultSecretId,
+                                     0, kVaultSlotLen, 1,
+                                     checksum64(secret.data(), secret.size())));
   }
   p.add_data("__row_closed", u64le(row_all_closed(slots)));
   p.add_data("__row_open", u64le(row_monitor_open(slots)));
@@ -640,6 +845,12 @@ BuiltServer build_server(const WorkloadSpec& spec) {
     const auto range = fr.at(gate_name(k));
     vo.sealed_pkey_ranges[2 + k] = {range.first, range.second - 8};
   }
+  // The vault key's staged range is the latch's two marker PCs; no WRPKR
+  // anywhere names it, so the range guards an empty set on purpose.
+  vo.trusted_gates.insert("__vault_latch");
+  const auto latch_range = fr.at("__vault_latch");
+  vo.sealed_pkey_ranges[vault_pkey_for(slots)] = {latch_range.first,
+                                                  latch_range.first + 4};
   // The positional lint: any pkey-write outside this region is a gadget,
   // trusted-sounding name or not.
   vo.gate_regions.push_back({region_start.first, region_end.second - 4});

@@ -31,6 +31,12 @@ inline constexpr u64 kCanary = 0x5EA1CAFEF00DULL;
 inline constexpr u32 kMonitorPkey = 1;
 inline constexpr i64 kExitBadPkey = 91;   // pkey numbering assert failed
 inline constexpr i64 kExitSealFailed = 92;  // pkey_perm_seal returned error
+inline constexpr i64 kExitVaultSetup = 93;  // side-vault bootstrap failed
+// The monitor's sealed side-vault (DESIGN.md §14): one secret bundle the
+// durability red team attacks. The vault key is allocated right after the
+// slot keys; the monitor key is the owner domain.
+inline constexpr u64 kVaultSecretId = 1;
+inline constexpr u32 vault_pkey_for(u32 slots) { return 2 + slots; }
 // Poison causes the gate itself writes (trap causes are small enum values,
 // so these cannot collide with a delivered fault's cause).
 inline constexpr u64 kPoisonGateEntry = 98;  // entry monotonic check failed

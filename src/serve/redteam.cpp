@@ -9,6 +9,7 @@ const char* catcher_name(Catcher catcher) {
     case Catcher::kGate: return "gate";
     case Catcher::kAuditor: return "auditor";
     case Catcher::kWatchdog: return "watchdog";
+    case Catcher::kVault: return "vault";
   }
   return "?";
 }
@@ -46,6 +47,14 @@ const std::vector<Attack>& attacks() {
       {AttackKind::kPkrGlitch, "pkr-glitch", Catcher::kAuditor,
        "seeded PKR SRAM bit flips; the MachineAuditor must scrub from the "
        "trusted shadow or escalate to a machine-check kill"},
+      {AttackKind::kVaultProbe, "vault-probe", Catcher::kHardware,
+       "plugin loads straight from the write-only sealed vault (superblock "
+       "and secret bundle); the pkey read-disable check must deny every "
+       "load — no secret byte may reach a handler register"},
+      {AttackKind::kForgedUnseal, "forged-unseal", Catcher::kVault,
+       "plugin ecalls vault_unseal from its own domain with the owner key "
+       "closed; the kernel's ownership gate must refuse, notarise the "
+       "denial in the journal marks, and copy nothing"},
   };
   return kAttacks;
 }
@@ -63,9 +72,9 @@ bool caught_by(Catcher catcher, const CatchEvidence& e) {
       return e.verifier_refused && e.gate_escape_findings > 0;
     case Catcher::kHardware:
       // At least one denied/violating access, and if the attack probed
-      // (sibling thread), nothing may have landed.
+      // (sibling thread or vault reads), nothing may have landed.
       return (e.seal_violations > 0 || e.monitor_denials > 0 ||
-              e.probe_attempts > 0) &&
+              e.probe_attempts > 0 || e.vault_probe_denials > 0) &&
              e.probe_successes == 0;
     case Catcher::kGate:
       return e.gate_scrubs > 0;
@@ -73,6 +82,10 @@ bool caught_by(Catcher catcher, const CatchEvidence& e) {
       return e.faults_injected > 0 && e.faults_recovered_or_killed > 0;
     case Catcher::kWatchdog:
       return e.budget_timeouts > 0;
+    case Catcher::kVault:
+      // The ownership gate refused at least once and no secret was ever
+      // copied out (no unseal in this workload is legitimate).
+      return e.unseal_denials > 0 && e.vault_leaks == 0;
   }
   return false;
 }

@@ -32,6 +32,8 @@ enum class AttackKind : u8 {
                      // preemption traps landing inside half-open gates
   kRunawayHandler,   // infinite loop: never returns through the gate
   kPkrGlitch,        // seeded PKR bit flips via the FaultInjector
+  kVaultProbe,       // plugin loads straight from the write-only vault
+  kForgedUnseal,     // plugin ecalls vault_unseal with the owner key closed
 };
 
 // The layer contractually responsible for stopping the attack.
@@ -41,6 +43,7 @@ enum class Catcher : u8 {
   kGate,      // the gate's own post-exit monotonic RDPKR check
   kAuditor,   // MachineAuditor scrub / machine-check kill
   kWatchdog,  // per-request instruction budget (request-plane timeout)
+  kVault,     // the kernel's vault ownership gate (denial notarised)
 };
 
 const char* catcher_name(Catcher catcher);
@@ -72,6 +75,11 @@ struct CatchEvidence {
   u64 faults_recovered_or_killed = 0;
   u64 probe_attempts = 0;            // sibling-thread probes issued
   u64 probe_successes = 0;           // sibling-thread probes that landed
+  u64 vault_probe_denials = 0;       // delivered pkey faults on the vault
+                                     // key (reads of write-only storage)
+  u64 unseal_denials = 0;            // kernel vault ownership rejections
+  u64 vault_leaks = 0;               // successful unseals — none is
+                                     // legitimate in this workload
 };
 
 // True when `evidence` shows the declared catcher actually fired (and, for

@@ -230,7 +230,15 @@ ServeResult run_server(const ServeConfig& cfg) {
       if (fr.pkey_fault && fr.pkey == kMonitorPkey) {
         ++res.evidence.monitor_denials;
       }
+      if (fr.pkey_fault && fr.pkey == vault_pkey_for(slots)) {
+        ++res.evidence.vault_probe_denials;
+      }
     }
+    // Side-vault evidence: ownership-gate refusals, and — since no unseal
+    // in this workload is legitimate — every successful copy is a leak.
+    const os::VaultStats& vs = m.kernel().vault_stats();
+    res.evidence.unseal_denials += vs.denials;
+    res.evidence.vault_leaks += vs.unseals;
     if (m.injector() != nullptr) {
       res.evidence.faults_injected += m.injector()->total_injected();
       res.evidence.faults_recovered_or_killed +=
@@ -338,7 +346,8 @@ ServeResult run_server(const ServeConfig& cfg) {
 
     if (completed) {
       const i64 code = m.exit_code(pid);
-      if (code == kExitBadPkey || code == kExitSealFailed) {
+      if (code == kExitBadPkey || code == kExitSealFailed ||
+          code == kExitVaultSetup) {
         res.config_ok = false;
         res.monitor_alive = false;
         break;
@@ -421,7 +430,10 @@ std::string canonical_ledger(const ServeResult& r) {
      << " faults_injected=" << e.faults_injected
      << " faults_handled=" << e.faults_recovered_or_killed
      << " probe_attempts=" << e.probe_attempts
-     << " probe_successes=" << e.probe_successes << "\n";
+     << " probe_successes=" << e.probe_successes
+     << " vault_probe_denials=" << e.vault_probe_denials
+     << " unseal_denials=" << e.unseal_denials
+     << " vault_leaks=" << e.vault_leaks << "\n";
   return os.str();
 }
 
@@ -467,7 +479,10 @@ void write_result_json(std::ostream& os, const ServeConfig& cfg,
      << ", \"faults_injected\": " << e.faults_injected
      << ", \"faults_handled\": " << e.faults_recovered_or_killed
      << ", \"probe_attempts\": " << e.probe_attempts
-     << ", \"probe_successes\": " << e.probe_successes << "},\n";
+     << ", \"probe_successes\": " << e.probe_successes
+     << ", \"vault_probe_denials\": " << e.vault_probe_denials
+     << ", \"unseal_denials\": " << e.unseal_denials
+     << ", \"vault_leaks\": " << e.vault_leaks << "},\n";
   os << "  \"slots\": [";
   for (u32 s = 0; s < r.slot_strikes.size(); ++s) {
     if (s != 0) os << ", ";

@@ -122,7 +122,11 @@ RunOutcome Machine::run(u64 max_instructions) {
     try {
       if (hart_.instret() >= runloop_.next_audit) {
         auditor_->audit_and_recover();
-        if (faults) injector_->note_recoveries(kernel_.stats());
+        if (faults) {
+          injector_->note_recoveries(kernel_.stats());
+          injector_->note_vault_detections(
+              kernel_.vault_stats().corruption_detected);
+        }
         runloop_.next_audit = hart_.instret() + audit_every;
       }
       // An escalated audit kill arms the rollback instead of killing; skip
@@ -138,7 +142,11 @@ RunOutcome Machine::run(u64 max_instructions) {
         const u64 trap_pc = hart_.csrs().sepc;
         kernel_.handle_trap();
         runloop_.since_switch = 0;
-        if (faults) injector_->note_recoveries(kernel_.stats());
+        if (faults) {
+          injector_->note_recoveries(kernel_.stats());
+          injector_->note_vault_detections(
+              kernel_.vault_stats().corruption_detected);
+        }
         runloop_.trap_streak =
             trap_pc == runloop_.last_trap_pc ? runloop_.trap_streak + 1 : 1;
         runloop_.last_trap_pc = trap_pc;
@@ -218,6 +226,8 @@ RunOutcome Machine::run(u64 max_instructions) {
     try {
       auditor_->audit_and_recover();
       injector_->note_recoveries(kernel_.stats());
+      injector_->note_vault_detections(
+          kernel_.vault_stats().corruption_detected);
     } catch (const std::exception& e) {
       kernel_.note_host_error(e.what());
     }

@@ -1,0 +1,80 @@
+// Guest-program builder for the sealed-storage vault workload
+// (DESIGN.md §14).
+//
+// The built image is a one-process secret store: an owner domain
+// (pkey 1, kRw) drives seal/reseal/unseal operations against a vault
+// region tagged with a write-only, perm-sealed domain (pkey 2). The guest
+// can only ever APPEND to the vault — intent records word by word, payload
+// bytes straight from registers — and must go through the kernel's vault
+// syscalls for anything that reads it back. Every operation is planned
+// host-side at build time, so the builder also produces the oracle: the
+// exact payload bytes each operation stores and the ledger an
+// uninterrupted run must end with.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "vault/format.h"
+
+namespace sealpk::vault {
+
+// Guest pkey numbering is part of the protocol (pkey_alloc hands out 1,
+// then 2; the guest asserts both and exits kExitBadPkey otherwise).
+inline constexpr u32 kOwnerPkey = 1;
+inline constexpr u32 kVaultPkey = 2;
+
+// Guest exit codes (0 = clean completion).
+inline constexpr i64 kExitBadPkey = 93;         // pkey numbering assert
+inline constexpr i64 kExitSealFailed = 94;      // seal/reseal syscall error
+inline constexpr i64 kExitUnsealFailed = 95;    // unseal syscall error
+inline constexpr i64 kExitRevealMismatch = 96;  // unsealed bytes diverged
+
+enum class OpType : u8 { kSeal, kReseal, kUnseal };
+
+struct VaultOp {
+  OpType type = OpType::kSeal;
+  u64 id = 0;
+  u64 slot = 0;  // payload slot (seal/reseal); unused for unseal
+  u64 len = 0;   // payload bytes
+  u64 seq = 0;   // version (1 for seals, strictly higher for reseals)
+  u64 journal_index = 0;  // intent record index 2r (seal/reseal only)
+};
+
+struct VaultSpec {
+  u64 n_slots = 8;     // must be >= seals + reseals (copy-on-write slots)
+  u64 slot_size = 64;  // bytes per slot, multiple of 8
+  u32 seals = 5;
+  u32 reseals = 2;
+  u32 unseals = 3;
+  u64 seed = 1;
+};
+
+struct BuiltVault {
+  isa::Image image;
+  Geometry geo;
+  std::vector<VaultOp> ops;  // execution order (seals, reseals, unseals)
+  // Final-state oracle for an uninterrupted run.
+  Ledger expected;
+  std::string expected_ledger;  // ledger_string(expected)
+  // Payload bytes per committed bundle version, keyed like the ops list
+  // (seal/reseal entries only). The sweep's confidentiality scan hunts
+  // these byte strings outside the vault.
+  std::vector<std::vector<u8>> payloads;
+};
+
+// Deterministic payload stream: word j of operation (id, seq) is
+// mix64(op_key + j). Shared verbatim by the guest emitter (as immediates +
+// in-register mixing) and the host oracle.
+u64 op_key(u64 seed, u64 id, u64 seq);
+std::vector<u8> payload_bytes(u64 seed, u64 id, u64 seq, u64 len);
+
+// The operation schedule derived from a spec (pure function of the spec).
+std::vector<VaultOp> plan_ops(const VaultSpec& spec);
+
+Geometry geometry_for(const VaultSpec& spec);
+
+BuiltVault build_vault(const VaultSpec& spec);
+
+}  // namespace sealpk::vault

@@ -76,6 +76,9 @@ TEST(Serve, CleanRunServesEveryRequest) {
   EXPECT_EQ(r.evidence.gate_scrubs, 0u);
   EXPECT_EQ(r.evidence.budget_timeouts, 0u);
   EXPECT_EQ(r.evidence.probe_successes, 0u);
+  EXPECT_EQ(r.evidence.vault_probe_denials, 0u);
+  EXPECT_EQ(r.evidence.unseal_denials, 0u);
+  EXPECT_EQ(r.evidence.vault_leaks, 0u);
 }
 
 TEST(Serve, ChecksumModelMatchesGuest) {
@@ -218,9 +221,34 @@ TEST(ServeRedTeam, PkrGlitchHandledByAuditor) {
   EXPECT_TRUE(r.monitor_alive);
 }
 
+TEST(ServeRedTeam, VaultProbeLoadsAllDenied) {
+  const ServeResult r = run_attack(AttackKind::kVaultProbe);
+  // Every load against the write-only vault was issued and denied: the
+  // sentinel survived in the handler's register each time, and each denial
+  // left a pkey-fault record naming the vault key.
+  EXPECT_GT(r.evidence.probe_attempts, 0u);
+  EXPECT_EQ(r.evidence.probe_successes, 0u);
+  EXPECT_GT(r.evidence.vault_probe_denials, 0u);
+  EXPECT_EQ(r.evidence.vault_leaks, 0u);
+  EXPECT_TRUE(r.monitor_alive);
+  // The denied probes poison the attempt; retries land on the replica.
+  EXPECT_GT(r.retried, 0u);
+}
+
+TEST(ServeRedTeam, ForgedUnsealRefusedAndNotarised) {
+  const ServeResult r = run_attack(AttackKind::kForgedUnseal);
+  EXPECT_GT(r.evidence.unseal_denials, 0u);
+  EXPECT_EQ(r.evidence.vault_leaks, 0u);
+  // The ownership refusal is an error return, not a delivered fault: the
+  // request itself still serves while the kernel notarises each denial.
+  EXPECT_EQ(r.served, r.records.size());
+  EXPECT_TRUE(r.monitor_alive);
+  EXPECT_TRUE(r.canary_intact);
+}
+
 TEST(ServeRedTeam, RegistryIsCompleteAndNamed) {
   const auto& reg = serve::redteam::attacks();
-  EXPECT_EQ(reg.size(), 9u);
+  EXPECT_EQ(reg.size(), 11u);
   std::set<std::string> names;
   for (const auto& atk : reg) {
     EXPECT_NE(atk.kind, AttackKind::kNone);

@@ -409,6 +409,68 @@ TEST(Rollback, RetryCapContainsPermanentlyCorruptingPlan) {
   EXPECT_GE(run.rollback_failures, 1u);
 }
 
+TEST(Rollback, CorruptionInFlightAtCheckpointTimeKeepsPreviousKnownGood) {
+  // A machine check brewing *during* the periodic checkpoint window must
+  // never be frozen into the "known-good" blob: take_checkpoint's peek-only
+  // audit sees the latent PKR flip, skips the save (keeping the previous
+  // checkpoint), and the eventual machine check rolls back to that
+  // pre-fault state and completes clean.
+  const wl::Workload& w = workload_named("sha");
+  const isa::Image image = w.build(w.test_scale).link();
+  const RollbackRun clean = run_clean(image);
+  ASSERT_TRUE(clean.completed);
+
+  sim::MachineConfig config;
+  config.kernel.save_pkr_on_switch = false;
+  config.fault_plan.enabled = true;
+  config.fault_plan.seed = 7;
+  config.fault_plan.rate = 1e-4;
+  config.fault_plan.max_faults = 1;
+  config.fault_plan.kinds = kind_bit(fault::FaultKind::kPkrBitFlip);
+  config.checkpoint_interval = 1'000;
+  config.max_rollbacks = 3;
+  // Escalating audits far apart: between injection and escalation the only
+  // audits are the peek-only ones inside take_checkpoint, so several
+  // checkpoint deadlines pass while the corruption is in flight.
+  config.audit_interval = 50'000;
+  sim::Machine machine(config);
+  const int pid = machine.load(image);
+  ASSERT_GE(pid, 0);
+
+  bool completed = false;
+  bool saw_injection = false;
+  u64 ckpts_at_injection = 0;
+  u64 instret_at_injection = 0;
+  u64 latent_instret = 0;  // furthest point reached while corrupted
+  for (int slice = 0; slice < 4'000 && !completed; ++slice) {
+    completed = machine.run(500).completed;
+    if (!saw_injection && machine.injector()->total_injected() == 1) {
+      saw_injection = true;
+      ckpts_at_injection = machine.checkpoints_taken();
+      instret_at_injection = machine.hart().instret();
+    }
+    if (saw_injection && machine.rollbacks() == 0) {
+      if (machine.hart().instret() > latent_instret) {
+        latent_instret = machine.hart().instret();
+      }
+      EXPECT_EQ(machine.checkpoints_taken(), ckpts_at_injection)
+          << "checkpoint taken while corruption was in flight";
+    }
+  }
+  ASSERT_TRUE(completed);
+  ASSERT_TRUE(saw_injection);
+  // The latent window spanned several checkpoint deadlines — each one was
+  // skipped — and the rollback then used the kept pre-fault checkpoint.
+  EXPECT_GE(latent_instret,
+            instret_at_injection + 2 * config.checkpoint_interval);
+  EXPECT_GE(machine.rollbacks(), 1u);
+  EXPECT_EQ(machine.rollback_failures(), 0u);
+  EXPECT_GT(machine.checkpoints_taken(), ckpts_at_injection);
+  EXPECT_EQ(machine.exit_code(pid), clean.exit_code);
+  EXPECT_EQ(machine.kernel().console(), clean.console);
+  EXPECT_EQ(machine.kernel().reports(), clean.reports);
+}
+
 // ---------------------------------------------------------------------------
 // Golden-file format compatibility.
 // ---------------------------------------------------------------------------

@@ -19,6 +19,10 @@
 //   info <file>
 //       Header, checksum and section table of a snapshot file.
 //
+// info and diff accept --json[=<path>] for a machine-readable view (the
+// same contract as the chaos/fleet/verify/serve tools): the flag changes
+// the output format only, never the exit code.
+//
 // Workload construction accepts the same shaping flags as sealpk-chaos
 // (--ss=, --seal) plus a fault plan (--chaos-seed/--chaos-rate/--cam-rate/
 // --max-faults), so replay can prove determinism *under fault injection*:
@@ -29,9 +33,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "passes/shadow_stack.h"
 #include "sim/machine.h"
 #include "snapshot/snapshot.h"
@@ -51,9 +58,27 @@ struct CliOptions {
   bool have_expect_exit = false;
   bool quiet = false;
   bool perm_seal = false;
+  bool json = false;      // machine-readable info/diff output
+  std::string json_out;   // empty = stdout
   passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
   fault::FaultPlan plan;  // disabled unless a --chaos-* flag appears
 };
+
+// --json changes the output format, never the verdict: callers still rely
+// on the exit code (same contract as sealpk-fleet diff --json).
+int emit_json(const CliOptions& cli, const std::string& text) {
+  if (cli.json_out.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream f(cli.json_out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s'\n", cli.json_out.c_str());
+    return 2;
+  }
+  f << text;
+  return 0;
+}
 
 int usage() {
   std::fprintf(
@@ -61,8 +86,8 @@ int usage() {
       "usage: sealpk-snapshot save <workload> --at=<instret> [--out=<file>]\n"
       "       sealpk-snapshot restore <file> [--expect-exit=<code>]\n"
       "       sealpk-snapshot replay <workload> --at=<instret>\n"
-      "       sealpk-snapshot diff <a> <b>\n"
-      "       sealpk-snapshot info <file>\n"
+      "       sealpk-snapshot diff <a> <b> [--json[=<path>]]\n"
+      "       sealpk-snapshot info <file> [--json[=<path>]]\n"
       "options: [-q] [--ss=none|inline|func|sealpk-wr|sealpk-rdwr|mprotect]\n"
       "         [--seal] [--chaos-seed=<n>] [--chaos-rate=<p>]\n"
       "         [--cam-rate=<p>] [--max-faults=<n>]\n");
@@ -206,6 +231,20 @@ int cmd_diff(const CliOptions& cli) {
   const std::vector<u8> a = snapshot::read_file(cli.positional[0]);
   const std::vector<u8> b = snapshot::read_file(cli.positional[1]);
   const std::vector<std::string> lines = snapshot::diff(a, b);
+  if (cli.json) {
+    std::ostringstream os;
+    os << "{\"a\": \"" << json_escape(cli.positional[0]) << "\", \"b\": \""
+       << json_escape(cli.positional[1])
+       << "\", \"equivalent\": " << (lines.empty() ? "true" : "false")
+       << ", \"differences\": [";
+    for (size_t i = 0; i < lines.size(); ++i) {
+      os << (i != 0 ? ", " : "") << "\"" << json_escape(lines[i]) << "\"";
+    }
+    os << "]}\n";
+    const int rc = emit_json(cli, os.str());
+    if (rc != 0) return rc;
+    return lines.empty() ? 0 : 1;
+  }
   if (lines.empty()) {
     if (!cli.quiet) std::printf("snapshots are equivalent\n");
     return 0;
@@ -217,6 +256,26 @@ int cmd_diff(const CliOptions& cli) {
 int cmd_info(const CliOptions& cli) {
   const std::vector<u8> blob = snapshot::read_file(cli.positional[0]);
   const snapshot::Info info = snapshot::info(blob);
+  if (cli.json) {
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(info.checksum));
+    std::ostringstream os;
+    os << "{\"file\": \"" << json_escape(cli.positional[0])
+       << "\", \"version\": " << info.version
+       << ", \"payload_bytes\": " << info.payload_len << ", \"fnv1a64\": \""
+       << checksum << "\", \"checksum_ok\": "
+       << (info.checksum_ok ? "true" : "false")
+       << ", \"instret\": " << info.instret << ", \"cycles\": " << info.cycles
+       << ", \"pc\": " << info.pc << ", \"sections\": [";
+    for (size_t i = 0; i < info.sections.size(); ++i) {
+      os << (i != 0 ? ", " : "") << "{\"name\": \""
+         << json_escape(info.sections[i].name)
+         << "\", \"bytes\": " << info.sections[i].size << "}";
+    }
+    os << "]}\n";
+    return emit_json(cli, os.str());
+  }
   std::printf("version   %u\n", info.version);
   std::printf("payload   %llu bytes, fnv1a64=%016llx (%s)\n",
               static_cast<unsigned long long>(info.payload_len),
@@ -250,6 +309,11 @@ int main(int argc, char** argv) {
       cli.have_at = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       cli.out = arg.substr(6);
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json = true;
+      cli.json_out = arg.substr(7);
     } else if (arg.rfind("--expect-exit=", 0) == 0) {
       cli.expect_exit = std::strtoll(arg.c_str() + 14, nullptr, 0);
       cli.have_expect_exit = true;

@@ -13,10 +13,11 @@
 //       Convert a trace blob: --json writes Chrome/Perfetto trace_event JSON
 //       (load in ui.perfetto.dev), --collapsed writes folded stacks for
 //       flamegraph.pl, --timeline prints the per-event text timeline.
-//   diff <a> <b>
+//   diff <a> <b> [--json=<file>]
 //       Structural comparison of two blobs (exit status 1 when they differ).
 //       This is the CI determinism oracle: two records of the same workload
-//       must produce byte-identical blobs.
+//       must produce byte-identical blobs. --json writes a machine-readable
+//       verdict without changing the exit code.
 //
 // Workload construction accepts the same shaping flags as sealpk-snapshot
 // (--ss=, --seal), so sealed shadow-stack variants can be profiled too.
@@ -32,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "obs/export.h"
 #include "obs/recorder.h"
 #include "passes/shadow_stack.h"
@@ -64,7 +66,7 @@ int usage() {
       "       sealpk-trace report <file>\n"
       "       sealpk-trace export <file> [--json=<file>] [--collapsed=<file>]\n"
       "                           [--timeline]\n"
-      "       sealpk-trace diff <a> <b>\n"
+      "       sealpk-trace diff <a> <b> [--json=<file>]\n"
       "options: [-q] [--ss=none|inline|func|sealpk-wr|sealpk-rdwr|mprotect]\n"
       "         [--seal]\n");
   return 2;
@@ -192,6 +194,21 @@ int cmd_diff(const CliOptions& cli) {
   const std::string delta =
       obs::diff_traces(load_trace(cli.positional[0]),
                        load_trace(cli.positional[1]));
+  // --json changes the output format, never the verdict: structural
+  // divergence exits nonzero in JSON mode exactly as in plain mode (the
+  // same contract sealpk-fleet diff --json pins).
+  if (!cli.json_out.empty()) {
+    std::ofstream f(cli.json_out, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", cli.json_out.c_str());
+      return 2;
+    }
+    f << "{\"a\": \"" << json_escape(cli.positional[0]) << "\", \"b\": \""
+      << json_escape(cli.positional[1])
+      << "\", \"identical\": " << (delta.empty() ? "true" : "false")
+      << ", \"delta\": \"" << json_escape(delta) << "\"}\n";
+    return delta.empty() ? 0 : 1;
+  }
   if (delta.empty()) {
     if (!cli.quiet) std::printf("traces are identical\n");
     return 0;

@@ -1,0 +1,203 @@
+// sealpk-vault — crash-anywhere sealed-storage durability workbench
+// (src/vault).
+//
+// An owner domain seals secret bundles into a write-only, perm-sealed
+// vault region through the kernel's vault syscalls, journaling every
+// operation (guest-written intent record, kernel-written commit record,
+// FNV-1a checksums throughout). This tool drives the workload and its
+// durability harness:
+//
+//   run     one clean run; prints the recovered ledger and vault counters,
+//           exits 0 iff the run is clean and the ledger matches the
+//           build-time oracle
+//   sweep   the crash-anywhere sweep: kill a fresh machine at every
+//           sampled instret (dense around every journal-record write,
+//           uniform elsewhere), cold-replay the region and assert
+//           integrity / durability / confidentiality; a subset of points
+//           additionally restores the last known-good checkpoint and
+//           re-runs to completion. --chaos layers seeded vault-record bit
+//           flips on top (invariants weaken exactly to detection).
+//
+// --selfcheck re-runs the sweep serially and requires the canonical
+// verdict to be byte-identical to the parallel run. --json writes the
+// machine-readable verdict (the CI artifact uploaded on failure).
+//
+// Exit status: 0 ok, 1 invariant violated, 2 usage or I/O error.
+//
+// Usage:
+//   sealpk-vault run --seals=5 --reseals=2 --unseals=3
+//   sealpk-vault sweep --threads=4 --selfcheck --json=vault_sweep.json
+//   sealpk-vault sweep --chaos --chaos-seed=7 --threads=4
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/machine.h"
+#include "vault/sweep.h"
+
+using namespace sealpk;
+
+namespace {
+
+struct CliOptions {
+  std::string mode;
+  bool quiet = false;
+  bool selfcheck = false;
+  std::string json_path;
+  vault::SweepConfig cfg;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sealpk-vault run [options]\n"
+      "       sealpk-vault sweep [options]\n"
+      "options:\n"
+      "  --slots=<n> --slot-size=<bytes> --seals=<n> --reseals=<n>\n"
+      "  --unseals=<n> --seed=<n>\n"
+      "  --points=<n>             minimum sampled crash points (sweep)\n"
+      "  --stride=<n>             uniform samples across the run (sweep)\n"
+      "  --threads=<n>            fleet workers for the sweep\n"
+      "  --rollback-every=<n>     checkpoint-resume every Nth point\n"
+      "  --checkpoint-interval=<instructions>\n"
+      "  --chaos --chaos-runs=<n> --chaos-seed=<n> --chaos-rate=<p>\n"
+      "  --chaos-max-faults=<n>\n"
+      "  --selfcheck              serial re-run must match byte-for-byte\n"
+      "  --json=<path>            machine-readable sweep verdict\n"
+      "  -q                       suppress the canonical report\n");
+  return 2;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return out.good();
+}
+
+int mode_run(const CliOptions& cli) {
+  const vault::BuiltVault built = vault::build_vault(cli.cfg.spec);
+  sim::Machine machine;
+  const int pid = machine.load(built.image);
+  if (pid < 0) {
+    std::fprintf(stderr, "load refused\n");
+    return 1;
+  }
+  const bool completed = machine.run(400'000'000ULL).completed;
+  const i64 exit_code = machine.exit_code(pid);
+  const os::Process& proc = machine.kernel().process(pid);
+  const auto loc = vault::find_vault(*proc.aspace);
+  std::string led = "(no vault)\n";
+  if (loc.has_value()) {
+    std::vector<u8> region(loc->geo.total_len());
+    if (proc.aspace->copy_in(loc->base, region.data(), region.size())) {
+      led = vault::ledger_string(vault::replay(region.data(), region.size()));
+    }
+  }
+  const os::VaultStats& vs = machine.kernel().vault_stats();
+  if (!cli.quiet) {
+    std::printf("%s", led.c_str());
+    std::printf(
+        "vault run exit=%lld instructions=%llu seals=%llu reseals=%llu "
+        "unseals=%llu denials=%llu corruption_detected=%llu\n",
+        static_cast<long long>(exit_code),
+        static_cast<unsigned long long>(machine.hart().instret()),
+        static_cast<unsigned long long>(vs.seals),
+        static_cast<unsigned long long>(vs.reseals),
+        static_cast<unsigned long long>(vs.unseals),
+        static_cast<unsigned long long>(vs.denials),
+        static_cast<unsigned long long>(vs.corruption_detected));
+  }
+  return completed && exit_code == 0 && led == built.expected_ledger ? 0 : 1;
+}
+
+int mode_sweep(const CliOptions& cli) {
+  const vault::SweepResult r = vault::run_sweep(cli.cfg);
+  if (!cli.quiet) std::printf("%s", r.canonical.c_str());
+  int rc = r.ok ? 0 : 1;
+  if (cli.selfcheck) {
+    vault::SweepConfig serial = cli.cfg;
+    serial.threads = 1;
+    const vault::SweepResult again = vault::run_sweep(serial);
+    if (again.canonical != r.canonical) {
+      std::fprintf(stderr,
+                   "selfcheck: serial sweep diverged from %u-thread sweep\n",
+                   cli.cfg.threads);
+      rc = 1;
+    } else if (!cli.quiet) {
+      std::printf("selfcheck: serial re-run byte-identical\n");
+    }
+  }
+  if (!cli.json_path.empty()) {
+    std::ostringstream os;
+    vault::write_sweep_json(os, cli.cfg, r);
+    if (!write_text_file(cli.json_path, os.str())) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 2;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "run" || arg == "sweep") {
+      if (!cli.mode.empty()) return usage();
+      cli.mode = arg;
+    } else if (arg == "-q" || arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--selfcheck") {
+      cli.selfcheck = true;
+    } else if (arg == "--chaos") {
+      cli.cfg.chaos = true;
+    } else if (arg.rfind("--slots=", 0) == 0) {
+      cli.cfg.spec.n_slots = std::strtoull(arg.c_str() + 8, nullptr, 0);
+    } else if (arg.rfind("--slot-size=", 0) == 0) {
+      cli.cfg.spec.slot_size = std::strtoull(arg.c_str() + 12, nullptr, 0);
+    } else if (arg.rfind("--seals=", 0) == 0) {
+      cli.cfg.spec.seals =
+          static_cast<u32>(std::strtoul(arg.c_str() + 8, nullptr, 0));
+    } else if (arg.rfind("--reseals=", 0) == 0) {
+      cli.cfg.spec.reseals =
+          static_cast<u32>(std::strtoul(arg.c_str() + 10, nullptr, 0));
+    } else if (arg.rfind("--unseals=", 0) == 0) {
+      cli.cfg.spec.unseals =
+          static_cast<u32>(std::strtoul(arg.c_str() + 10, nullptr, 0));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cli.cfg.spec.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--points=", 0) == 0) {
+      cli.cfg.min_points = std::strtoull(arg.c_str() + 9, nullptr, 0);
+    } else if (arg.rfind("--stride=", 0) == 0) {
+      cli.cfg.stride_points = std::strtoull(arg.c_str() + 9, nullptr, 0);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.cfg.threads =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 0));
+    } else if (arg.rfind("--rollback-every=", 0) == 0) {
+      cli.cfg.rollback_every = std::strtoull(arg.c_str() + 17, nullptr, 0);
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      cli.cfg.checkpoint_interval =
+          std::strtoull(arg.c_str() + 22, nullptr, 0);
+    } else if (arg.rfind("--chaos-runs=", 0) == 0) {
+      cli.cfg.chaos_runs = std::strtoull(arg.c_str() + 13, nullptr, 0);
+    } else if (arg.rfind("--chaos-seed=", 0) == 0) {
+      cli.cfg.chaos_seed = std::strtoull(arg.c_str() + 13, nullptr, 0);
+    } else if (arg.rfind("--chaos-rate=", 0) == 0) {
+      cli.cfg.chaos_rate = std::strtod(arg.c_str() + 13, nullptr);
+    } else if (arg.rfind("--chaos-max-faults=", 0) == 0) {
+      cli.cfg.chaos_max_faults = std::strtoull(arg.c_str() + 19, nullptr, 0);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json_path = arg.substr(7);
+    } else {
+      return usage();
+    }
+  }
+  if (cli.mode == "run") return mode_run(cli);
+  if (cli.mode == "sweep") return mode_sweep(cli);
+  return usage();
+}
