@@ -8,9 +8,14 @@
 //         domain count grows, for MPK+libmpk (15 physical keys) vs.
 //         SealPK+libmpk (1023 physical keys) under a uniform-random
 //         working-set sweep.
+// Part 3: the real in-kernel virtualization layer (src/mpk/vkey_table.h)
+//         under the session-server workload — guest runs whose PTE
+//         rewrites and shootdowns happen through the live page tables,
+//         eager vs lazy sync vs the raw-pkey baseline where it fits.
 #include <cstdio>
 
 #include "common/rng.h"
+#include "mpk/session.h"
 #include "mpk/virt.h"
 #include "runtime/guest.h"
 #include "sim/machine.h"
@@ -97,5 +102,40 @@ int main() {
       "domains (every miss re-keys two domains' pages); SealPK stays at\n"
       "native cost until 1023 and only then pays the same virtualisation\n"
       "tax — the paper's 64x headroom claim.\n");
+
+  std::printf(
+      "\nPart 3: in-kernel vkey virtualization, session-server guest runs\n"
+      "(one domain per session, seeded connect/touch/disconnect churn;\n"
+      "PTE rewrites and shootdowns through the live page tables)\n\n");
+  std::printf("%10s %11s %12s %10s %10s %10s %12s\n", "sessions", "mode",
+              "churn/sec", "evictions", "revivals", "flushes", "cyc/op");
+  for (const u64 sessions : {512u, 1024u, 2048u, 4096u}) {
+    for (int mode = 0; mode < 3; ++mode) {
+      mpk::SessionConfig cfg;
+      cfg.sessions = sessions;
+      cfg.ops = 2 * sessions;
+      cfg.raw = mode == 0;
+      cfg.lazy_sync = mode == 2;
+      if (cfg.raw && sessions > mpk::kRawSessionCap) continue;
+      const mpk::SessionResult r = mpk::run_session_server(cfg);
+      const char* name = cfg.raw ? "raw" : cfg.lazy_sync ? "virt-lazy"
+                                                         : "virt-eager";
+      std::printf("%10llu %11s %12llu %10llu %10llu %10llu %12.1f %s\n",
+                  static_cast<unsigned long long>(sessions), name,
+                  static_cast<unsigned long long>(r.churn_per_sec()),
+                  static_cast<unsigned long long>(r.vstats.evictions),
+                  static_cast<unsigned long long>(r.vstats.revivals),
+                  static_cast<unsigned long long>(r.vstats.tlb_flushes),
+                  static_cast<double>(r.cycles) /
+                      static_cast<double>(r.churn_ops),
+                  r.ok() ? "" : "FAILED");
+    }
+  }
+  std::printf(
+      "\nShape: below 1023 sessions virtualization matches raw within the\n"
+      "bookkeeping tax (no evictions). Past the physical budget the miss\n"
+      "path re-keys pages; lazy sync amortizes shootdowns over drain\n"
+      "batches and revives recently evicted domains for free, closing\n"
+      "part of the gap the eager policy pays per eviction.\n");
   return 0;
 }

@@ -15,6 +15,7 @@ const char* audit_check_name(AuditCheck check) {
     case AuditCheck::kKeyCounters: return "key-counters";
     case AuditCheck::kPteVsVma: return "pte-vs-vma";
     case AuditCheck::kScheduler: return "scheduler";
+    case AuditCheck::kVkeyCoherence: return "vkey-coherence";
   }
   return "unknown";
 }
@@ -34,6 +35,7 @@ AuditReport MachineAuditor::audit() const {
   check_cam(report);
   check_processes(report);
   check_scheduler(report);
+  check_vkeys(report);
   return report;
 }
 
@@ -184,6 +186,34 @@ void MachineAuditor::check_scheduler(AuditReport& report) const {
   }
 }
 
+void MachineAuditor::check_vkeys(AuditReport& report) const {
+  for (const int pid : kernel_.pids()) {
+    const os::Process& proc = kernel_.process(pid);
+    if (proc.exited || !proc.vkeys) continue;
+    const os::AddressSpace& as = *proc.aspace;
+    std::set<u32> in_use = {proc.vkeys->park_key()};
+    for (const auto& [vkey, entry] : proc.vkeys->entries()) {
+      if (entry.state == mpk::VkeyState::kUnmapped) continue;
+      // A live vkey must hold its physical key exclusively (the park key
+      // included — it backs *unmapped* pages only).
+      bool ok = in_use.insert(entry.phys).second;
+      // PTE ground truth: every group's pages are keyed to the entry's
+      // physical key. Draining entries count too — the key is not released
+      // until the drain flush re-parks the pages.
+      for (const mpk::VkeyGroup& group : entry.groups) {
+        if (!ok) break;
+        const auto leaf = as.leaf_pte(group.addr);
+        ok = leaf.has_value() && mem::pte::valid(*leaf) &&
+             mem::pte::pkey_of(*leaf, as.pkey_bits()) == entry.phys;
+      }
+      if (!ok) {
+        report.findings.push_back(
+            {AuditCheck::kVkeyCoherence, static_cast<u64>(pid), vkey});
+      }
+    }
+  }
+}
+
 AuditReport MachineAuditor::audit_and_recover() {
   AuditReport report = audit();
   kernel_.note_audit(report.findings.size());
@@ -223,6 +253,15 @@ AuditReport MachineAuditor::audit_and_recover() {
     for (const int pid : pids) kernel_.reconcile_key_counters(pid);
   }
   if (report.count(AuditCheck::kScheduler) > 0) kernel_.scrub_run_queue();
+  if (report.count(AuditCheck::kVkeyCoherence) > 0) {
+    std::set<int> pids;
+    for (const auto& finding : report.findings) {
+      if (finding.check == AuditCheck::kVkeyCoherence) {
+        pids.insert(static_cast<int>(finding.detail0));
+      }
+    }
+    for (const int pid : pids) kernel_.repair_vkeys(pid);
+  }
   return report;
 }
 

@@ -15,6 +15,10 @@
 //     owning VMA prescribes (A/D bits excluded).
 //   - Scheduler: run-queue tids exist, are not exited, are not duplicated,
 //     and do not include the running thread.
+//   - Vkey coherence: every live (mapped or draining) virtual key in a
+//     process's vkey table records the physical key its pages are actually
+//     keyed to in the PTEs, and no two live vkeys claim the same physical
+//     key.
 //
 // audit() is detection-only and uses exclusively peek-style accessors, so
 // it never perturbs statistics or architectural state — safe to run in
@@ -37,6 +41,7 @@ enum class AuditCheck : u8 {
   kKeyCounters,
   kPteVsVma,
   kScheduler,
+  kVkeyCoherence,
 };
 
 const char* audit_check_name(AuditCheck check);
@@ -74,6 +79,7 @@ class MachineAuditor {
   void check_cam(AuditReport& report) const;
   void check_processes(AuditReport& report) const;
   void check_scheduler(AuditReport& report) const;
+  void check_vkeys(AuditReport& report) const;
 
   core::Hart& hart_;
   os::Kernel& kernel_;

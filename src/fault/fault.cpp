@@ -16,6 +16,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kSpuriousTrap: return "spurious-trap";
     case FaultKind::kVaultJournalCorrupt: return "vault-journal-corrupt";
     case FaultKind::kVaultCommitFlip: return "vault-commit-flip";
+    case FaultKind::kVkeyTableCorrupt: return "vkey-table-corrupt";
     case FaultKind::kNumKinds: break;
   }
   return "unknown";
@@ -26,7 +27,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
   for (const FaultKind kind :
        {FaultKind::kPkrBitFlip, FaultKind::kTlbCorrupt,
         FaultKind::kPteCorrupt, FaultKind::kSpuriousTrap,
-        FaultKind::kVaultJournalCorrupt, FaultKind::kVaultCommitFlip}) {
+        FaultKind::kVaultJournalCorrupt, FaultKind::kVaultCommitFlip,
+        FaultKind::kVkeyTableCorrupt}) {
     if (plan_.has(kind)) step_kinds_.push_back(kind);
   }
   if (plan_.enabled && !step_kinds_.empty()) schedule_next(0);
@@ -170,6 +172,29 @@ void FaultInjector::maybe_inject(core::Hart& hart, os::Kernel& kernel) {
       record(kind, hart, addr, bit);
       break;
     }
+    case FaultKind::kVkeyTableCorrupt: {
+      // Flip low bits of a live mapping's recorded physical key. The table
+      // is kernel metadata, not guest memory: only the vkey-coherence audit
+      // (PTE ground truth vs table) can see and repair the drift.
+      os::Process& proc =
+          kernel.process(kernel.thread(kernel.current_tid()).pid);
+      if (!proc.vkeys) break;  // process never virtualized
+      std::vector<u64> live;
+      for (const auto& [vkey, entry] : proc.vkeys->entries()) {
+        // Only strike entries that own pages: a mapping with no groups has
+        // no PTE ground truth, so its corruption could never be detected.
+        if (entry.state != mpk::VkeyState::kUnmapped && !entry.groups.empty()) {
+          live.push_back(vkey);
+        }
+      }
+      if (live.empty()) break;
+      const u64 vkey = live[rng_.below(live.size())];
+      const u32 mask = static_cast<u32>(1 + rng_.below(hw::kNumPkeys - 1));
+      mpk::VkeyEntry* entry = proc.vkeys->find(vkey);
+      proc.vkeys->force_phys(vkey, (entry->phys ^ mask) % hw::kNumPkeys);
+      record(kind, hart, vkey, mask);
+      break;
+    }
     case FaultKind::kCamDropRefill:
     case FaultKind::kCamDupRefill:
     case FaultKind::kNumKinds:
@@ -217,6 +242,9 @@ void FaultInjector::note_recoveries(const os::KernelStats& stats) {
   if (stats.cam_dedups > seen_cam_dedups_) {
     resolve(FaultKind::kCamDupRefill, FaultResolution::kRecovered);
   }
+  if (stats.vkey_repairs > seen_vkey_repairs_) {
+    resolve(FaultKind::kVkeyTableCorrupt, FaultResolution::kRecovered);
+  }
   // spurious_fault_fixes needs no kind mapping of its own: each fix bumps
   // one of the per-kind counters above as well (pte_repairs / pkr_scrubs /
   // tlb_flush_recoveries), which attributes the event.
@@ -224,6 +252,7 @@ void FaultInjector::note_recoveries(const os::KernelStats& stats) {
   seen_tlb_flushes_ = stats.tlb_flush_recoveries;
   seen_pte_repairs_ = stats.pte_repairs;
   seen_cam_dedups_ = stats.cam_dedups;
+  seen_vkey_repairs_ = stats.vkey_repairs;
 }
 
 void FaultInjector::note_vault_detections(u64 corruption_detected) {

@@ -36,6 +36,11 @@ enum class FaultKind : u8 {
   // vault has nothing for them to hit.
   kVaultJournalCorrupt,  // bit flip in a journal record (intent or commit)
   kVaultCommitFlip,      // bit flip targeted at a commit record slot
+  // Vkey-table corruption (src/mpk/vkey_table.h): flips bits of a mapped
+  // virtual key's recorded physical key, desynchronizing the table from
+  // the PTE ground truth. Opt-in like the vault kinds — a process that
+  // never virtualizes has no table to strike.
+  kVkeyTableCorrupt,
   kNumKinds,
 };
 
@@ -52,6 +57,7 @@ constexpr u32 kAllFaultKinds =
     (u32{1} << (static_cast<u32>(FaultKind::kSpuriousTrap) + 1)) - 1;
 constexpr u32 kVaultFaultKinds = kind_bit(FaultKind::kVaultJournalCorrupt) |
                                  kind_bit(FaultKind::kVaultCommitFlip);
+constexpr u32 kVkeyFaultKinds = kind_bit(FaultKind::kVkeyTableCorrupt);
 
 enum class FaultResolution : u8 {
   kOutstanding,    // injected, not yet detected or explained
@@ -165,6 +171,8 @@ class FaultInjector {
   // NOT serialized (VaultStats itself is recounted after a restore; the
   // save/load layout below it is frozen by the committed golden snapshot).
   u64 seen_vault_detected_ = 0;
+  // NOT serialized either (KernelStats::vkey_repairs is likewise recounted).
+  u64 seen_vkey_repairs_ = 0;
 };
 
 }  // namespace sealpk::fault

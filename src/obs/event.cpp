@@ -34,6 +34,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kVaultCommit: return "vault_commit";
     case EventKind::kVaultUnseal: return "vault_unseal";
     case EventKind::kVaultDenied: return "vault_denied";
+    case EventKind::kVkeyMap: return "vkey_map";
+    case EventKind::kVkeyEvict: return "vkey_evict";
+    case EventKind::kVkeySync: return "vkey_sync";
   }
   return "unknown";
 }

@@ -56,9 +56,14 @@ enum class EventKind : u8 {
   kVaultCommit = 27,  // arg0 = bundle id, arg1 = sequence
   kVaultUnseal = 28,  // arg0 = bundle id, arg1 = byte length
   kVaultDenied = 29,  // arg0 = bundle id, arg1 = errno (negated)
+  // pkey virtualization (src/mpk/vkey_table.h); Event::pkey carries the
+  // physical key involved, args carry the virtual key.
+  kVkeyMap = 30,    // arg0 = vkey, arg1 = pages re-keyed at map-in
+  kVkeyEvict = 31,  // arg0 = vkey, arg1 = 1 if lazily drained (queued)
+  kVkeySync = 32,   // arg0 = pages parked, arg1 = vkeys drained in batch
 };
 
-inline constexpr u32 kEventKindCount = 30;
+inline constexpr u32 kEventKindCount = 33;
 
 const char* event_kind_name(EventKind kind);
 

@@ -133,6 +133,15 @@ std::string event_detail(const Event& e) {
     case EventKind::kVaultDenied:
       os << "id=" << e.arg0 << " err=" << static_cast<i64>(e.arg1);
       break;
+    case EventKind::kVkeyMap:
+      os << "vkey=" << hex(e.arg0) << " pages=" << e.arg1;
+      break;
+    case EventKind::kVkeyEvict:
+      os << "vkey=" << hex(e.arg0) << (e.arg1 != 0 ? " drained" : " parked");
+      break;
+    case EventKind::kVkeySync:
+      os << "pages=" << e.arg0 << " vkeys=" << e.arg1;
+      break;
   }
   return os.str();
 }

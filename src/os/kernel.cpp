@@ -663,6 +663,34 @@ u64 Kernel::dedup_cam() {
   return dropped;
 }
 
+u64 Kernel::repair_vkeys(int pid) {
+  Process& proc = process(pid);
+  if (!proc.vkeys) return 0;
+  const AddressSpace& as = *proc.aspace;
+  // The PTEs (kept coherent with the VMAs by protect_pkey) are the ground
+  // truth: a vkey's pages stay keyed to its physical key until freed or
+  // drained, so the first page of any group names the key the table should
+  // be recording.
+  std::vector<std::pair<u64, u32>> fixes;
+  for (const auto& [vkey, entry] : proc.vkeys->entries()) {
+    if (entry.state == mpk::VkeyState::kUnmapped || entry.groups.empty()) {
+      continue;
+    }
+    const auto leaf = as.leaf_pte(entry.groups.front().addr);
+    if (!leaf.has_value() || !mem::pte::valid(*leaf)) continue;
+    const u32 truth = mem::pte::pkey_of(*leaf, as.pkey_bits());
+    if (truth != entry.phys) fixes.emplace_back(vkey, truth);
+  }
+  for (const auto& [vkey, truth] : fixes) {
+    proc.vkeys->force_phys(vkey, truth);
+  }
+  if (!fixes.empty()) {
+    proc.vkeys->rebuild_pool();
+    stats_.vkey_repairs += fixes.size();
+  }
+  return fixes.size();
+}
+
 void Kernel::kill_current(i64 code, KillOrigin origin) {
   if (!has_current_thread()) return;  // nothing to kill: don't count one
   if (origin == KillOrigin::kMachineCheck && config_.machine_check_escalation &&
@@ -752,6 +780,18 @@ void Kernel::do_syscall() {
       break;
     case sys::kVaultUnseal:
       ret = sys_vault_unseal(a0, a1, a2);
+      break;
+    case sys::kVpkeyAlloc:
+      ret = sys_vpkey_alloc(a0, a1);
+      break;
+    case sys::kVpkeyFree:
+      ret = sys_vpkey_free(a0);
+      break;
+    case sys::kVpkeyMprotect:
+      ret = sys_vpkey_mprotect(a0, a1, a2, a3);
+      break;
+    case sys::kVpkeySet:
+      ret = sys_vpkey_set(a0, a1);
       break;
     case sys::kMark: {
       MarkRecord m;
@@ -1169,6 +1209,106 @@ i64 Kernel::sys_pkey_perm_seal(u64 pkey) {
   return 0;
 }
 
+// Maps the vkey table's side-effect port onto the kernel's real mechanisms,
+// with the same cycle charging as the raw pkey syscalls: rekey() is a
+// pkey_mprotect minus its per-call TLB flush (the table batches those),
+// acquire_phys() is a pkey_alloc, set_perm() is the shared PKR write path.
+struct VkeyKernelOps final : mpk::VkeyOps {
+  Kernel& k;
+  explicit VkeyKernelOps(Kernel& kernel) : k(kernel) {}
+
+  i64 acquire_phys() override {
+    k.hart_.add_cycles(k.hart_.timing().pkey_bookkeeping_cycles);
+    return k.current_keys().alloc();
+  }
+
+  i64 rekey(u64 addr, u64 len, u64 prot, u32 pkey) override {
+    KeyManager& keys = k.current_keys();
+    const i64 pages = k.current_aspace().protect_pkey(
+        addr, len, prot, pkey,
+        [&keys](u32 key) { return keys.domain_sealed(key); },
+        [&keys](u32 key) { return keys.pages_sealed(key); },
+        k.page_delta_hook());
+    k.hart_.add_cycles(k.hart_.timing().vma_lookup_cycles);
+    if (pages >= 0) {
+      k.hart_.add_cycles(static_cast<u64>(pages) *
+                         k.hart_.timing().pte_update_cycles);
+      k.stats_.pte_pages_updated += static_cast<u64>(pages);
+    }
+    return pages;
+  }
+
+  void set_perm(u32 pkey, u8 perm) override { k.set_hw_pkey_perm(pkey, perm); }
+
+  void flush_tlb() override {
+    k.hart_.add_cycles(k.hart_.timing().tlb_flush_cycles);
+    k.hart_.flush_tlbs();
+  }
+
+  void note_map(u64 vkey, u32 phys, u64 pages) override {
+    k.emit(obs::EventKind::kVkeyMap, phys, vkey, pages);
+  }
+
+  void note_evict(u64 vkey, u32 phys, bool drained) override {
+    k.emit(obs::EventKind::kVkeyEvict, phys, vkey, drained ? 1 : 0);
+  }
+
+  void note_sync(u64 pages, u64 vkeys) override {
+    k.emit(obs::EventKind::kVkeySync, obs::kNoPkey, pages, vkeys);
+  }
+};
+
+mpk::VkeyTable& Kernel::ensure_vkeys(Process& proc) {
+  if (!proc.vkeys) {
+    mpk::VkeyTableConfig cfg;
+    cfg.mru_slots = config_.vkey_mru_slots;
+    cfg.lazy_sync = config_.vkey_lazy_sync;
+    proc.vkeys = std::make_unique<mpk::VkeyTable>(cfg);
+  }
+  return *proc.vkeys;
+}
+
+i64 Kernel::sys_vpkey_alloc(u64 flags, u64 init_perm) {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return err::kNoSys;
+  hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
+  // Pure metadata: the physical binding happens at first vpkey_set.
+  return ensure_vkeys(current_process()).alloc(flags,
+                                               static_cast<u8>(init_perm));
+}
+
+i64 Kernel::sys_vpkey_free(u64 vkey) {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return err::kNoSys;
+  Process& proc = current_process();
+  if (!proc.vkeys) return err::kInval;
+  hart_.add_cycles(hart_.timing().pkey_bookkeeping_cycles);
+  VkeyKernelOps ops(*this);
+  return proc.vkeys->free_vkey(ops, vkey);
+}
+
+i64 Kernel::sys_vpkey_mprotect(u64 addr, u64 len, u64 prot, u64 vkey) {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return err::kNoSys;
+  Process& proc = current_process();
+  if (!proc.vkeys) return err::kInval;
+  VkeyKernelOps ops(*this);
+  return proc.vkeys->mprotect(ops, addr, len, prot, vkey);
+}
+
+i64 Kernel::sys_vpkey_set(u64 vkey, u64 perm) {
+  if (hart_.config().flavor != core::IsaFlavor::kSealPk) return err::kNoSys;
+  Process& proc = current_process();
+  if (!proc.vkeys) return err::kInval;
+  VkeyKernelOps ops(*this);
+  const i64 rc = proc.vkeys->set(ops, vkey, static_cast<u8>(perm));
+  if (rc < 0) return rc;
+  // An MRU-cache hit is just the PKR write; anything deeper pays the
+  // bookkeeping path (the rekey/flush costs were charged by the ops).
+  const auto outcome = static_cast<mpk::VkeySetOutcome>(rc);
+  hart_.add_cycles(outcome == mpk::VkeySetOutcome::kMruHit
+                       ? hart_.timing().rocc_cycles
+                       : hart_.timing().pkey_bookkeeping_cycles);
+  return 0;
+}
+
 i64 Kernel::sys_clone(u64 entry, u64 stack_top, u64 arg) {
   if (entry == 0 || stack_top == 0) return err::kInval;
   return spawn_thread(thread(current_tid_).pid, entry, stack_top, arg);
@@ -1396,6 +1536,34 @@ void Kernel::load_state(ByteReader& r) {
   stats_.audit_runs = r.get_u64();
   stats_.audit_findings = r.get_u64();
   stats_.host_errors_contained = r.get_u64();
+}
+
+bool Kernel::any_vkey_tables() const {
+  for (const auto& [pid, proc] : processes_) {
+    if (proc->vkeys) return true;
+  }
+  return false;
+}
+
+void Kernel::save_vkey_state(ByteWriter& w) const {
+  w.put_u64(processes_.size());
+  for (const auto& [pid, proc] : processes_) {
+    w.put_u32(static_cast<u32>(pid));
+    w.put_bool(proc->vkeys != nullptr);
+    if (proc->vkeys) proc->vkeys->save_state(w);
+  }
+}
+
+void Kernel::load_vkey_state(ByteReader& r) {
+  const u64 n = r.get_u64();
+  for (u64 i = 0; i < n; ++i) {
+    const int pid = static_cast<int>(r.get_u32());
+    const bool has_table = r.get_bool();
+    if (!has_table) continue;
+    Process& proc = process(pid);
+    proc.vkeys = std::make_unique<mpk::VkeyTable>();
+    proc.vkeys->load_state(r);
+  }
 }
 
 }  // namespace sealpk::os

@@ -39,6 +39,14 @@ struct KernelConfig {
   bool sv48 = false;
   // Optional static-verification gate; empty = admit everything.
   AdmissionGate admission_gate;
+  // Pkey virtualization (src/mpk/vkey_table.h, DESIGN.md §15): size of the
+  // per-process MRU key cache (vpkey_set hits skip the bookkeeping path and
+  // the cached vkeys are exempt from eviction), and the eviction sync
+  // policy — eager parks a victim's pages at eviction time, lazy queues
+  // victims (key held no-access) and parks the whole queue under one
+  // batched TLB shootdown when the free pool runs dry.
+  u32 vkey_mru_slots = 8;
+  bool vkey_lazy_sync = false;
   // Fault-injection hooks on the PK-CAM refill path. Consulted (when set)
   // once per refill: `cam_refill_drop` returning true makes the handler
   // return without refilling (the WRPKR re-faults and retries);
@@ -126,6 +134,11 @@ struct KernelStats {
   u64 audit_runs = 0;              // MachineAuditor invocations
   u64 audit_findings = 0;          // invariant violations the auditor saw
   u64 host_errors_contained = 0;   // host exceptions converted to kills
+
+  // Vkey-table fields rebuilt from the PTE ground truth by the auditor.
+  // NOT serialized (the KERN byte layout is frozen by the v1 golden blob;
+  // a resumed run recounts from its restore point, like VaultStats).
+  u64 vkey_repairs = 0;
 
   // Total successful recovery actions — the acceptance counter: every
   // injected fault must show up here or in a kill counter.
@@ -223,6 +236,10 @@ class Kernel {
   u64 scrub_run_queue();
   // Invalidates duplicate PK-CAM lines. Returns entries dropped.
   u64 dedup_cam();
+  // Rewrites every live vkey-table entry of `pid` whose recorded physical
+  // key disagrees with the PTE ground truth of its pages, then rebuilds the
+  // table's free pool. Returns entries repaired (counted as vkey_repairs).
+  u64 repair_vkeys(int pid);
   // Kills the current process with `code` (no-op without a current thread).
   void kill_current(i64 code, KillOrigin origin);
 
@@ -246,7 +263,19 @@ class Kernel {
   void save_state(ByteWriter& w) const;
   void load_state(ByteReader& r);
 
+  // Per-process vkey tables, serialized apart from the frozen KERN layout
+  // (the snapshot layer's v2 VKEY section). load_vkey_state expects the
+  // process table to be loaded already; v1 blobs skip it and leave every
+  // table null.
+  void save_vkey_state(ByteWriter& w) const;
+  void load_vkey_state(ByteReader& r);
+  bool any_vkey_tables() const;
+
  private:
+  // The VkeyOps adapter (kernel.cpp) that maps the vkey table's side-effect
+  // port onto AddressSpace / PKR / TLB mechanisms.
+  friend struct VkeyKernelOps;
+
   Process& current_process() { return *processes_.at(thread(current_tid_).pid); }
   KeyManager& current_keys() { return *current_process().keys; }
   AddressSpace& current_aspace() { return *current_process().aspace; }
@@ -260,6 +289,15 @@ class Kernel {
   i64 sys_pkey_free(u64 pkey);
   i64 sys_pkey_seal(u64 pkey, u64 seal_domain, u64 seal_page);
   i64 sys_pkey_perm_seal(u64 pkey);
+  // Virtualized pkeys (sys::kVpkey*): policy lives in the per-process
+  // mpk::VkeyTable; these adapt its side-effect port onto the real
+  // mechanisms (AddressSpace::protect_pkey, PKR writes, TLB shootdowns)
+  // with the same cycle charging as the raw pkey syscalls.
+  i64 sys_vpkey_alloc(u64 flags, u64 init_perm);
+  i64 sys_vpkey_free(u64 vkey);
+  i64 sys_vpkey_mprotect(u64 addr, u64 len, u64 prot, u64 vkey);
+  i64 sys_vpkey_set(u64 vkey, u64 perm);
+  mpk::VkeyTable& ensure_vkeys(Process& proc);
   i64 sys_write(u64 fd, u64 buf, u64 len);
   // Vault service (sys::kVaultSeal / kVaultReseal / kVaultUnseal). The
   // commit path validates the guest-written intent record and writes the

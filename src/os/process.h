@@ -9,6 +9,7 @@
 #include "core/hart.h"
 #include "hw/pkr.h"
 #include "hw/seal_unit.h"
+#include "mpk/vkey_table.h"
 #include "os/addr_space.h"
 #include "os/key_manager.h"
 
@@ -46,6 +47,10 @@ struct Process {
   // Per-process hardware seal state (SealReg + PK-CAM), swapped on process
   // switch like the paper's kernel does.
   hw::SealUnit::Snapshot seal_hw{};
+  // Virtual-key table (DESIGN.md §15), created lazily on the first vpkey
+  // syscall; null for processes that never virtualize. Travels in the
+  // snapshot VKEY section (format v2), not in the frozen KERN layout.
+  std::unique_ptr<mpk::VkeyTable> vkeys;
   std::vector<int> thread_tids;
   bool exited = false;
   i64 exit_code = 0;

@@ -49,6 +49,15 @@ constexpr u64 kMark = 311;
 constexpr u64 kVaultSeal = 312;    // vault_seal(vault_base, intent_off)
 constexpr u64 kVaultUnseal = 313;  // vault_unseal(vault_base, id, dst)
 constexpr u64 kVaultReseal = 314;  // vault_reseal(vault_base, intent_off)
+// Virtualized protection keys (src/mpk/vkey_table.h, DESIGN.md §15): an
+// unbounded per-process virtual key space multiplexed onto the physical
+// pkeys, beside (not replacing) the raw pkey ABI above. Virtual key ids
+// start at mpk::kVkeyBase so the two namespaces can never alias. SealPK
+// flavour only; the MPK flavour answers ENOSYS.
+constexpr u64 kVpkeyAlloc = 320;     // vpkey_alloc(flags, init_perm)
+constexpr u64 kVpkeyFree = 321;      // vpkey_free(vkey)
+constexpr u64 kVpkeyMprotect = 322;  // vpkey_mprotect(addr, len, prot, vkey)
+constexpr u64 kVpkeySet = 323;       // vpkey_set(vkey, perm)
 }  // namespace sys
 
 // Mark kinds for sys::kMark, mapped 1:1 onto the serve-plane event kinds.

@@ -30,6 +30,7 @@ constexpr u32 kSecItlb = fourcc('I', 'T', 'L', 'B');
 constexpr u32 kSecMem = fourcc('M', 'E', 'M', ' ');
 constexpr u32 kSecKernel = fourcc('K', 'E', 'R', 'N');
 constexpr u32 kSecRunLoop = fourcc('R', 'U', 'N', 'S');
+constexpr u32 kSecVkey = fourcc('V', 'K', 'E', 'Y');
 constexpr u32 kSecInjector = fourcc('F', 'I', 'N', 'J');
 
 std::string fourcc_name(u32 cc) {
@@ -47,7 +48,8 @@ std::string fourcc_name(u32 cc) {
 // exists. Restore demands the target machine's serialized config be
 // byte-identical, so every field below is a compatibility axis.
 
-void save_config(ByteWriter& w, const sim::MachineConfig& cfg) {
+void save_config(ByteWriter& w, const sim::MachineConfig& cfg,
+                 u32 version = kFormatVersion) {
   w.put_u8(static_cast<u8>(cfg.hart.flavor));
   w.put_u64(cfg.hart.dtlb_entries);
   w.put_u64(cfg.hart.itlb_entries);
@@ -86,9 +88,13 @@ void save_config(ByteWriter& w, const sim::MachineConfig& cfg) {
   w.put_u64(cfg.watchdog_livelock);
   w.put_u64(cfg.checkpoint_interval);
   w.put_u64(cfg.max_rollbacks);
+  if (version >= 2) {
+    w.put_u32(cfg.kernel.vkey_mru_slots);
+    w.put_bool(cfg.kernel.vkey_lazy_sync);
+  }
 }
 
-sim::MachineConfig load_config(ByteReader& r) {
+sim::MachineConfig load_config(ByteReader& r, u32 version) {
   sim::MachineConfig cfg;
   cfg.hart.flavor = static_cast<core::IsaFlavor>(r.get_u8());
   cfg.hart.dtlb_entries = static_cast<size_t>(r.get_u64());
@@ -128,6 +134,10 @@ sim::MachineConfig load_config(ByteReader& r) {
   cfg.watchdog_livelock = r.get_u64();
   cfg.checkpoint_interval = r.get_u64();
   cfg.max_rollbacks = r.get_u64();
+  if (version >= 2) {
+    cfg.kernel.vkey_mru_slots = r.get_u32();
+    cfg.kernel.vkey_lazy_sync = r.get_bool();
+  }
   return cfg;
 }
 
@@ -225,8 +235,12 @@ struct Section {
 };
 
 // Validates the header (magic, version, length, checksum) and splits the
-// payload into its section table.
-std::vector<Section> parse(const std::vector<u8>& blob) {
+// payload into its section table. `version_out` (optional) receives the
+// blob's format version — readers accept every version in
+// [kMinFormatVersion, kFormatVersion] and decode version-dependent parts
+// accordingly.
+std::vector<Section> parse(const std::vector<u8>& blob,
+                           u32* version_out = nullptr) {
   constexpr size_t kHeader = sizeof(kMagic) + 4 + 8 + 8;
   if (blob.size() < kHeader) fail("snapshot too short for header");
   ByteReader hdr(blob);
@@ -236,12 +250,13 @@ std::vector<Section> parse(const std::vector<u8>& blob) {
     fail("bad snapshot magic");
   }
   const u32 version = hdr.get_u32();
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     std::ostringstream os;
-    os << "unsupported snapshot version " << version << " (expected "
-       << kFormatVersion << ")";
+    os << "unsupported snapshot version " << version << " (supported "
+       << kMinFormatVersion << ".." << kFormatVersion << ")";
     fail(os.str());
   }
+  if (version_out != nullptr) *version_out = version;
   const u64 payload_len = hdr.get_u64();
   const u64 want_sum = hdr.get_u64();
   if (payload_len != blob.size() - kHeader) {
@@ -335,6 +350,11 @@ std::vector<u8> save(sim::Machine& machine) {
     save_runloop(body, machine.runloop());
     append_section(payload, kSecRunLoop, std::move(body));
   }
+  {
+    ByteWriter body;
+    machine.kernel().save_vkey_state(body);
+    append_section(payload, kSecVkey, std::move(body));
+  }
   if (machine.injector() != nullptr) {
     ByteWriter body;
     machine.injector()->save_state(body);
@@ -351,21 +371,35 @@ std::vector<u8> save(sim::Machine& machine) {
 }
 
 void restore(sim::Machine& machine, const std::vector<u8>& blob) {
-  const std::vector<Section> sections = parse(blob);
+  u32 version = 0;
+  const std::vector<Section> sections = parse(blob, &version);
   try {
     // Config compatibility: the restoring machine must serialize to the
     // exact CFG bytes of the snapshot — the state sections are only
-    // meaningful against identical geometry, flavour and timing.
+    // meaningful against identical geometry, flavour and timing. The
+    // compare runs at the blob's version; a v1 blob predates the vkey
+    // knobs, so the restoring machine must still carry their defaults.
     {
       const Section& sec = need(sections, kSecConfig);
       ByteWriter mine;
-      save_config(mine, machine.config());
+      save_config(mine, machine.config(), version);
       if (mine.size() != sec.len ||
           std::memcmp(mine.buffer().data(), sec.data,
                       static_cast<size_t>(sec.len)) != 0) {
         fail(
             "snapshot was taken under a different machine config "
             "(construct the machine with snapshot::config_from)");
+      }
+      if (version < 2) {
+        const os::KernelConfig defaults;
+        if (machine.config().kernel.vkey_mru_slots !=
+                defaults.vkey_mru_slots ||
+            machine.config().kernel.vkey_lazy_sync !=
+                defaults.vkey_lazy_sync) {
+          fail(
+              "v1 snapshot predates vkey virtualization but the machine "
+              "carries non-default vkey knobs");
+        }
       }
     }
     if ((machine.injector() != nullptr) !=
@@ -409,6 +443,12 @@ void restore(sim::Machine& machine, const std::vector<u8>& blob) {
       ByteReader r = need(sections, kSecRunLoop).reader();
       load_runloop(r, machine.runloop());
     }
+    if (version >= 2) {
+      ByteReader r = need(sections, kSecVkey).reader();
+      machine.kernel().load_vkey_state(r);
+    }
+    // v1 blobs predate the VKEY section: load_state already left every
+    // process's vkey table null, which is exactly the pre-v2 state.
     if (machine.injector() != nullptr) {
       ByteReader r = need(sections, kSecInjector).reader();
       machine.injector()->load_state(r);
@@ -425,10 +465,11 @@ void restore(sim::Machine& machine, const std::vector<u8>& blob) {
 }
 
 sim::MachineConfig config_from(const std::vector<u8>& blob) {
-  const std::vector<Section> sections = parse(blob);
+  u32 version = 0;
+  const std::vector<Section> sections = parse(blob, &version);
   try {
     ByteReader r = need(sections, kSecConfig).reader();
-    return load_config(r);
+    return load_config(r, version);
   } catch (const SnapshotError&) {
     throw;
   } catch (const std::exception& e) {

@@ -20,7 +20,14 @@
 //   u64 fnv1a64(payload) | payload
 // The payload is a sequence of sections, each `fourcc u32 | u64 len | body`,
 // in fixed order: CFG, HART, PKR, SEAL, PKRU, DTLB, ITLB, MEM, KERN, RUNS,
-// and FINJ last iff the machine carries a fault injector.
+// VKEY (format v2+), and FINJ last iff the machine carries a fault injector.
+//
+// Version history:
+//   1  initial format (the committed golden blob pins this layout)
+//   2  adds the VKEY section (per-process vkey tables, src/mpk) and two
+//      vkey policy knobs at the tail of CFG. Writers emit v2; readers
+//      accept v1 (no vkey state: tables restore to null, and the restoring
+//      machine must carry default vkey knobs since the save predates them).
 #pragma once
 
 #include <stdexcept>
@@ -32,7 +39,8 @@
 
 namespace sealpk::snapshot {
 
-constexpr u32 kFormatVersion = 1;
+constexpr u32 kFormatVersion = 2;
+constexpr u32 kMinFormatVersion = 1;  // oldest version readers still accept
 
 // Typed failure for malformed, truncated, corrupted or incompatible
 // snapshots — distinct from CheckError so callers can tell "bad snapshot"

@@ -7,6 +7,7 @@
 #include "isa/program.h"
 #include "os/syscall_abi.h"
 #include "runtime/guest.h"
+#include "workloads/workload.h"
 
 namespace sealpk::wl {
 
@@ -25,8 +26,6 @@ struct GuestRand {
     return x * 0x2545F4914F6CDD1DULL;
   }
 };
-
-constexpr u64 kWorkloadSeed = 0x5EED0F5EA1ULL;
 
 // Stack-frame helper: the constructor emits the prologue saving ra plus the
 // listed callee-saved registers; leave() emits the matching epilogue (call

@@ -16,7 +16,11 @@
 
 namespace sealpk::wl {
 
-enum class Suite : u8 { kSpec2000, kSpec2006, kMiBench };
+// Seed shared by every workload's pseudorandom input (the golden models
+// replay the same stream host-side).
+constexpr u64 kWorkloadSeed = 0x5EED0F5EA1ULL;
+
+enum class Suite : u8 { kSpec2000, kSpec2006, kMiBench, kScenario };
 
 const char* suite_name(Suite suite);
 
@@ -32,11 +36,17 @@ struct Workload {
   u64 bench_scale;  // larger: used by the Figure-5 harness
 };
 
-// All 17 workloads in the paper's Figure-5 order.
+// All 17 workloads in the paper's Figure-5 order. FROZEN at 17: the Fig-5
+// harness, its goldens and the fleet reports all iterate this list, so
+// system-level scenarios live in scenario_workloads() instead.
 const std::vector<Workload>& all_workloads();
 
-// Lookup by (suite-qualified) name; nullptr if unknown. Names are unique
-// except bzip2, which appears in both SPEC suites.
+// System-level scenario workloads (Suite::kScenario) — whole-system drivers
+// like the session server, not Figure-5 benchmark proxies.
+const std::vector<Workload>& scenario_workloads();
+
+// Lookup by (suite-qualified) name across both lists; nullptr if unknown.
+// Names are unique except bzip2, which appears in both SPEC suites.
 const Workload* find_workload(Suite suite, const char* name);
 
 // --- individual builders/goldens (one pair per benchmark) -------------------
@@ -76,5 +86,39 @@ isa::Program build_sjeng(u64 scale);
 u64 golden_sjeng(u64 scale);
 isa::Program build_h264ref(u64 scale);
 u64 golden_h264ref(u64 scale);
+
+// --- scenario: session server (DESIGN.md §15) -------------------------------
+// One protection domain per user session: connect allocates a key and gives
+// the session a private page, touch opens/reads/writes/closes it, and ~10%
+// of churn operations reconnect (free + fresh key). In virtualized mode the
+// domains are vpkeys (unbounded, multiplexed over the physical space); raw
+// mode uses the physical pkey ABI directly and is only valid while sessions
+// fit under the 1023 usable keys. The guest checksum is key-id independent
+// by construction, so raw and virtualized runs of the same shape — and any
+// eviction policy — must report the identical value.
+struct SessionShape {
+  u64 sessions = 192;  // live sessions after the ramp (one page each)
+  u64 ops = 384;       // churn operations after the ramp
+  u64 seed = kWorkloadSeed;
+  bool raw = false;    // physical pkeys instead of vpkeys
+};
+
+isa::Program build_session_prog(const SessionShape& shape);
+u64 golden_session_sum(const SessionShape& shape);
+
+// Host replay of the churn schedule: how many connects (ramp + reconnect),
+// reconnects and touches a shape performs — the analytic op counts the
+// key-churn benchmark's throughput metric is derived from.
+struct SessionSchedule {
+  u64 connects = 0;    // sessions + reconnects
+  u64 reconnects = 0;
+  u64 touches = 0;
+};
+SessionSchedule session_schedule(const SessionShape& shape);
+
+// Registry entry points (scenario_workloads): scale s = 192*s sessions and
+// 384*s churn ops, so bench_scale pushes past the physical key space.
+isa::Program build_session_server(u64 scale);
+u64 golden_session_server(u64 scale);
 
 }  // namespace sealpk::wl

@@ -486,7 +486,7 @@ TEST(SnapshotGolden, CommittedV1SnapshotStillRestoresAndCompletes) {
   const std::vector<u8> blob = snapshot::read_file(path);
 
   const snapshot::Info info = snapshot::info(blob);
-  EXPECT_EQ(info.version, snapshot::kFormatVersion);
+  EXPECT_EQ(info.version, 1u);  // committed blob predates the v2 VKEY bump
   EXPECT_EQ(info.instret, 20'000u);
 
   sim::Machine machine(snapshot::config_from(blob));
