@@ -238,4 +238,49 @@ bool write_diff_report_file(const std::string& path, const std::string& a_name,
   return out.good();
 }
 
+void write_matrix_json(std::ostream& os,
+                       const std::vector<MatrixVariant>& variants) {
+  const auto& workloads = wl::all_workloads();
+  const auto& scenarios = wl::scenario_workloads();
+  os << "{\n  \"schema\": \"sealpk-fleet-matrix-v1\",\n"
+     << "  \"workloads\": [\n";
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const wl::Workload& w = workloads[i];
+    os << "    {\"suite\": \"" << json_escape(wl::suite_name(w.suite))
+       << "\", \"name\": \"" << json_escape(w.name)
+       << "\", \"test_scale\": " << w.test_scale
+       << ", \"bench_scale\": " << w.bench_scale << "}"
+       << (i + 1 < workloads.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const wl::Workload& w = scenarios[i];
+    os << "    {\"suite\": \"" << json_escape(wl::suite_name(w.suite))
+       << "\", \"name\": \"" << json_escape(w.name)
+       << "\", \"test_scale\": " << w.test_scale
+       << ", \"bench_scale\": " << w.bench_scale << "}"
+       << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"variants\": [\n";
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const MatrixVariant& v = variants[i];
+    os << "    {\"name\": \"" << json_escape(v.name) << "\", \"ss\": \""
+       << passes::shadow_stack_kind_name(v.ss)
+       << "\", \"perm_seal\": " << (v.perm_seal ? "true" : "false") << "}"
+       << (i + 1 < variants.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"cells\": [\n";
+  const size_t total = workloads.size() * variants.size();
+  size_t cell = 0;
+  for (const wl::Workload& w : workloads) {
+    for (const MatrixVariant& v : variants) {
+      os << "    {\"id\": " << cell << ", \"workload\": \""
+         << json_escape(std::string(wl::suite_name(w.suite)) + "/" + w.name)
+         << "\", \"variant\": \"" << json_escape(v.name) << "\"}"
+         << (++cell < total ? "," : "") << "\n";
+    }
+  }
+  os << "  ]\n}\n";
+}
+
 }  // namespace sealpk::fleet

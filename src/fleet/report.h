@@ -55,6 +55,21 @@ bool write_report_file(const std::string& path,
                        const std::vector<JobResult>& results,
                        const ReportOptions& opts);
 
+// One entry of the instrumentation axis as the CLI spells it (the table
+// itself lives with the CLI; callers pass it in).
+struct MatrixVariant {
+  std::string name;
+  passes::ShadowStackKind ss = passes::ShadowStackKind::kNone;
+  bool perm_seal = false;
+};
+
+// Machine-readable workload x variant matrix ("sealpk-fleet-matrix-v1"):
+// every Figure-5 workload, every variant, and the full cell cross product
+// — so the SLO gate and CI asserts can enumerate cells without scraping
+// `sealpk-fleet list` text. Deterministic (list order x table order).
+void write_matrix_json(std::ostream& os,
+                       const std::vector<MatrixVariant>& variants);
+
 // Compares the canonical "records" arrays of two report texts. Returns the
 // number of diverging records (0 = byte-identical record sets); mismatch
 // details go to `log`.

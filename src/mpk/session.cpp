@@ -41,6 +41,7 @@ SessionResult run_session_server(const SessionConfig& cfg) {
   mc.hart.flavor = core::IsaFlavor::kSealPk;
   mc.kernel.vkey_mru_slots = cfg.mru_slots;
   mc.kernel.vkey_lazy_sync = cfg.lazy_sync;
+  mc.trace.enabled = cfg.trace;
   // One arena page per session plus page tables and slack; the default
   // 256 MiB board covers everything up to ~50k sessions.
   const u64 arena = cfg.sessions * mem::kPageSize;
@@ -81,6 +82,7 @@ SessionResult run_session_server(const SessionConfig& cfg) {
       r.mapped = proc.vkeys->mapped();
     }
   }
+  if (machine.recorder() != nullptr) r.trace = machine.recorder()->trace();
   return r;
 }
 

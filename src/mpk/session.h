@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mpk/vkey_table.h"
+#include "obs/recorder.h"
 #include "os/kernel.h"
 
 namespace sealpk::mpk {
@@ -40,6 +41,10 @@ struct SessionConfig {
   bool lazy_sync = false;  // eager park vs drain queue (vkey_lazy_sync)
   bool raw = false;        // physical pkeys; requires sessions <= cap
   u64 max_instructions = 4'000'000'000ULL;
+  // Keep an obs event trace of the run (vkey map/evict/sync events feed
+  // the span layer, DESIGN.md §16). Tracing never perturbs the machine,
+  // so traced and untraced cells produce identical canonical records.
+  bool trace = false;
 };
 
 struct SessionResult {
@@ -57,6 +62,7 @@ struct SessionResult {
   u64 instructions = 0;
   u64 cycles = 0;
   VkeyStats vstats;   // all-zero in raw mode
+  obs::Trace trace;   // populated when SessionConfig::trace is set
 
   bool ok() const { return completed && exit_code == 0 && checksum_ok; }
   // Integer ops/sec (kSessionNominalHz): deterministic across hosts.

@@ -235,6 +235,55 @@ void write_perfetto_json(const Trace& trace, std::ostream& os) {
   }
   close_slice(last_cycles);
 
+  // Causal spans as nestable async slices: one "b"/"e" pair per span,
+  // keyed so a child (handler visit) shares its parent request's id and
+  // nests inside it in the UI. Point spans render as async instants.
+  const SpanSet spans = build_spans(trace);
+  for (const Span& s : spans.spans) {
+    const u32 id = s.parent != kNoParent ? s.parent : s.id;
+    std::ostringstream args;
+    args << "{\"span\":" << s.id << ",\"key\":" << s.key << ",\"arg\":"
+         << s.arg << ",\"status\":\"" << span_status_name(s.status)
+         << "\",\"instret_dur\":" << s.duration() << "}";
+    if (s.duration() == 0 && s.begin_cycles == s.end_cycles) {
+      sep();
+      os << "{\"cat\":\"span\",\"name\":\"" << span_kind_name(s.kind)
+         << "\",\"ph\":\"n\",\"id\":" << id << ",\"ts\":" << s.begin_cycles
+         << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid
+         << ",\"args\":" << args.str() << "}";
+      continue;
+    }
+    sep();
+    os << "{\"cat\":\"span\",\"name\":\"" << span_kind_name(s.kind)
+       << "\",\"ph\":\"b\",\"id\":" << id << ",\"ts\":" << s.begin_cycles
+       << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid
+       << ",\"args\":" << args.str() << "}";
+    sep();
+    os << "{\"cat\":\"span\",\"name\":\"" << span_kind_name(s.kind)
+       << "\",\"ph\":\"e\",\"id\":" << id << ",\"ts\":" << s.end_cycles
+       << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid << "}";
+  }
+
+  // Flow arrows: retry chains, quarantine trips, drain membership.
+  for (size_t i = 0; i < spans.flows.size(); ++i) {
+    const FlowEdge& f = spans.flows[i];
+    const Span& from = spans.spans[f.from];
+    const Span& to = spans.spans[f.to];
+    const char* name = f.kind == FlowEdge::Kind::kRetry         ? "retry"
+                       : f.kind == FlowEdge::Kind::kQuarantine ? "quarantine"
+                                                               : "drain";
+    sep();
+    os << "{\"cat\":\"flow\",\"name\":\"" << name
+       << "\",\"ph\":\"s\",\"id\":" << (1000000 + i)
+       << ",\"ts\":" << from.end_cycles << ",\"pid\":" << from.pid
+       << ",\"tid\":" << from.tid << "}";
+    sep();
+    os << "{\"cat\":\"flow\",\"name\":\"" << name
+       << "\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << (1000000 + i)
+       << ",\"ts\":" << to.begin_cycles << ",\"pid\":" << to.pid
+       << ",\"tid\":" << to.tid << "}";
+  }
+
   os << "\n]}\n";
 }
 
@@ -331,6 +380,59 @@ void write_report(const Trace& trace, std::ostream& os) {
          << ranked[i].first << "\n";
     }
   }
+}
+
+void write_report_json(const Trace& trace, std::ostream& os) {
+  const Metrics m = compute_metrics(trace);
+  const SpanSet spans = build_spans(trace);
+  const auto hists = span_histograms(spans);
+  os << "{\n  \"schema\": \"sealpk-trace-report-v1\",\n"
+     << "  \"events\": " << trace.events.size() << ",\n"
+     << "  \"dropped\": " << trace.dropped << ",\n"
+     << "  \"sample_interval\": " << trace.sample_interval << ",\n"
+     << "  \"samples\": " << m.samples() << ",\n"
+     << "  \"traps\": " << m.traps() << ",\n"
+     << "  \"syscalls\": " << m.syscalls() << ",\n"
+     << "  \"page_faults\": " << m.page_faults() << ",\n"
+     << "  \"context_switches\": " << m.context_switches() << ",\n"
+     << "  \"checkpoints\": " << m.checkpoints() << ",\n"
+     << "  \"rollbacks\": " << m.rollbacks() << ",\n"
+     << "  \"faults_injected\": " << m.faults_injected() << ",\n"
+     << "  \"gate_enters\": " << m.gate_enters() << ",\n"
+     << "  \"gate_exits\": " << m.gate_exits() << ",\n"
+     << "  \"dispositions\": " << m.dispositions() << ",\n"
+     << "  \"quarantines\": " << m.quarantines() << ",\n"
+     << "  \"pkeys\": [\n";
+  size_t left = m.pkeys().size();
+  for (const auto& [pkey, pm] : m.pkeys()) {
+    os << "    {\"pkey\": ";
+    if (pkey == kNoPkey) {
+      os << -1;
+    } else {
+      os << pkey;
+    }
+    os << ", \"wrpkr\": " << pm.wrpkr << ", \"rdpkr\": " << pm.rdpkr
+       << ", \"denials\": " << pm.denials
+       << ", \"seal_violations\": " << pm.seal_violations
+       << ", \"cam_refills\": " << pm.cam_refills
+       << ", \"pages_hwm\": " << pm.pages_hwm
+       << ", \"domain_visits\": " << pm.domain_visits
+       << ", \"cycles_in_domain\": " << pm.cycles_in_domain << "}"
+       << (--left != 0 ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"spans\": {\n"
+     << "    \"total\": " << spans.spans.size() << ",\n"
+     << "    \"flows\": " << spans.flows.size() << ",\n"
+     << "    \"segments\": " << spans.segments << ",\n"
+     << "    \"final_ts\": " << spans.final_ts << ",\n"
+     << "    \"by_kind\": {\n";
+  for (u32 k = 0; k < kSpanKindCount; ++k) {
+    os << "      \"" << span_kind_name(static_cast<SpanKind>(k))
+       << "\": " << hists[k].quantiles_json()
+       << (k + 1 < kSpanKindCount ? "," : "") << "\n";
+  }
+  os << "    }\n  }\n}\n";
 }
 
 std::string diff_traces(const Trace& a, const Trace& b) {

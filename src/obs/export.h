@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/recorder.h"
+#include "obs/span.h"
 
 namespace sealpk::obs {
 
@@ -17,7 +18,10 @@ Metrics compute_metrics(const Trace& trace);
 
 // {"displayTimeUnit":...,"traceEvents":[...]}; ts is the modelled cycle
 // count (1 cycle rendered as 1 µs). Samples are omitted here — they go to
-// the collapsed output — to keep the JSON loadable for long runs.
+// the collapsed output — to keep the JSON loadable for long runs. Causal
+// spans (obs/span.h) ride along as nestable async slices ("b"/"e", keyed
+// so handler visits nest inside their request) plus flow arrows
+// ("s"/"f") for retry / quarantine / drain edges.
 void write_perfetto_json(const Trace& trace, std::ostream& os);
 
 // One line per event, instret-ordered, fixed columns.
@@ -30,6 +34,11 @@ void write_collapsed(const Trace& trace, std::ostream& os);
 // Aggregate report: event counts, per-pkey table, domain-residency
 // histograms, hottest functions by sample count.
 void write_report(const Trace& trace, std::ostream& os);
+
+// Machine-readable twin of write_report ("sealpk-trace-report-v1"):
+// counters, per-pkey table, and per-span-kind duration quantiles.
+// Integer-only, so the output is byte-identical across hosts.
+void write_report_json(const Trace& trace, std::ostream& os);
 
 // Empty string when the traces are identical; otherwise a one-paragraph
 // description of the first divergence (config, symbols, or event index).

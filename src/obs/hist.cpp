@@ -1,0 +1,34 @@
+#include "obs/hist.h"
+
+#include <sstream>
+
+namespace sealpk::obs {
+
+u64 Histogram::percentile(u32 p) const {
+  if (count_ == 0) return 0;
+  if (p > 100) p = 100;
+  // 1-based rank of the requested sample; p == 0 degenerates to rank 1.
+  u64 rank = (count_ * p + 99) / 100;
+  if (rank == 0) rank = 1;
+  u64 seen = 0;
+  for (u32 i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      u64 v = bucket_floor(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::quantiles_json() const {
+  std::ostringstream os;
+  os << "{\"count\": " << count_ << ", \"p50\": " << percentile(50)
+     << ", \"p95\": " << percentile(95) << ", \"p99\": " << percentile(99)
+     << ", \"max\": " << max() << ", \"sum\": " << sum_ << "}";
+  return os.str();
+}
+
+}  // namespace sealpk::obs

@@ -1,0 +1,104 @@
+// Deterministic HDR-style latency histogram over integer durations
+// (DESIGN.md §16). Durations are instruction counts — never wall-clock —
+// so a histogram is a pure function of the event stream and byte-identical
+// across hosts, runs and fleet thread counts.
+//
+// Bucketing: values below kLinearLimit get one exact bucket each; above
+// that, every power-of-two range [2^e, 2^(e+1)) splits into kSubBuckets
+// equal sub-buckets, bounding relative quantization error by
+// 1/kSubBuckets (~3.1%). Exact min/max/sum/count ride alongside, and
+// percentile() clamps into [min, max], so a single-sample percentile is
+// the sample itself and p100 is always the true maximum.
+//
+// merge() is an elementwise add — associative and commutative — which is
+// what lets per-thread histograms from a fleet run collapse into one
+// result that is byte-identical to a serial fold.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/bits.h"
+
+namespace sealpk::obs {
+
+class Histogram {
+ public:
+  static constexpr u32 kSubBits = 5;
+  static constexpr u32 kSubBuckets = 1u << kSubBits;   // 32
+  static constexpr u32 kLinearLimit = kSubBuckets;     // exact below this
+  static constexpr u32 kExponents = 64 - kSubBits;     // e in [kSubBits, 63]
+  static constexpr u32 kBucketCount = kLinearLimit + kExponents * kSubBuckets;
+
+  // Bucket index for a value (total order preserved: v <= w implies
+  // index(v) <= index(w)).
+  static u32 bucket_index(u64 v) {
+    if (v < kLinearLimit) return static_cast<u32>(v);
+    u32 e = 63;
+    while ((v >> e) == 0) --e;  // 2^e <= v < 2^(e+1), e >= kSubBits
+    const u32 sub =
+        static_cast<u32>((v >> (e - kSubBits)) & (kSubBuckets - 1));
+    return kLinearLimit + (e - kSubBits) * kSubBuckets + sub;
+  }
+
+  // Lower bound of a bucket — the value percentile() reports for ranks
+  // landing in it (before the [min, max] clamp).
+  static u64 bucket_floor(u32 index) {
+    if (index < kLinearLimit) return index;
+    const u32 e = kSubBits + (index - kLinearLimit) / kSubBuckets;
+    const u32 sub = (index - kLinearLimit) % kSubBuckets;
+    return (u64{1} << e) + (u64{sub} << (e - kSubBits));
+  }
+
+  void record(u64 v) {
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+  }
+
+  // Elementwise add; merge(a, b) == merge(b, a) byte-for-byte.
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (u32 i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  u64 count() const { return count_; }
+  u64 sum() const { return sum_; }
+  u64 min() const { return count_ == 0 ? 0 : min_; }
+  u64 max() const { return count_ == 0 ? 0 : max_; }
+
+  // Value at percentile p (0..100): the floor of the bucket holding the
+  // rank-ceil(count*p/100) sample (1-based), clamped into [min, max].
+  // Empty histogram reports 0.
+  u64 percentile(u32 p) const;
+
+  // {"count":N,"p50":N,"p95":N,"p99":N,"max":N,"sum":N} — integer-only,
+  // so committed benchmark JSON diffs clean byte-for-byte across hosts.
+  std::string quantiles_json() const;
+
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  std::array<u64, kBucketCount> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+};
+
+}  // namespace sealpk::obs

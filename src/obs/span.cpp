@@ -1,0 +1,270 @@
+#include "obs/span.h"
+
+#include <map>
+
+namespace sealpk::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kHandlerVisit: return "handler_visit";
+    case SpanKind::kQuarantine: return "quarantine";
+    case SpanKind::kVaultTxn: return "vault_txn";
+    case SpanKind::kVaultUnseal: return "vault_unseal";
+    case SpanKind::kVkeyEvict: return "vkey_evict";
+    case SpanKind::kVkeyDrain: return "vkey_drain";
+    case SpanKind::kCheckpointWindow: return "checkpoint_window";
+    case SpanKind::kRollbackWindow: return "rollback_window";
+  }
+  return "?";
+}
+
+const char* span_status_name(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kOk: return "ok";
+    case SpanStatus::kRetried: return "retried";
+    case SpanStatus::kFailed: return "failed";
+    case SpanStatus::kDenied: return "denied";
+    case SpanStatus::kQuarantined: return "quarantined";
+    case SpanStatus::kShed: return "shed";
+    case SpanStatus::kOpen: return "open";
+  }
+  return "?";
+}
+
+namespace {
+
+// Serve dispositions (serve/server.h) as they appear in
+// kRequestDisposition::arg1; mirrored here so obs stays leaf-level.
+SpanStatus disposition_status(u64 d) {
+  switch (d) {
+    case 0: return SpanStatus::kOk;        // served
+    case 1: return SpanStatus::kRetried;
+    case 2: return SpanStatus::kShed;
+    case 3: return SpanStatus::kQuarantined;
+    default: return SpanStatus::kFailed;
+  }
+}
+
+class Builder {
+ public:
+  SpanSet run(const Trace& trace) {
+    for (const Event& e : trace.events) fold(e);
+    finish();
+    return std::move(set_);
+  }
+
+ private:
+  // Opens a span (id == position, so the vector stays id-ordered).
+  u32 open(SpanKind kind, const Event& e, u64 ts, u64 cyc, u64 key, u64 arg,
+           u32 parent = kNoParent) {
+    Span s;
+    s.kind = kind;
+    s.id = static_cast<u32>(set_.spans.size());
+    s.parent = parent;
+    s.pid = e.pid;
+    s.tid = e.tid;
+    s.pkey = e.pkey;
+    s.begin = ts;
+    s.end = ts;
+    s.begin_cycles = cyc;
+    s.end_cycles = cyc;
+    s.key = key;
+    s.arg = arg;
+    s.status = SpanStatus::kOpen;
+    set_.spans.push_back(s);
+    return s.id;
+  }
+
+  void close(u32 id, u64 ts, u64 cyc, SpanStatus status) {
+    Span& s = set_.spans[id];
+    s.end = ts < s.begin ? s.begin : ts;
+    s.end_cycles = cyc < s.begin_cycles ? s.begin_cycles : cyc;
+    s.status = status;
+  }
+
+  void fold(const Event& e) {
+    // Virtual timeline: a backwards instret stamp is either a rollback
+    // (handled below, rewinds the watermark) or a fresh machine whose
+    // clocks restarted — open a new segment so time stays monotonic.
+    if (e.instret < watermark_ && e.kind != EventKind::kRollback) {
+      offset_ += watermark_;
+      coffset_ += cwatermark_;
+      watermark_ = 0;
+      cwatermark_ = 0;
+      ++set_.segments;
+    }
+    const u64 ts = offset_ + e.instret;
+    const u64 cyc = coffset_ + e.cycles;
+
+    switch (e.kind) {
+      case EventKind::kGateEnter: {
+        const u64 req = e.arg0;
+        auto [it, fresh] = request_.try_emplace(req, 0);
+        if (fresh) {
+          it->second = open(SpanKind::kRequest, e, ts, cyc, req, 0);
+        }
+        // A still-open visit means the previous attempt's epoch died
+        // before the gate-exit: close it failed and chain the retry.
+        auto ov = visit_.find(req);
+        if (ov != visit_.end()) {
+          close(ov->second, ts, cyc, SpanStatus::kFailed);
+          last_visit_[req] = ov->second;
+          visit_.erase(ov);
+        }
+        const u32 v = open(SpanKind::kHandlerVisit, e, ts, cyc, req,
+                           /*slot=*/e.arg1, it->second);
+        auto lv = last_visit_.find(req);
+        if (lv != last_visit_.end()) {
+          set_.flows.push_back({FlowEdge::Kind::kRetry, lv->second, v});
+        }
+        visit_[req] = v;
+        slot_visit_[e.arg1] = v;
+        break;
+      }
+      case EventKind::kGateExit: {
+        auto ov = visit_.find(e.arg0);
+        if (ov == visit_.end()) break;  // ring drop ate the enter
+        close(ov->second, ts, cyc, SpanStatus::kOk);
+        set_.spans[ov->second].arg = e.arg1;  // handler checksum
+        last_visit_[e.arg0] = ov->second;
+        visit_.erase(ov);
+        break;
+      }
+      case EventKind::kRequestDisposition: {
+        auto ov = visit_.find(e.arg0);
+        if (ov != visit_.end()) {  // last attempt never exited its gate
+          close(ov->second, ts, cyc, SpanStatus::kFailed);
+          last_visit_[e.arg0] = ov->second;
+          visit_.erase(ov);
+        }
+        auto rq = request_.find(e.arg0);
+        if (rq != request_.end()) {
+          close(rq->second, ts, cyc, disposition_status(e.arg1));
+          set_.spans[rq->second].arg = e.arg1;
+          request_.erase(rq);
+        }
+        break;
+      }
+      case EventKind::kQuarantine: {
+        const u32 q =
+            open(SpanKind::kQuarantine, e, ts, cyc, e.arg0, e.arg1);
+        close(q, ts, cyc, SpanStatus::kQuarantined);
+        auto sv = slot_visit_.find(e.arg0);
+        if (sv != slot_visit_.end()) {
+          set_.flows.push_back({FlowEdge::Kind::kQuarantine, sv->second, q});
+        }
+        break;
+      }
+      case EventKind::kVaultIntent: {
+        txn_[e.arg0] = open(SpanKind::kVaultTxn, e, ts, cyc, e.arg0, e.arg1);
+        break;
+      }
+      case EventKind::kVaultCommit:
+      case EventKind::kVaultDenied: {
+        auto it = txn_.find(e.arg0);
+        const SpanStatus st = e.kind == EventKind::kVaultCommit
+                                  ? SpanStatus::kOk
+                                  : SpanStatus::kDenied;
+        if (it != txn_.end()) {
+          close(it->second, ts, cyc, st);
+          set_.spans[it->second].arg = e.arg1;
+          txn_.erase(it);
+        } else if (e.kind == EventKind::kVaultDenied) {
+          // Refusals without an intent (reads, seal violations) are
+          // still worth a point span.
+          const u32 d = open(SpanKind::kVaultTxn, e, ts, cyc, e.arg0, e.arg1);
+          close(d, ts, cyc, SpanStatus::kDenied);
+        }
+        break;
+      }
+      case EventKind::kVaultUnseal: {
+        const u32 u =
+            open(SpanKind::kVaultUnseal, e, ts, cyc, e.arg0, e.arg1);
+        close(u, ts, cyc, SpanStatus::kOk);
+        break;
+      }
+      case EventKind::kVkeyEvict: {
+        const u32 ev = open(SpanKind::kVkeyEvict, e, ts, cyc, /*vkey=*/e.arg0,
+                            /*queued=*/e.arg1);
+        close(ev, ts, cyc, SpanStatus::kOk);
+        if (e.arg1 != 0) {  // queued for lazy drain: an episode is open
+          if (drain_ == kNoParent) {
+            drain_ = open(SpanKind::kVkeyDrain, e, ts, cyc, 0, 0);
+          }
+          set_.flows.push_back({FlowEdge::Kind::kDrain, ev, drain_});
+        }
+        break;
+      }
+      case EventKind::kVkeySync: {
+        if (drain_ != kNoParent) {
+          close(drain_, ts, cyc, SpanStatus::kOk);
+          set_.spans[drain_].arg = e.arg1;  // vkeys drained in batch
+          drain_ = kNoParent;
+        }
+        break;
+      }
+      case EventKind::kCheckpoint: {
+        if (ckpt_ != kNoParent) close(ckpt_, ts, cyc, SpanStatus::kOk);
+        ckpt_ = open(SpanKind::kCheckpointWindow, e, ts, cyc,
+                     /*ordinal=*/e.arg0, /*blob bytes=*/e.arg1);
+        break;
+      }
+      case EventKind::kRollback: {
+        // The event is stamped at the *restored* clocks; the window it
+        // spans runs from there up to the pre-rollback high-water mark.
+        const u32 rb = open(SpanKind::kRollbackWindow, e, ts, cyc,
+                            /*ordinal=*/e.arg0, /*suppressed=*/e.arg1);
+        close(rb, offset_ + watermark_, coffset_ + cwatermark_,
+              SpanStatus::kOk);
+        watermark_ = e.instret;
+        cwatermark_ = e.cycles;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (e.instret > watermark_) watermark_ = e.instret;
+    if (e.cycles > cwatermark_) cwatermark_ = e.cycles;
+    set_.final_ts = offset_ + watermark_;
+    final_cyc_ = coffset_ + cwatermark_;
+  }
+
+  void finish() {
+    // Close every dangling span at the final timestamp, marked kOpen so
+    // downstream consumers can tell truncation from completion. Iterating
+    // the span vector (not the maps) keeps the order deterministic.
+    for (Span& s : set_.spans) {
+      if (s.status == SpanStatus::kOpen) {
+        close(s.id, set_.final_ts, final_cyc_, SpanStatus::kOpen);
+      }
+    }
+  }
+
+  SpanSet set_;
+  u64 offset_ = 0, watermark_ = 0;
+  u64 coffset_ = 0, cwatermark_ = 0;
+  u64 final_cyc_ = 0;
+  std::map<u64, u32> request_;     // req index -> open request span
+  std::map<u64, u32> visit_;      // req index -> open handler visit
+  std::map<u64, u32> last_visit_; // req index -> last closed visit
+  std::map<u64, u32> slot_visit_; // slot -> last visit span on it
+  std::map<u64, u32> txn_;        // bundle id -> open vault txn
+  u32 drain_ = kNoParent;         // open vkey drain episode
+  u32 ckpt_ = kNoParent;          // open checkpoint window
+};
+
+}  // namespace
+
+SpanSet build_spans(const Trace& trace) { return Builder().run(trace); }
+
+std::array<Histogram, kSpanKindCount> span_histograms(const SpanSet& set) {
+  std::array<Histogram, kSpanKindCount> hists;
+  for (const Span& s : set.spans) {
+    hists[static_cast<u32>(s.kind)].record(s.duration());
+  }
+  return hists;
+}
+
+}  // namespace sealpk::obs

@@ -1,0 +1,97 @@
+// Causal span layer (DESIGN.md §16): a deterministic fold of the SPKTRACE
+// event stream into typed spans with parent/child links and flow edges.
+//
+// The raw bus timestamps events with per-machine instret/cycles, but the
+// episodes we care about cross machine boundaries: the serve plane runs
+// each epoch on a fresh Machine (clocks restart at 0), and a rollback
+// rewinds the clock of a single machine. The builder therefore folds
+// events onto a *virtual timeline*: a monotonic instruction axis where a
+// clock restart opens a new segment (offset advances by the previous
+// segment's high-water mark) and a kRollback event — the one legitimate
+// backwards stamp — rewinds the in-segment watermark instead. Span
+// construction is a pure function of the event stream, so a span set (and
+// every histogram derived from it) is byte-identical across hosts, runs
+// and fleet thread counts.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "obs/hist.h"
+#include "obs/recorder.h"
+
+namespace sealpk::obs {
+
+enum class SpanKind : u8 {
+  kRequest = 0,         // serve: first gate-enter -> disposition
+  kHandlerVisit = 1,    // serve: gate-enter -> gate-exit (child of request)
+  kQuarantine = 2,      // serve: slot quarantined (point span)
+  kVaultTxn = 3,        // vault: intent -> commit / denied
+  kVaultUnseal = 4,     // vault: unseal served (point span)
+  kVkeyEvict = 5,       // mpk: one eviction (point span)
+  kVkeyDrain = 6,       // mpk: first queued evict -> batch sync
+  kCheckpointWindow = 7,// snapshot: checkpoint -> next checkpoint
+  kRollbackWindow = 8,  // snapshot: rewound instret -> pre-rollback mark
+};
+inline constexpr u32 kSpanKindCount = 9;
+
+const char* span_kind_name(SpanKind kind);
+
+inline constexpr u32 kNoParent = 0xFFFFFFFFu;
+
+enum class SpanStatus : u8 {
+  kOk = 0,
+  kRetried = 1,      // request served after >= 1 failed handler visit
+  kFailed = 2,       // handler visit with no matching gate-exit
+  kDenied = 3,       // vault txn refused
+  kQuarantined = 4,  // request ended quarantined / slot quarantine point
+  kShed = 5,         // request shed by load shedding
+  kOpen = 6,         // still open when the stream ended
+};
+const char* span_status_name(SpanStatus status);
+
+struct Span {
+  SpanKind kind = SpanKind::kRequest;
+  u32 id = 0;             // index into SpanSet::spans (open order)
+  u32 parent = kNoParent;
+  u32 pid = 0;
+  u32 tid = 0;
+  u32 pkey = kNoPkey;
+  u64 begin = 0;          // virtual-timeline instret
+  u64 end = 0;
+  u64 begin_cycles = 0;   // virtual-timeline cycles
+  u64 end_cycles = 0;
+  u64 key = 0;            // request index / bundle id / vkey / ordinal
+  u64 arg = 0;            // disposition / checksum / pages / batch size
+  SpanStatus status = SpanStatus::kOk;
+
+  u64 duration() const { return end >= begin ? end - begin : 0; }
+};
+
+// Causal arrow between two spans (rendered as a Perfetto flow).
+struct FlowEdge {
+  enum class Kind : u8 {
+    kRetry = 0,       // handler visit N -> visit N+1 of the same request
+    kQuarantine = 1,  // last visit on a slot -> its quarantine point
+    kDrain = 2,       // eviction -> the drain episode that flushed it
+  };
+  Kind kind = Kind::kRetry;
+  u32 from = 0;  // span ids
+  u32 to = 0;
+};
+
+struct SpanSet {
+  std::vector<Span> spans;      // id-ordered (== open order)
+  std::vector<FlowEdge> flows;
+  u64 segments = 1;  // virtual-timeline segments (1 = single machine)
+  u64 final_ts = 0;  // virtual instret of the last event folded
+};
+
+// Folds a parsed trace into spans. Any span still open when the stream
+// ends is closed at the final timestamp with SpanStatus::kOpen.
+SpanSet build_spans(const Trace& trace);
+
+// Per-kind duration histograms (instruction counts) over a span set.
+std::array<Histogram, kSpanKindCount> span_histograms(const SpanSet& set);
+
+}  // namespace sealpk::obs

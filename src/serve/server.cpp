@@ -7,6 +7,7 @@
 
 #include "analysis/report.h"
 #include "common/json.h"
+#include "obs/hist.h"
 #include "sim/machine.h"
 
 namespace sealpk::serve {
@@ -306,6 +307,20 @@ ServeResult run_server(const ServeConfig& cfg) {
       res.crossings += 1;
     }
 
+    // Final dispositions are a host-side judgment (the guest only marks
+    // failed attempts), so the host mirrors them onto the obs bus the
+    // same way it notarises quarantine transitions — the span builder
+    // needs the kRequestDisposition edge to close request spans.
+    const auto emit_disposition = [&m](const RequestRecord& rec) {
+      if (m.recorder() != nullptr) {
+        const u32 pkey = rec.served_by == 0xFFFFFFFF
+                             ? obs::kNoPkey
+                             : 2 + rec.served_by;  // slot keys start at 2
+        m.recorder()->emit(obs::EventKind::kRequestDisposition,
+                           m.hart().instret(), m.hart().cycles(), pkey,
+                           rec.index, static_cast<u64>(rec.disposition));
+      }
+    };
     for (const Outcome& oc : outcomes) {
       if (oc.id >= n || resolved[oc.id]) continue;
       RequestRecord& rec = res.records[oc.id];
@@ -315,6 +330,7 @@ ServeResult run_server(const ServeConfig& cfg) {
         rec.served_by = oc.slot;
         rec.latency = oc.latency;
         resolved[oc.id] = true;
+        emit_disposition(rec);
         continue;
       }
       ++rec.attempts;
@@ -334,6 +350,7 @@ ServeResult run_server(const ServeConfig& cfg) {
       if (rec.attempts >= cfg.max_attempts) {
         rec.disposition = Disposition::kQuarantined;
         resolved[oc.id] = true;
+        emit_disposition(rec);
       } else {
         // Deterministic backoff: sit out backoff_base * attempts epochs
         // (the next attempt lands on the other slot of the pair).
@@ -468,6 +485,15 @@ void write_result_json(std::ostream& os, const ServeConfig& cfg,
   os << "  \"dispositions\": {\"served\": " << r.served
      << ", \"retried\": " << r.retried << ", \"shed\": " << r.shed
      << ", \"quarantined\": " << r.quarantined << "},\n";
+  // Handler-latency quantiles over every served/retried request: the SLO
+  // gate's p99 ceiling reads this block. Integer instruction counts
+  // through the deterministic histogram, so the block is byte-identical
+  // across hosts and thread counts.
+  obs::Histogram lat;
+  for (const RequestRecord& rec : r.records) {
+    if (rec.served_by != 0xFFFFFFFF) lat.record(rec.latency);
+  }
+  os << "  \"latency\": " << lat.quantiles_json() << ",\n";
   const redteam::CatchEvidence& e = r.evidence;
   os << "  \"evidence\": {\"verifier_refused\": "
      << (e.verifier_refused ? "true" : "false")

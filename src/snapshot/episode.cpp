@@ -1,0 +1,49 @@
+#include "snapshot/episode.h"
+
+#include "fleet/engine.h"
+#include "fleet/image_cache.h"
+
+namespace sealpk::snapshot {
+
+EpisodeResult run_rollback_episode(const EpisodeConfig& cfg) {
+  const wl::Workload* workload = nullptr;
+  for (const wl::Workload& w : wl::all_workloads()) {
+    if (cfg.workload == w.name) {
+      workload = &w;
+      break;
+    }
+  }
+  SEALPK_CHECK_MSG(workload != nullptr,
+                   "unknown episode workload " << cfg.workload);
+
+  fleet::JobSpec spec;
+  spec.workload = workload;
+  spec.scale = cfg.scale;
+  spec.kind = fleet::JobKind::kChaosDiff;
+  // PKR flips with no trusted shadow are unrecoverable machine checks;
+  // with checkpointing armed every kill becomes a rollback, which is the
+  // arc the span layer renders as checkpoint/rollback windows.
+  spec.config.kernel.save_pkr_on_switch = false;
+  spec.config.checkpoint_interval = cfg.checkpoint_interval;
+  spec.config.max_rollbacks = cfg.max_rollbacks;
+  spec.config.fault_plan.enabled = true;
+  spec.config.fault_plan.seed = cfg.chaos_seed;
+  spec.config.fault_plan.rate = cfg.chaos_rate;
+  spec.config.fault_plan.max_faults = cfg.max_faults;
+  spec.config.fault_plan.kinds = fault::kind_bit(fault::FaultKind::kPkrBitFlip);
+  spec.config.trace.enabled = true;
+  spec.keep_trace_blob = true;
+
+  fleet::ImageCache cache;
+  const fleet::JobResult job = fleet::execute_job(spec, cache);
+
+  EpisodeResult r;
+  r.ok = job.ok;
+  r.checkpoints = job.stats.checkpoints;
+  r.rollbacks = job.stats.rollbacks;
+  r.verdict = job.verdict;
+  if (!job.trace_blob.empty()) r.trace = obs::parse(job.trace_blob);
+  return r;
+}
+
+}  // namespace sealpk::snapshot

@@ -1,0 +1,43 @@
+// Deterministic traced checkpoint/rollback episodes (DESIGN.md §16).
+//
+// The span layer turns kCheckpoint/kRollback events into checkpoint
+// windows and rollback spans; this driver produces a canonical workload
+// that *has* some: a fixed chaos plan of unrecoverable PKR flips (no
+// trusted PKR shadow) against a checkpointing machine, so every kill is
+// absorbed by a snapshot rollback and the trace carries the full
+// checkpoint → corruption → rewind arc. Everything is seeded, so the
+// captured trace — and every span/histogram derived from it — is
+// byte-identical across hosts, runs and fleet thread counts.
+//
+// Lives beside src/snapshot (whose checkpoint/rollback machinery it
+// exercises) but links the fleet job runner, so it ships as its own
+// library (repro_episode) to keep repro_snapshot leaf-level.
+#pragma once
+
+#include <string>
+
+#include "obs/recorder.h"
+
+namespace sealpk::snapshot {
+
+struct EpisodeConfig {
+  std::string workload = "qsort";  // Fig-5 workload name
+  u64 scale = 1;
+  u64 checkpoint_interval = 25'000;  // instructions between checkpoints
+  u64 max_rollbacks = 8;
+  u64 chaos_seed = 11;
+  double chaos_rate = 1e-4;
+  u64 max_faults = 2;
+};
+
+struct EpisodeResult {
+  bool ok = false;      // differential oracle passed (identical output)
+  u64 checkpoints = 0;  // taken during the chaos run
+  u64 rollbacks = 0;
+  std::string verdict;  // the fleet oracle's one-liner
+  obs::Trace trace;     // full event stream of the chaos run
+};
+
+EpisodeResult run_rollback_episode(const EpisodeConfig& cfg);
+
+}  // namespace sealpk::snapshot

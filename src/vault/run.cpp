@@ -1,0 +1,35 @@
+#include "vault/run.h"
+
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace sealpk::vault {
+
+VaultRunResult run_vault_once(const VaultSpec& spec, bool trace) {
+  const BuiltVault built = build_vault(spec);
+  sim::MachineConfig mc;
+  mc.trace.enabled = trace;
+  sim::Machine machine(mc);
+  VaultRunResult r;
+  const int pid = machine.load(built.image);
+  if (pid < 0) return r;
+  r.completed = machine.run(400'000'000ULL).completed;
+  r.exit_code = machine.exit_code(pid);
+  const os::Process& proc = machine.kernel().process(pid);
+  const auto loc = find_vault(*proc.aspace);
+  r.ledger = "(no vault)\n";
+  if (loc.has_value()) {
+    std::vector<u8> region(loc->geo.total_len());
+    if (proc.aspace->copy_in(loc->base, region.data(), region.size())) {
+      r.ledger = ledger_string(replay(region.data(), region.size()));
+    }
+  }
+  r.ledger_ok = r.ledger == built.expected_ledger;
+  r.instructions = machine.hart().instret();
+  r.stats = machine.kernel().vault_stats();
+  if (machine.recorder() != nullptr) r.trace = machine.recorder()->trace();
+  return r;
+}
+
+}  // namespace sealpk::vault

@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/json_parse.h"
 #include "common/rng.h"
 
 namespace sealpk {
@@ -108,6 +109,35 @@ TEST(Rng, RangeInclusive) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+// --- json_parse.h -----------------------------------------------------------
+
+TEST(JsonParse, ParsesTheReportShapesTheSloGateReads) {
+  const JsonValue doc = json_parse(
+      "{\"schema\": \"sealpk-serve-v1\", \"ok\": true, \"n\": -3.5,\n"
+      " \"dispositions\": {\"served\": 24},\n"
+      " \"cells\": [{\"mode\": \"virt-eager\", \"churn_per_sec\": 98546},\n"
+      "            {\"mode\": \"raw\"}]}");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->str, "sealpk-serve-v1");
+  EXPECT_TRUE(doc.find("ok")->boolean);
+  EXPECT_EQ(doc.find("n")->number, -3.5);
+  EXPECT_EQ(doc.find("dispositions")->find("served")->number, 24.0);
+  const JsonValue& cells = *doc.find("cells");
+  ASSERT_TRUE(cells.is_array());
+  ASSERT_EQ(cells.items.size(), 2u);
+  EXPECT_EQ(cells.items[0].find("mode")->str, "virt-eager");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, HandlesEscapesAndRejectsMalformedInput) {
+  const JsonValue s = json_parse("\"a\\\"b\\\\c\\n\\u0041\"");
+  EXPECT_EQ(s.str, "a\"b\\c\nA");
+  EXPECT_THROW(json_parse("{\"unterminated\": "), std::runtime_error);
+  EXPECT_THROW(json_parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(json_parse(""), std::runtime_error);
 }
 
 }  // namespace

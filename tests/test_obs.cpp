@@ -320,5 +320,234 @@ TEST(ObsExport, DiffReportsFirstDivergence) {
   EXPECT_NE(obs::diff_traces(a, c), "");
 }
 
+// --- duration histograms (obs/hist.h) ---------------------------------------
+
+TEST(ObsHist, EmptyAndSingleSamplePercentiles) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+  EXPECT_EQ(h.max(), 0u);
+
+  // With exactly one sample every percentile is that sample.
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(1), 42u);
+  EXPECT_EQ(h.percentile(50), 42u);
+  EXPECT_EQ(h.percentile(99), 42u);
+  EXPECT_EQ(h.percentile(100), 42u);
+  EXPECT_EQ(h.max(), 42u);
+}
+
+TEST(ObsHist, ZeroDurationSpansAreRealSamples) {
+  // Point spans (unseal, evict, quarantine) have duration 0; they must
+  // count and must drag the low percentiles to 0, not vanish.
+  obs::Histogram h;
+  for (int i = 0; i < 9; ++i) h.record(0);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(90), 0u);
+  // p99 is the 1000 sample quantized to its bucket floor (16-wide
+  // sub-buckets over [512, 1024)); max() keeps the exact value.
+  EXPECT_EQ(h.percentile(99), 992u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.sum(), 1000u);
+}
+
+TEST(ObsHist, LinearRangeIsExact) {
+  // Below kLinearLimit every value owns its own bucket: percentiles are
+  // exact, not bucket floors.
+  obs::Histogram h;
+  for (u64 v = 1; v <= 4; ++v) h.record(v);
+  // rank = ceil(count * p / 100), 1-based over the sorted samples.
+  EXPECT_EQ(h.percentile(25), 1u);
+  EXPECT_EQ(h.percentile(50), 2u);
+  EXPECT_EQ(h.percentile(75), 3u);
+  EXPECT_EQ(h.percentile(100), 4u);
+}
+
+TEST(ObsHist, TopBucketSaturationStaysWithinObservedRange) {
+  obs::Histogram h;
+  h.record(~0ULL);
+  h.record(~0ULL - 1);
+  h.record(1ULL << 63);
+  // All three land in the top exponent range. Percentiles report bucket
+  // floors clamped into the observed [min, max]; max() keeps the exact
+  // largest sample even when its bucket floor is far below it.
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_GE(h.percentile(1), 1ULL << 63);
+  EXPECT_LE(h.percentile(100), ~0ULL);
+  EXPECT_GE(h.percentile(100), h.percentile(50));
+  EXPECT_GE(h.percentile(50), h.percentile(1));
+}
+
+TEST(ObsHist, MergeIsAssociativeAndCommutativeByteForByte) {
+  obs::Histogram a, b, c;
+  for (u64 v = 0; v < 40; ++v) a.record(v * 7);
+  for (u64 v = 0; v < 25; ++v) b.record(1 + (v << 9));
+  c.record(0);
+  c.record(~0ULL);
+
+  obs::Histogram ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  obs::Histogram a_bc = b;
+  a_bc.merge(c);
+  a_bc.merge(a);
+  obs::Histogram cba = c;
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c, cba);
+  // Byte-for-byte: the JSON renderings (the bytes committed in
+  // BENCH_spans.json) must match too, not just the counters.
+  EXPECT_EQ(ab_c.quantiles_json(), a_bc.quantiles_json());
+  EXPECT_EQ(ab_c.quantiles_json(), cba.quantiles_json());
+}
+
+// --- causal spans (obs/span.h) ----------------------------------------------
+
+obs::Event span_event(obs::EventKind kind, u64 instret, u64 arg0, u64 arg1,
+                      u32 pkey = obs::kNoPkey) {
+  obs::Event e;
+  e.kind = kind;
+  e.pid = 1;
+  e.tid = 1;
+  e.pkey = pkey;
+  e.instret = instret;
+  e.cycles = instret * 2;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  return e;
+}
+
+TEST(ObsSpan, RequestLifecycleWithRetryFlow) {
+  obs::Trace t;
+  t.events = {
+      span_event(obs::EventKind::kGateEnter, 100, /*req=*/0, /*slot=*/0),
+      // No gate-exit: the next enter for the same request closes the
+      // first visit as failed and chains a retry flow.
+      span_event(obs::EventKind::kGateEnter, 300, 0, /*slot=*/1),
+      span_event(obs::EventKind::kGateExit, 400, 0, /*checksum=*/7),
+      span_event(obs::EventKind::kRequestDisposition, 450, 0,
+                 /*disposition=retried*/ 1),
+  };
+  const obs::SpanSet set = obs::build_spans(t);
+  ASSERT_EQ(set.spans.size(), 3u);  // request + 2 handler visits
+  EXPECT_EQ(set.spans[0].kind, obs::SpanKind::kRequest);
+  EXPECT_EQ(set.spans[0].begin, 100u);
+  EXPECT_EQ(set.spans[0].end, 450u);
+  EXPECT_EQ(set.spans[0].status, obs::SpanStatus::kRetried);
+  EXPECT_EQ(set.spans[1].status, obs::SpanStatus::kFailed);
+  EXPECT_EQ(set.spans[2].status, obs::SpanStatus::kOk);
+  EXPECT_EQ(set.spans[1].parent, set.spans[0].id);
+  EXPECT_EQ(set.spans[2].parent, set.spans[0].id);
+  ASSERT_EQ(set.flows.size(), 1u);
+  EXPECT_EQ(set.flows[0].kind, obs::FlowEdge::Kind::kRetry);
+  EXPECT_EQ(set.flows[0].from, set.spans[1].id);
+  EXPECT_EQ(set.flows[0].to, set.spans[2].id);
+}
+
+TEST(ObsSpan, DanglingSpansCloseAsOpenAtStreamEnd) {
+  obs::Trace t;
+  t.events = {
+      span_event(obs::EventKind::kGateEnter, 100, 0, 0),
+      span_event(obs::EventKind::kSyscall, 900, 0, 0),
+  };
+  const obs::SpanSet set = obs::build_spans(t);
+  ASSERT_EQ(set.spans.size(), 2u);
+  for (const obs::Span& s : set.spans) {
+    EXPECT_EQ(s.status, obs::SpanStatus::kOpen);
+    EXPECT_EQ(s.end, 900u);
+  }
+  EXPECT_EQ(set.final_ts, 900u);
+}
+
+TEST(ObsSpan, ClockRestartOpensSegmentRollbackDoesNot) {
+  obs::Trace t;
+  t.events = {
+      span_event(obs::EventKind::kVaultIntent, 500, /*bundle=*/1, 0),
+      span_event(obs::EventKind::kVaultCommit, 700, 1, 0),
+      // instret drops with no kRollback: a fresh machine (serve epoch 2).
+      // The virtual timeline must keep rising instead of folding back.
+      span_event(obs::EventKind::kVaultIntent, 50, 2, 0),
+      span_event(obs::EventKind::kVaultCommit, 90, 2, 0),
+      // A kRollback stamped at the *restored* clock rewinds the watermark
+      // without opening a segment.
+      span_event(obs::EventKind::kRollback, 60, /*ordinal=*/0, 0),
+      span_event(obs::EventKind::kVaultIntent, 70, 3, 0),
+      span_event(obs::EventKind::kVaultCommit, 80, 3, 0),
+  };
+  const obs::SpanSet set = obs::build_spans(t);
+  EXPECT_EQ(set.segments, 2u);
+  ASSERT_EQ(set.spans.size(), 4u);  // 3 txns + 1 rollback window
+  // Segment 2 offsets by segment 1's watermark (700).
+  EXPECT_EQ(set.spans[1].begin, 750u);
+  EXPECT_EQ(set.spans[1].end, 790u);
+  // Post-rollback txn continues on the same segment's virtual axis.
+  EXPECT_EQ(set.spans[3].kind, obs::SpanKind::kVaultTxn);
+  EXPECT_EQ(set.spans[3].begin, 770u);
+  // The rollback window spans restored ts -> pre-rollback high-water mark.
+  EXPECT_EQ(set.spans[2].kind, obs::SpanKind::kRollbackWindow);
+  EXPECT_EQ(set.spans[2].begin, 760u);
+  EXPECT_EQ(set.spans[2].end, 790u);
+}
+
+TEST(ObsSpan, BuildIsDeterministicAndPureOverConcatenatedStreams) {
+  // The serve plane concatenates per-epoch rings recorded on different
+  // machines; build_spans must be a pure function of the joined stream.
+  const obs::Trace whole = recorded_trace();
+  const obs::SpanSet a = obs::build_spans(whole);
+  const obs::SpanSet b = obs::build_spans(whole);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.final_ts, b.final_ts);
+  const auto ha = obs::span_histograms(a);
+  const auto hb = obs::span_histograms(b);
+  for (u32 k = 0; k < obs::kSpanKindCount; ++k) {
+    EXPECT_EQ(ha[k], hb[k]);
+    EXPECT_EQ(ha[k].quantiles_json(), hb[k].quantiles_json());
+  }
+}
+
+TEST(ObsSpan, SpanSetMatchesAcrossSnapshotBoundary) {
+  // The event stream already concatenates exactly across a snapshot
+  // boundary (test above); spans derived from the stitched stream must
+  // equal spans from the uninterrupted run, histogram bytes included.
+  const isa::Image image = sealed_qsort_image();
+  sim::MachineConfig config;
+  config.trace = traced();
+  config.checkpoint_interval = 20'000;
+
+  sim::Machine straight(config);
+  straight.load(image);
+  SEALPK_CHECK(straight.run().completed);
+  const obs::Trace full = straight.recorder()->trace();
+
+  sim::Machine first(config);
+  first.load(image);
+  first.run(30'000);
+  obs::Trace stitched = first.recorder()->trace();
+  const std::vector<u8> mid = snapshot::save(first);
+
+  sim::MachineConfig resumed_config = snapshot::config_from(mid);
+  resumed_config.trace = config.trace;
+  sim::Machine resumed(resumed_config);
+  snapshot::restore(resumed, mid);
+  SEALPK_CHECK(resumed.run().completed);
+  for (const obs::Event& e : resumed.recorder()->events()) {
+    stitched.events.push_back(e);
+  }
+
+  const auto ha = obs::span_histograms(obs::build_spans(full));
+  const auto hb = obs::span_histograms(obs::build_spans(stitched));
+  for (u32 k = 0; k < obs::kSpanKindCount; ++k) {
+    EXPECT_EQ(ha[k].quantiles_json(), hb[k].quantiles_json());
+  }
+}
+
 }  // namespace
 }  // namespace sealpk

@@ -122,6 +122,30 @@ TEST(Serve, TraceCarriesGateAndDispositionEvents) {
   }
   EXPECT_EQ(enters, cfg.requests);
   EXPECT_EQ(exits, cfg.requests);
+  // The host mirrors every final disposition onto the bus — the span
+  // builder needs the edge to close request spans.
+  u64 dispositions = 0;
+  for (const obs::Event& e : r.trace.events) {
+    if (e.kind == obs::EventKind::kRequestDisposition) ++dispositions;
+  }
+  EXPECT_EQ(dispositions, cfg.requests);
+}
+
+TEST(Serve, JsonReportCarriesLatencyQuantiles) {
+  ServeConfig cfg = small_config();
+  const ServeResult r = serve::run_server(cfg);
+  std::ostringstream os;
+  serve::write_result_json(os, cfg, r);
+  const std::string json = os.str();
+  // The latency block aggregates served-request latencies through the
+  // deterministic histogram; a clean run has count == requests and p50
+  // equal to the uniform per-request latency.
+  EXPECT_NE(json.find("\"latency\": {\"count\": " +
+                      std::to_string(cfg.requests)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p99\": " + std::to_string(r.records[0].latency)),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

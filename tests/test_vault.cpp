@@ -13,8 +13,10 @@
 #include "os/syscall_abi.h"
 #include "runtime/guest.h"
 #include "sim/machine.h"
+#include "obs/span.h"
 #include "vault/format.h"
 #include "vault/program.h"
+#include "vault/run.h"
 #include "vault/sweep.h"
 
 namespace sealpk {
@@ -524,6 +526,42 @@ TEST(VaultSweep, ChaosSweepWeakensOnlyToDetection) {
   for (const vault::ChaosVerdict& cv : r.chaos) {
     EXPECT_TRUE(cv.ok) << cv.failure;
   }
+}
+
+TEST(VaultWorkload, RunOncePrimitiveMatchesOracleAndTraces) {
+  const vault::VaultSpec spec;
+  const vault::VaultRunResult bare = vault::run_vault_once(spec);
+  ASSERT_TRUE(bare.ok()) << bare.ledger;
+  EXPECT_TRUE(bare.trace.events.empty());
+
+  const vault::VaultRunResult traced =
+      vault::run_vault_once(spec, /*trace=*/true);
+  ASSERT_TRUE(traced.ok());
+  // Tracing never perturbs the run: ledger and instruction count are
+  // byte-identical with the recorder on.
+  EXPECT_EQ(traced.ledger, bare.ledger);
+  EXPECT_EQ(traced.instructions, bare.instructions);
+
+  u64 intents = 0, commits = 0, unseals = 0;
+  for (const obs::Event& e : traced.trace.events) {
+    if (e.kind == obs::EventKind::kVaultIntent) ++intents;
+    if (e.kind == obs::EventKind::kVaultCommit) ++commits;
+    if (e.kind == obs::EventKind::kVaultUnseal) ++unseals;
+  }
+  EXPECT_GT(intents, 0u);
+  EXPECT_GT(commits, 0u);
+  EXPECT_GT(unseals, 0u);
+
+  // Every intent->commit pair folds into a vault txn span.
+  const obs::SpanSet set = obs::build_spans(traced.trace);
+  u64 txns = 0;
+  for (const obs::Span& s : set.spans) {
+    if (s.kind == obs::SpanKind::kVaultTxn &&
+        s.status == obs::SpanStatus::kOk) {
+      ++txns;
+    }
+  }
+  EXPECT_EQ(txns, commits);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "guest_test_util.h"
 #include "mpk/session.h"
 #include "mpk/virt.h"
+#include "obs/span.h"
 #include "mpk/vkey_table.h"
 #include "snapshot/snapshot.h"
 #include "workloads/workload.h"
@@ -676,6 +677,43 @@ TEST(VkeyFault, InjectedCorruptionIsResolvedByTheAuditCadence) {
   EXPECT_EQ(machine.exit_code(pid), 0);
   ASSERT_EQ(machine.kernel().reports().size(), 1u);
   EXPECT_EQ(machine.kernel().reports()[0], wl::golden_session_sum(shape));
+}
+
+TEST(SessionServer, TraceCapturesEvictionAndDrainEvents) {
+  mpk::SessionConfig cfg;
+  cfg.sessions = 1536;  // past the key budget so eviction actually runs
+  cfg.ops = 1024;
+  cfg.lazy_sync = true;
+  cfg.trace = true;
+  const mpk::SessionResult traced = mpk::run_session_server(cfg);
+  ASSERT_TRUE(traced.ok()) << mpk::session_record(cfg, traced);
+  u64 maps = 0, evicts = 0, syncs = 0;
+  for (const obs::Event& e : traced.trace.events) {
+    if (e.kind == obs::EventKind::kVkeyMap) ++maps;
+    if (e.kind == obs::EventKind::kVkeyEvict) ++evicts;
+    if (e.kind == obs::EventKind::kVkeySync) ++syncs;
+  }
+  EXPECT_GT(maps, 0u);
+  EXPECT_GT(evicts, 0u);
+  EXPECT_GT(syncs, 0u);
+
+  // The span layer folds those events into evict/drain spans.
+  const obs::SpanSet set = obs::build_spans(traced.trace);
+  u64 evict_spans = 0, drain_spans = 0;
+  for (const obs::Span& s : set.spans) {
+    if (s.kind == obs::SpanKind::kVkeyEvict) ++evict_spans;
+    if (s.kind == obs::SpanKind::kVkeyDrain) ++drain_spans;
+  }
+  EXPECT_EQ(evict_spans, evicts);
+  EXPECT_GT(drain_spans, 0u);
+
+  // Tracing never perturbs the run: the canonical record (which does not
+  // include trace state) must be byte-identical with tracing off.
+  mpk::SessionConfig off = cfg;
+  off.trace = false;
+  const mpk::SessionResult bare = mpk::run_session_server(off);
+  EXPECT_EQ(mpk::session_record(off, bare), mpk::session_record(cfg, traced));
+  EXPECT_TRUE(bare.trace.events.empty());
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -77,6 +78,7 @@ struct CliOptions {
   bool quiet = false;
   bool canonical = false;
   bool selfcheck = false;
+  bool json = false;  // bare --json: machine-readable output on stdout
   std::string json_path;
   // chaos plan / robustness knobs (only consulted with --chaos)
   fault::FaultPlan plan;
@@ -335,7 +337,10 @@ int main(int argc, char** argv) {
       cli.workloads = split_commas(arg.substr(12));
     } else if (arg.rfind("--variants=", 0) == 0) {
       cli.variants = split_commas(arg.substr(11));
+    } else if (arg == "--json") {
+      cli.json = true;
     } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json = true;
       cli.json_path = arg.substr(7);
     } else if (arg.rfind("--chaos-seed=", 0) == 0) {
       cli.plan.seed = std::strtoull(arg.c_str() + 13, nullptr, 0);
@@ -360,6 +365,25 @@ int main(int argc, char** argv) {
   if (cli.mode.empty()) return usage();
 
   if (cli.mode == "list") {
+    if (cli.json) {
+      // Machine-readable workload x variant matrix for the SLO gate and
+      // CI asserts; exit-code parity with the plain listing (always 0).
+      std::vector<fleet::MatrixVariant> variants;
+      for (const VariantDef& v : kVariants) {
+        variants.push_back({v.name, v.ss, v.perm_seal});
+      }
+      if (cli.json_path.empty()) {
+        fleet::write_matrix_json(std::cout, variants);
+      } else {
+        std::ofstream out(cli.json_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+          return 2;
+        }
+        fleet::write_matrix_json(out, variants);
+      }
+      return 0;
+    }
     std::printf("workloads:\n");
     for (const auto& w : wl::all_workloads()) {
       std::printf("  %s/%s\n", wl::suite_name(w.suite), w.name);

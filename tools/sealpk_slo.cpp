@@ -1,0 +1,288 @@
+// sealpk-slo — the in-repo SLO / perf-regression gate (DESIGN.md §16).
+//
+// Subcommands:
+//   check --spec=<SLO.json> --report=<name>=<path>...
+//       Evaluate a committed SLO spec ("sealpk-slo-v1": crossings/sec
+//       floors, handler-latency p99 ceilings, churn-ops/sec floors,
+//       recovery-count ceilings, tolerance bands) against the repo's own
+//       machine-readable reports (sealpk-serve --json, sealpk-vkey sweep
+//       --json, sealpk-fleet list --json, the span bench below). Exits
+//       nonzero on any breach — this is what CI runs, and what the
+//       WILL_FAIL ctest pair proves actually fails on a violated spec.
+//   spans [--threads=<n>] [--selfcheck] [--out=<path>]
+//       The deterministic span benchmark behind BENCH_spans.json: run the
+//       fixed episode suite (clean + degraded serve, vault, eager + lazy
+//       vkey churn, a checkpoint/rollback episode), fold each trace into
+//       causal spans (obs/span.h) and report per-kind duration quantiles
+//       from the integer histogram (obs/hist.h). Everything is
+//       instruction-count based, so the output is byte-identical across
+//       hosts, runs and thread counts; --selfcheck re-runs serially and
+//       requires byte-identity (the determinism contract CI pins by
+//       regenerating + git-diffing BENCH_spans.json).
+//
+// Exit status: 0 ok, 1 SLO breach / selfcheck mismatch, 2 usage or I/O.
+//
+// Usage:
+//   sealpk-slo spans --threads=4 --selfcheck --out=BENCH_spans.json -q
+//   sealpk-slo check --spec=SLO.json --report=serve=serve.json \
+//       --report=vkey=vkey.json --report=spans=BENCH_spans.json
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.h"
+#include "fleet/engine.h"
+#include "mpk/session.h"
+#include "obs/slo.h"
+#include "obs/span.h"
+#include "serve/server.h"
+#include "snapshot/episode.h"
+#include "vault/run.h"
+
+using namespace sealpk;
+
+namespace {
+
+struct CliOptions {
+  std::string mode;
+  std::string spec_path;
+  std::vector<std::pair<std::string, std::string>> reports;  // name -> path
+  std::string out_path;
+  bool json = false;
+  std::string json_path;
+  unsigned threads = 1;
+  bool selfcheck = false;
+  bool quiet = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sealpk-slo check --spec=<SLO.json> --report=<name>=<path>...\n"
+      "                        [--json[=<path>]] [-q]\n"
+      "       sealpk-slo spans [--threads=<n>] [--selfcheck]\n"
+      "                        [--out=<path>] [-q]\n");
+  return 2;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return out.good();
+}
+
+// --- spans benchmark --------------------------------------------------------
+
+// The fixed episode suite. Shapes are pinned here — not flag-dependent —
+// so a ctest invocation and the CI regeneration produce the same bytes.
+struct SpanWorkload {
+  const char* name;
+  obs::Trace (*run)();
+};
+
+obs::Trace run_serve_clean() {
+  serve::ServeConfig cfg;
+  cfg.requests = 24;
+  cfg.trace = true;
+  return serve::run_server(cfg).trace;
+}
+
+obs::Trace run_serve_degraded() {
+  serve::ServeConfig cfg;
+  cfg.requests = 24;
+  cfg.trace = true;
+  // A runaway handler (watchdog-killed every visit) degrades its slot
+  // into quarantine and pushes its requests through retry/backoff — the
+  // span stream gains retry flows, quarantine points and multiple epochs
+  // (= virtual-timeline segments), all deterministically.
+  cfg.attack = serve::redteam::AttackKind::kRunawayHandler;
+  return serve::run_server(cfg).trace;
+}
+
+obs::Trace run_vault() {
+  return vault::run_vault_once(vault::VaultSpec{}, /*trace=*/true).trace;
+}
+
+obs::Trace run_vkey(bool lazy) {
+  mpk::SessionConfig cfg;
+  // Past the 1023-key budget, so LRU eviction (and, under --lazy, the
+  // drain queue) actually runs — below it there are no evict/drain spans.
+  cfg.sessions = 2048;
+  cfg.ops = 4096;
+  cfg.lazy_sync = lazy;
+  cfg.trace = true;
+  return mpk::run_session_server(cfg).trace;
+}
+
+obs::Trace run_vkey_eager() { return run_vkey(false); }
+obs::Trace run_vkey_lazy() { return run_vkey(true); }
+
+obs::Trace run_rollback() {
+  return snapshot::run_rollback_episode(snapshot::EpisodeConfig{}).trace;
+}
+
+constexpr SpanWorkload kSpanWorkloads[] = {
+    {"serve", run_serve_clean},
+    {"serve-degraded", run_serve_degraded},
+    {"vault", run_vault},
+    {"vkey-eager", run_vkey_eager},
+    {"vkey-lazy", run_vkey_lazy},
+    {"rollback", run_rollback},
+};
+constexpr size_t kSpanWorkloadCount =
+    sizeof(kSpanWorkloads) / sizeof(kSpanWorkloads[0]);
+
+// One workload's slice of BENCH_spans.json. Integer-only throughout.
+std::string span_cell_json(const char* name, const obs::Trace& trace) {
+  const obs::SpanSet set = obs::build_spans(trace);
+  const auto hists = obs::span_histograms(set);
+  std::ostringstream os;
+  os << "    {\"workload\": \"" << name
+     << "\", \"events\": " << trace.events.size()
+     << ", \"spans\": " << set.spans.size()
+     << ", \"flows\": " << set.flows.size()
+     << ", \"segments\": " << set.segments
+     << ", \"final_ts\": " << set.final_ts << ",\n     \"by_kind\": {";
+  for (u32 k = 0; k < obs::kSpanKindCount; ++k) {
+    os << (k == 0 ? "\n" : ",\n") << "       \""
+       << obs::span_kind_name(static_cast<obs::SpanKind>(k))
+       << "\": " << hists[k].quantiles_json();
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string run_span_bench(unsigned threads) {
+  std::vector<std::string> cells(kSpanWorkloadCount);
+  fleet::run_indexed(kSpanWorkloadCount, threads, [&cells](size_t i,
+                                                           unsigned) {
+    cells[i] = span_cell_json(kSpanWorkloads[i].name, kSpanWorkloads[i].run());
+  });
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"spans\",\n  \"schema\": \"sealpk-spans-v1\",\n"
+     << "  \"workloads\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    os << cells[i] << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+int mode_spans(const CliOptions& cli) {
+  const std::string report = run_span_bench(cli.threads);
+  if (cli.selfcheck) {
+    // Determinism oracle: the serial re-run must be byte-identical.
+    const std::string serial = run_span_bench(1);
+    if (serial != report) {
+      std::fprintf(stderr,
+                   "selfcheck: span bench diverges between %u threads and "
+                   "serial\n",
+                   cli.threads);
+      return 1;
+    }
+    if (!cli.quiet) {
+      std::printf("selfcheck ok: %u-thread and serial span benches are "
+                  "byte-identical\n",
+                  cli.threads);
+    }
+  }
+  if (!cli.out_path.empty()) {
+    if (!write_text_file(cli.out_path, report)) {
+      std::fprintf(stderr, "cannot write %s\n", cli.out_path.c_str());
+      return 2;
+    }
+    if (!cli.quiet) std::printf("%s: span bench\n", cli.out_path.c_str());
+  } else if (!cli.quiet) {
+    std::printf("%s", report.c_str());
+  }
+  return 0;
+}
+
+// --- SLO gate ---------------------------------------------------------------
+
+int mode_check(const CliOptions& cli) {
+  if (cli.spec_path.empty() || cli.reports.empty()) return usage();
+  obs::SloSpec spec;
+  std::map<std::string, JsonValue> reports;
+  try {
+    spec = obs::parse_slo_spec(json_parse(read_text_file(cli.spec_path)));
+    for (const auto& [name, path] : cli.reports) {
+      reports[name] = json_parse(read_text_file(path));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sealpk-slo: %s\n", e.what());
+    return 2;
+  }
+  const obs::SloVerdict verdict = obs::evaluate_slo(spec, reports);
+  if (!cli.quiet) obs::write_slo_text(verdict, std::cout);
+  // --json changes the output format, never the verdict: a breach exits
+  // nonzero in JSON mode exactly as in plain mode (the contract the
+  // WILL_FAIL ctest pair pins).
+  if (cli.json) {
+    if (cli.json_path.empty()) {
+      obs::write_slo_json(verdict, std::cout);
+    } else {
+      std::ostringstream os;
+      obs::write_slo_json(verdict, os);
+      if (!write_text_file(cli.json_path, os.str())) {
+        std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+        return 2;
+      }
+    }
+  }
+  return verdict.pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "check" || arg == "spans") {
+      if (!cli.mode.empty()) return usage();
+      cli.mode = arg;
+    } else if (arg == "-q" || arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--selfcheck") {
+      cli.selfcheck = true;
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json = true;
+      cli.json_path = arg.substr(7);
+    } else if (arg.rfind("--spec=", 0) == 0) {
+      cli.spec_path = arg.substr(7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      cli.out_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.threads =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 0));
+    } else if (arg.rfind("--report=", 0) == 0) {
+      const std::string pair = arg.substr(9);
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+        return usage();
+      }
+      cli.reports.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    } else {
+      return usage();
+    }
+  }
+  if (cli.mode == "spans") return mode_spans(cli);
+  if (cli.mode == "check") return mode_check(cli);
+  return usage();
+}

@@ -48,6 +48,7 @@ struct CliOptions {
   std::string command;
   std::vector<std::string> positional;
   std::string out;
+  bool json = false;  // --json[=path] (report mode: machine-readable)
   std::string json_out;
   std::string collapsed_out;
   bool timeline = false;
@@ -63,7 +64,7 @@ int usage() {
       stderr,
       "usage: sealpk-trace record <workload> [--out=<file>] [--sample=<n>]\n"
       "                           [--ring=<n>]\n"
-      "       sealpk-trace report <file>\n"
+      "       sealpk-trace report <file> [--json[=<file>]]\n"
       "       sealpk-trace export <file> [--json=<file>] [--collapsed=<file>]\n"
       "                           [--timeline]\n"
       "       sealpk-trace diff <a> <b> [--json=<file>]\n"
@@ -157,7 +158,26 @@ int cmd_record(const CliOptions& cli) {
 }
 
 int cmd_report(const CliOptions& cli) {
-  obs::write_report(load_trace(cli.positional[0]), std::cout);
+  const obs::Trace trace = load_trace(cli.positional[0]);
+  // --json[=path] swaps the rendering for the machine-readable report
+  // ("sealpk-trace-report-v1": counters + per-pkey table + span
+  // quantiles); exit-code parity with plain mode (both 0 on a loadable
+  // blob — damage is caught by load_trace either way).
+  if (cli.json) {
+    if (cli.json_out.empty()) {
+      obs::write_report_json(trace, std::cout);
+      return 0;
+    }
+    std::ofstream f(cli.json_out, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", cli.json_out.c_str());
+      return 2;
+    }
+    obs::write_report_json(trace, f);
+    if (!cli.quiet) std::printf("%s: report json\n", cli.json_out.c_str());
+    return 0;
+  }
+  obs::write_report(trace, std::cout);
   return 0;
 }
 
@@ -233,7 +253,10 @@ int main(int argc, char** argv) {
       if (!parse_ss_kind(arg.substr(5), &cli.ss)) return usage();
     } else if (arg.rfind("--out=", 0) == 0) {
       cli.out = arg.substr(6);
+    } else if (arg == "--json") {
+      cli.json = true;
     } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json = true;
       cli.json_out = arg.substr(7);
     } else if (arg.rfind("--collapsed=", 0) == 0) {
       cli.collapsed_out = arg.substr(12);

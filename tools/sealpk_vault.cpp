@@ -35,6 +35,7 @@
 #include <string>
 
 #include "sim/machine.h"
+#include "vault/run.h"
 #include "vault/sweep.h"
 
 using namespace sealpk;
@@ -78,39 +79,26 @@ bool write_text_file(const std::string& path, const std::string& text) {
 }
 
 int mode_run(const CliOptions& cli) {
-  const vault::BuiltVault built = vault::build_vault(cli.cfg.spec);
-  sim::Machine machine;
-  const int pid = machine.load(built.image);
-  if (pid < 0) {
+  const vault::VaultRunResult r = vault::run_vault_once(cli.cfg.spec);
+  if (r.ledger.empty()) {  // run_vault_once bailed before running
     std::fprintf(stderr, "load refused\n");
     return 1;
   }
-  const bool completed = machine.run(400'000'000ULL).completed;
-  const i64 exit_code = machine.exit_code(pid);
-  const os::Process& proc = machine.kernel().process(pid);
-  const auto loc = vault::find_vault(*proc.aspace);
-  std::string led = "(no vault)\n";
-  if (loc.has_value()) {
-    std::vector<u8> region(loc->geo.total_len());
-    if (proc.aspace->copy_in(loc->base, region.data(), region.size())) {
-      led = vault::ledger_string(vault::replay(region.data(), region.size()));
-    }
-  }
-  const os::VaultStats& vs = machine.kernel().vault_stats();
+  const os::VaultStats& vs = r.stats;
   if (!cli.quiet) {
-    std::printf("%s", led.c_str());
+    std::printf("%s", r.ledger.c_str());
     std::printf(
         "vault run exit=%lld instructions=%llu seals=%llu reseals=%llu "
         "unseals=%llu denials=%llu corruption_detected=%llu\n",
-        static_cast<long long>(exit_code),
-        static_cast<unsigned long long>(machine.hart().instret()),
+        static_cast<long long>(r.exit_code),
+        static_cast<unsigned long long>(r.instructions),
         static_cast<unsigned long long>(vs.seals),
         static_cast<unsigned long long>(vs.reseals),
         static_cast<unsigned long long>(vs.unseals),
         static_cast<unsigned long long>(vs.denials),
         static_cast<unsigned long long>(vs.corruption_detected));
   }
-  return completed && exit_code == 0 && led == built.expected_ledger ? 0 : 1;
+  return r.ok() ? 0 : 1;
 }
 
 int mode_sweep(const CliOptions& cli) {
